@@ -1,0 +1,75 @@
+// Command tsoper-experiments regenerates the paper's evaluation (§V): every
+// figure, the Table I configuration, the protocol-complexity comparison,
+// and the ablation sweeps.
+//
+// Usage:
+//
+//	tsoper-experiments -exp all -scale 0.5
+//	tsoper-experiments -exp fig11,fig13 -bench radix,ocean_cp
+//
+// Experiments: tableI, protocol, fig11, fig12, fig13, fig14, fig15, lists,
+// agbsweep, evict, agborg, epochs, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment list")
+	scale := flag.Float64("scale", 0.5, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 22)")
+	serial := flag.Bool("serial", false, "disable parallel simulation")
+	flag.Parse()
+
+	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial}
+	if *benches != "" {
+		o.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	known := map[string]func(harness.Options) string{
+		"tableI":   func(harness.Options) string { return harness.TableIText() },
+		"protocol": func(harness.Options) string { return harness.ProtocolComplexityText() },
+		"fig11":    func(o harness.Options) string { return harness.Figure11(o).String() },
+		"fig12":    func(o harness.Options) string { return harness.Figure12(o).String() },
+		"fig13":    func(o harness.Options) string { return harness.Figure13(o).String() },
+		"fig14":    func(o harness.Options) string { return harness.Figure14(o).String() },
+		"fig15":    func(o harness.Options) string { return harness.Figure15(o).String() },
+		"lists":    func(o harness.Options) string { return harness.Lists(o).String() },
+		"agbsweep": func(o harness.Options) string { return harness.AGBSweep(o).String() },
+		"evict":    func(o harness.Options) string { return harness.EvictSweep(o).String() },
+		"agborg":   func(o harness.Options) string { return harness.AGBOrganizations(o).String() },
+		"epochs":   func(o harness.Options) string { return harness.BSPEpochSweep(o).String() },
+		"whisper":  func(o harness.Options) string { return harness.Whisper(o).String() },
+		"slccost":  func(o harness.Options) string { return harness.SLCOverhead(o).String() },
+	}
+	order := []string{"tableI", "protocol", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"lists", "agbsweep", "evict", "agborg", "epochs", "whisper", "slccost"}
+
+	var todo []string
+	if *exp == "all" {
+		todo = order
+	} else {
+		for _, e := range strings.Split(*exp, ",") {
+			e = strings.TrimSpace(e)
+			if _, ok := known[e]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s, all)\n", e, strings.Join(order, ", "))
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		out := known[e](o)
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e, time.Since(start).Seconds(), out)
+	}
+}

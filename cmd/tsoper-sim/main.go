@@ -1,0 +1,134 @@
+// Command tsoper-sim runs one benchmark under one persistency system and
+// prints the run's statistics.
+//
+// Usage:
+//
+//	tsoper-sim -bench radix -system tsoper -scale 0.5 -seed 42 [-stats]
+//
+// Systems: baseline, hw-rp, bsp, bsp+slc, bsp+slc+agb, stw, tsoper.
+// Benchmarks: the 22 PARSEC 3.0 / Splash-3 stand-ins (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/tsoper"
+)
+
+func main() {
+	bench := flag.String("bench", "radix", "benchmark name")
+	system := flag.String("system", "tsoper", "persistency system")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list benchmarks and systems, then exit")
+	full := flag.Bool("stats", false, "dump the full metric registry")
+	saveTrace := flag.String("save-trace", "", "write the generated workload trace to this file")
+	loadTrace := flag.String("load-trace", "", "replay a workload trace from this file instead of generating")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, p := range tsoper.Benchmarks() {
+			input := "small"
+			if p.LargeInput {
+				input = "large"
+			}
+			fmt.Printf("  %-14s (%s input, %d ops/core)\n", p.Name, input, p.OpsPerCore)
+		}
+		fmt.Println("systems:")
+		for _, s := range tsoper.Systems() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	p, ok := tsoper.Benchmark(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(1)
+	}
+	var kind tsoper.System
+	found := false
+	for _, s := range tsoper.Systems() {
+		if s.String() == *system {
+			kind, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown system %q (try -list)\n", *system)
+		os.Exit(1)
+	}
+
+	var r *tsoper.Results
+	var err error
+	if *loadTrace != "" {
+		r, err = runSavedTrace(*loadTrace, kind)
+	} else {
+		if *saveTrace != "" {
+			if err := saveWorkload(p, *scale, *seed, *saveTrace); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		r, err = tsoper.Run(p, kind, tsoper.RunOptions{Scale: *scale, Seed: *seed})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+	fmt.Printf("  execution cycles     %d\n", r.Cycles)
+	fmt.Printf("  drain-complete cycle %d\n", r.DrainCycles)
+	fmt.Printf("  loads / stores       %d / %d (+%d syncs)\n", r.Loads, r.Stores, r.SyncOps)
+	fmt.Printf("  coherence writes     %d\n", r.CoherenceWrites)
+	fmt.Printf("  persist writes       %d (total incl. final flush: %d)\n", r.PersistWrites, r.TotalPersistWrites)
+	fmt.Printf("  NVM writes           %d\n", r.NVMWrites)
+	if len(r.Groups) > 0 {
+		fmt.Printf("  atomic groups        %d (mean size %.2f, p90 %d, max %d)\n",
+			len(r.Groups), r.AGSizes.Mean(), r.AGSizes.Percentile(90), r.AGSizes.Max())
+	}
+	fmt.Printf("  list lengths         coherence %.2f, persist %.2f\n", r.CoherenceListLen, r.PersistListLen)
+	fmt.Printf("  evict buffer         max occupancy %d, stalls %d\n", r.EvictBufMax, r.EvictBufStalls)
+	fmt.Printf("  AGB stalls           %d\n", r.AGBStalls)
+	if *full {
+		fmt.Println("--- full metrics ---")
+		fmt.Print(r.Set.String())
+	}
+}
+
+// saveWorkload generates and stores the exact workload the run would use.
+func saveWorkload(p tsoper.Profile, scale float64, seed int64, path string) error {
+	cfg := tsoper.TableI(tsoper.TSOPER)
+	w := tsoper.Generate(p.Scale(scale), cfg.Cores, seed)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w.Save(f)
+}
+
+// runSavedTrace replays a stored workload under the chosen system.
+func runSavedTrace(path string, kind tsoper.System) (*tsoper.Results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w, err := trace.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg := machine.TableI(kind)
+	cfg.Cores = len(w.Cores)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(w), nil
+}

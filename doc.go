@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "TSOPER: Efficient
+// Coherence-Based Strict Persistency" (HPCA 2021).
+//
+// Import repro/tsoper for the public simulation API; see README.md for the
+// repository tour, DESIGN.md for the architecture and substitution notes,
+// and EXPERIMENTS.md for paper-vs-measured results. The root-level
+// bench_test.go regenerates every figure of the paper's evaluation as Go
+// benchmarks.
+package repro

@@ -1,0 +1,351 @@
+// Package agb implements the Atomic Group Buffer of §II-B/§II-C: the TSO
+// persist buffer that sits in parallel to the LLC, in the persistent domain
+// (battery-backed SRAM, like Intel's WPQ). Private caches persist atomic
+// groups directly into it, bypassing the coherence serialization of the LLC.
+//
+// Ingress (§II-B): space for a whole group is reserved when its first line
+// is buffered; groups lay out consecutively, first-come first-served, with
+// dependency order preserved because dependent groups reserve later. A
+// group that does not fit stalls until egress frees space.
+//
+// Durability: a group becomes crash-durable when it and every group
+// allocated before it are fully buffered — consecutive fully-buffered
+// groups starting at the head form the "atomic super group" whose contents
+// are guaranteed to reach NVM even across a power failure.
+//
+// Egress: within the super group all order is relaxed except same-address
+// FIFO, which holds automatically because same-address lines route to the
+// same memory controller.
+//
+// The same type models both organizations of §II-C: Slices=1 is the
+// centralized circular SRAM buffer; Slices=N is the distributed per-rank
+// organization with the two-phase (allocate/complete) central arbiter.
+package agb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/nvm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config sets the buffer geometry and timing.
+type Config struct {
+	// Slices is the number of AGB slices (1 = centralized; the paper's
+	// evaluation uses 8, one per NVM rank).
+	Slices int
+	// LinesPerSlice is each slice's capacity in cachelines. The paper's
+	// 10 KB slice holds 160 lines — two maximal 80-line groups.
+	LinesPerSlice int
+	// TransferLatency is the L1-to-AGB buffering time per line.
+	TransferLatency sim.Time
+	// ArbiterLatency is the allocation round trip through the central
+	// arbiter (distributed organization only; ignored when Slices == 1).
+	ArbiterLatency sim.Time
+}
+
+// DefaultConfig returns the paper's evaluated configuration: 8 distributed
+// slices of 10 KB (160 lines) each with a central arbiter.
+func DefaultConfig() Config {
+	return Config{Slices: 8, LinesPerSlice: 160, TransferLatency: 4, ArbiterLatency: 12}
+}
+
+// Request describes one atomic group to persist.
+type Request struct {
+	// ID identifies the group (core.Group.ID).
+	ID uint64
+	// Lines are the group's dirty lines with the versions to persist.
+	Lines map[mem.Line]mem.Version
+	// OnAllocated fires when space is reserved (buffering begins).
+	OnAllocated func()
+	// OnLineBuffered fires as each line enters the persistent domain.
+	OnLineBuffered func(mem.Line)
+	// OnDurable fires when the group joins the durable super group.
+	OnDurable func()
+	// OnRetired fires when all the group's lines have been written to NVM
+	// and its buffer space is reclaimed.
+	OnRetired func()
+}
+
+type groupRec struct {
+	req      Request
+	need     []int // lines reserved per slice
+	size     int
+	buffered int
+	complete bool
+	durable  bool
+	written  int
+	retired  bool
+}
+
+// Buffer is the atomic group buffer (centralized or distributed).
+type Buffer struct {
+	cfg    Config
+	engine *sim.Engine
+	mem    *nvm.Memory
+
+	free    []int // free lines per slice
+	ports   *sim.Bank
+	queue   []*groupRec // allocation order, oldest first
+	waiting []*groupRec // reservations that did not fit, FIFO
+
+	// contents tracks buffered-but-not-written versions per line, newest
+	// last, backing Lookup (the AGB search on LLC miss, §II-B).
+	contents map[mem.Line][]mem.Version
+
+	enqueued  *stats.Counter
+	stalls    *stats.Counter
+	occupancy *stats.Dist
+	groupSize *stats.Dist
+}
+
+// New creates a buffer draining into the given NVM.
+func New(engine *sim.Engine, memory *nvm.Memory, cfg Config, set *stats.Set) *Buffer {
+	if cfg.Slices <= 0 {
+		cfg.Slices = 1
+	}
+	b := &Buffer{
+		cfg:       cfg,
+		engine:    engine,
+		mem:       memory,
+		free:      make([]int, cfg.Slices),
+		ports:     sim.NewBank(cfg.Slices),
+		contents:  make(map[mem.Line][]mem.Version),
+		enqueued:  set.Counter("agb.groups"),
+		stalls:    set.Counter("agb.reservation_stalls"),
+		occupancy: set.Dist("agb.occupancy_lines"),
+		groupSize: set.Dist("agb.group_size"),
+	}
+	for i := range b.free {
+		b.free[i] = cfg.LinesPerSlice
+	}
+	return b
+}
+
+// Capacity returns the total line capacity.
+func (b *Buffer) Capacity() int { return b.cfg.Slices * b.cfg.LinesPerSlice }
+
+// MaxGroupLines returns the largest group the buffer can ever admit: a
+// group's slice partition must fit within each slice.
+func (b *Buffer) MaxGroupLines() int { return b.cfg.LinesPerSlice }
+
+// sliceOf routes a line to its slice; with one slice per NVM rank this is
+// the rank mapping, so same-address FIFO per memory controller holds.
+func (b *Buffer) sliceOf(l mem.Line) int {
+	return int(uint64(l) % uint64(b.cfg.Slices))
+}
+
+// Persist enqueues an atomic group. Groups must be enqueued in dependency
+// order (the drain gating in internal/core guarantees this); the buffer
+// preserves that order in allocation, durability, and same-slice egress.
+func (b *Buffer) Persist(req Request) error {
+	need := make([]int, b.cfg.Slices)
+	for l := range req.Lines {
+		need[b.sliceOf(l)]++
+	}
+	for s, n := range need {
+		if n > b.cfg.LinesPerSlice {
+			return fmt.Errorf("agb: group %d needs %d lines in slice %d (capacity %d)",
+				req.ID, n, s, b.cfg.LinesPerSlice)
+		}
+	}
+	b.enqueued.Inc()
+	b.groupSize.Observe(uint64(len(req.Lines)))
+	rec := &groupRec{req: req, need: need, size: len(req.Lines)}
+	b.waiting = append(b.waiting, rec)
+	b.tryAllocate()
+	return nil
+}
+
+// tryAllocate admits waiting reservations in FIFO order while they fit —
+// strict FIFO (no bypass) keeps allocation order equal to request order,
+// which the durability frontier depends on.
+func (b *Buffer) tryAllocate() {
+	for len(b.waiting) > 0 {
+		rec := b.waiting[0]
+		if !b.fits(rec.need) {
+			b.stalls.Inc()
+			return
+		}
+		b.waiting = b.waiting[1:]
+		b.allocate(rec)
+	}
+}
+
+func (b *Buffer) fits(need []int) bool {
+	for s, n := range need {
+		if n > b.free[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Buffer) allocate(rec *groupRec) {
+	for s, n := range rec.need {
+		b.free[s] -= n
+	}
+	b.queue = append(b.queue, rec)
+	b.occupancy.Observe(uint64(b.used()))
+
+	allocDelay := sim.Time(0)
+	if b.cfg.Slices > 1 {
+		allocDelay = b.cfg.ArbiterLatency // two-phase arbiter round trip
+	}
+	b.engine.Schedule(allocDelay, func() {
+		if rec.req.OnAllocated != nil {
+			rec.req.OnAllocated()
+		}
+		b.ingress(rec)
+	})
+}
+
+// ingress transfers the group's lines into the buffer, one port claim per
+// line on its slice. Empty groups complete immediately.
+func (b *Buffer) ingress(rec *groupRec) {
+	if rec.size == 0 {
+		rec.complete = true
+		b.advanceFrontier()
+		return
+	}
+	for _, lv := range sortedLines(rec.req.Lines) {
+		lv := lv
+		s := b.sliceOf(lv.line)
+		start := b.ports.Claim(s, b.engine.Now(), b.cfg.TransferLatency)
+		b.engine.At(start+b.cfg.TransferLatency, func() {
+			b.contents[lv.line] = append(b.contents[lv.line], lv.ver)
+			if rec.req.OnLineBuffered != nil {
+				rec.req.OnLineBuffered(lv.line)
+			}
+			rec.buffered++
+			if rec.buffered == rec.size {
+				rec.complete = true
+				b.advanceFrontier()
+			}
+		})
+	}
+}
+
+// advanceFrontier marks consecutive complete groups at the head durable —
+// the atomic super group — and starts their NVM egress.
+func (b *Buffer) advanceFrontier() {
+	for _, rec := range b.queue {
+		if !rec.complete {
+			return
+		}
+		if rec.durable {
+			continue
+		}
+		rec.durable = true
+		if rec.req.OnDurable != nil {
+			rec.req.OnDurable()
+		}
+		b.egress(rec)
+	}
+}
+
+// egress writes a durable group's lines to NVM. Order across unique lines
+// is free; same-address order holds per rank by construction.
+func (b *Buffer) egress(rec *groupRec) {
+	if rec.size == 0 {
+		b.retire(rec)
+		return
+	}
+	for _, lv := range sortedLines(rec.req.Lines) {
+		lv := lv
+		b.mem.Write(lv.line, lv.ver, func() {
+			b.dropContent(lv.line, lv.ver)
+			rec.written++
+			if rec.written == rec.size {
+				b.retire(rec)
+			}
+		})
+	}
+}
+
+// retire reclaims space. Space frees in FIFO order (circular buffer): a
+// group's frames recycle only when it reaches the queue head.
+func (b *Buffer) retire(rec *groupRec) {
+	rec.retired = true
+	for len(b.queue) > 0 && b.queue[0].retired {
+		head := b.queue[0]
+		b.queue = b.queue[1:]
+		for s, n := range head.need {
+			b.free[s] += n
+		}
+		if head.req.OnRetired != nil {
+			head.req.OnRetired()
+		}
+	}
+	b.tryAllocate()
+}
+
+func (b *Buffer) dropContent(l mem.Line, v mem.Version) {
+	vs := b.contents[l]
+	for i, x := range vs {
+		if x == v {
+			b.contents[l] = append(vs[:i], vs[i+1:]...)
+			break
+		}
+	}
+	if len(b.contents[l]) == 0 {
+		delete(b.contents, l)
+	}
+}
+
+// PortClaim exposes slice ingress-port arbitration to systems that model
+// epoch persists through the buffer without full group bookkeeping (the
+// idealized BSP+SLC+AGB stepping stone of §V-B).
+func (b *Buffer) PortClaim(slice int, at, occupancy sim.Time) sim.Time {
+	return b.ports.Claim(slice%b.cfg.Slices, at, occupancy)
+}
+
+// Lookup returns the newest version of line l still resident in the buffer
+// (the AGB search performed under the shadow of an LLC miss).
+func (b *Buffer) Lookup(l mem.Line) (mem.Version, bool) {
+	vs := b.contents[l]
+	if len(vs) == 0 {
+		return mem.Version{}, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// used returns occupied lines across all slices.
+func (b *Buffer) used() int {
+	u := 0
+	for _, f := range b.free {
+		u += b.cfg.LinesPerSlice - f
+	}
+	return u
+}
+
+// Used returns the currently occupied line count.
+func (b *Buffer) Used() int { return b.used() }
+
+// Waiting returns the number of reservations stalled for space.
+func (b *Buffer) Waiting() int { return len(b.waiting) }
+
+// InFlight returns the number of allocated, unretired groups.
+func (b *Buffer) InFlight() int { return len(b.queue) }
+
+// Stalls returns the reservation-stall count.
+func (b *Buffer) Stalls() uint64 { return b.stalls.Value }
+
+type lineVer struct {
+	line mem.Line
+	ver  mem.Version
+}
+
+// sortedLines orders a group's lines by address so event scheduling is
+// deterministic run to run.
+func sortedLines(m map[mem.Line]mem.Version) []lineVer {
+	out := make([]lineVer, 0, len(m))
+	for l, v := range m {
+		out = append(out, lineVer{l, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
+}

@@ -1,0 +1,54 @@
+package cache
+
+import "repro/internal/mem"
+
+// EvictBuffer is the small side buffer of §III-B: a cacheline evicted from a
+// private cache before its atomic group has persisted moves here, freeing
+// its cache frame immediately while the line "still behaves as a member of
+// the AG". Entries leave only when their group persists. The paper finds a
+// 16-entry buffer never experiences pressure; Occupancy stats let the
+// eviction-buffer ablation verify that.
+type EvictBuffer[T any] struct {
+	capacity int
+	entries  map[mem.Line]T
+
+	// MaxOccupancy tracks the high-water mark.
+	MaxOccupancy int
+	// Stalls counts rejected inserts (buffer full).
+	Stalls uint64
+}
+
+// NewEvictBuffer creates a buffer holding up to capacity lines.
+func NewEvictBuffer[T any](capacity int) *EvictBuffer[T] {
+	return &EvictBuffer[T]{capacity: capacity, entries: make(map[mem.Line]T)}
+}
+
+// Put inserts a line; it reports false (and counts a stall) if full.
+func (b *EvictBuffer[T]) Put(l mem.Line, data T) bool {
+	if len(b.entries) >= b.capacity {
+		b.Stalls++
+		return false
+	}
+	b.entries[l] = data
+	if len(b.entries) > b.MaxOccupancy {
+		b.MaxOccupancy = len(b.entries)
+	}
+	return true
+}
+
+// Get returns the payload for l.
+func (b *EvictBuffer[T]) Get(l mem.Line) (T, bool) {
+	v, ok := b.entries[l]
+	return v, ok
+}
+
+// Release removes l once its group has persisted.
+func (b *EvictBuffer[T]) Release(l mem.Line) {
+	delete(b.entries, l)
+}
+
+// Len returns the current occupancy.
+func (b *EvictBuffer[T]) Len() int { return len(b.entries) }
+
+// Cap returns the capacity.
+func (b *EvictBuffer[T]) Cap() int { return b.capacity }

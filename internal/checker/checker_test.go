@@ -1,0 +1,172 @@
+package checker
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func crashProfile() trace.Profile {
+	return trace.Profile{
+		Name: "crash", OpsPerCore: 400, StoreFrac: 0.5, SharedFrac: 0.5,
+		SharedLines: 48, PrivateLines: 48, HotFrac: 0.5, HotLines: 6,
+		Locality: 0.3, SyncPeriod: 120, CSStores: 2, ComputeMean: 2,
+	}
+}
+
+func buildFor(t *testing.T, kind machine.SystemKind, seed int64) func() (*machine.Machine, *trace.Workload) {
+	t.Helper()
+	return func() (*machine.Machine, *trace.Workload) {
+		cfg := machine.TableI(kind)
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, trace.Generate(crashProfile(), cfg.Cores, seed)
+	}
+}
+
+// The headline property test of the reproduction: crash TSOPER (and STW) at
+// many points through the run; every recovered image must be a
+// TSO-consistent cut.
+func TestCrashConsistencyCampaign(t *testing.T) {
+	for _, kind := range []machine.SystemKind{machine.TSOPER, machine.STW} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			var cycles []sim.Time
+			for at := sim.Time(500); at <= 40000; at += 1700 {
+				cycles = append(cycles, at)
+			}
+			for seed := int64(1); seed <= 3; seed++ {
+				c := &Campaign{}
+				if err := c.Run(buildFor(t, kind, seed), cycles); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if c.PartialStates == 0 {
+					t.Fatalf("seed %d: campaign never hit a partially durable state — too weak", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestCheckRejectsRelaxedSystems(t *testing.T) {
+	cs := &machine.CrashState{System: machine.HWRP}
+	if err := Check(cs); err == nil {
+		t.Fatal("HW-RP must not be accepted as strict")
+	}
+}
+
+// Corrupt a genuine crash state in targeted ways; the checker must catch
+// each corruption.
+func TestCheckerDetectsCorruptions(t *testing.T) {
+	build := buildFor(t, machine.TSOPER, 5)
+	freshState := func() *machine.CrashState {
+		m, w := build()
+		return m.RunWithCrash(w, 20000)
+	}
+
+	base := freshState()
+	if err := Check(base); err != nil {
+		t.Fatalf("genuine state rejected: %v", err)
+	}
+	var durableWithLines *core.Group
+	for _, g := range base.DurableOrder {
+		if g.DirtyLen() > 0 {
+			durableWithLines = g
+			break
+		}
+	}
+	if durableWithLines == nil {
+		t.Fatal("campaign state has no durable group with lines; pick another crash point")
+	}
+
+	t.Run("torn-group", func(t *testing.T) {
+		cs := freshState()
+		// Drop one line of a durable group from the image: partial persist.
+		for _, g := range cs.DurableOrder {
+			if g.DirtyLen() > 0 {
+				for l := range g.DirtyLines() {
+					delete(cs.Image, l)
+					break
+				}
+				break
+			}
+		}
+		err := Check(cs)
+		if err == nil || !strings.Contains(err.Error(), "atomicity") {
+			t.Fatalf("torn group not detected: %v", err)
+		}
+	})
+
+	t.Run("leaked-version", func(t *testing.T) {
+		cs := freshState()
+		// Inject a version no durable group wrote.
+		cs.Image[mem.Line(0xdead)] = mem.Version{Core: 0, Seq: 999999}
+		err := Check(cs)
+		if err == nil {
+			t.Fatal("leaked write not detected")
+		}
+	})
+
+	t.Run("wrong-version", func(t *testing.T) {
+		cs := freshState()
+		for _, g := range cs.DurableOrder {
+			if g.DirtyLen() > 0 {
+				for l := range g.DirtyLines() {
+					cs.Image[l] = mem.Version{Core: 7, Seq: 123456}
+					break
+				}
+				break
+			}
+		}
+		err := Check(cs)
+		if err == nil || !strings.Contains(err.Error(), "atomicity") {
+			t.Fatalf("wrong version not detected: %v", err)
+		}
+	})
+}
+
+// Crash-point fuzz: random small configurations, workloads, and crash
+// cycles across both strict systems — every recovered state must check.
+func TestFuzzCrashPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 16; trial++ {
+		kind := machine.TSOPER
+		if trial%3 == 0 {
+			kind = machine.STW
+		}
+		cfg := machine.TableI(kind)
+		cfg.Cores = 2 + rng.Intn(7)
+		cfg.AGB.LinesPerSlice = 40 + rng.Intn(120)
+		if cfg.AGLimit > cfg.AGB.LinesPerSlice {
+			cfg.AGLimit = cfg.AGB.LinesPerSlice
+		}
+		p := crashProfile()
+		p.OpsPerCore = 250 + rng.Intn(250)
+		at := sim.Time(1000 + rng.Intn(60000))
+
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.Generate(p, cfg.Cores, int64(trial)*3+1)
+		cs := m.RunWithCrash(w, at)
+		if err := Check(cs); err != nil {
+			t.Fatalf("trial %d (%v) crash at %d: %v", trial, kind, at, err)
+		}
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Rule: "x", Detail: "y"}
+	if !strings.Contains(v.Error(), "x") || !strings.Contains(v.Error(), "y") {
+		t.Fatalf("error text: %s", v.Error())
+	}
+}

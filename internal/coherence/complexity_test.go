@@ -1,0 +1,30 @@
+package coherence
+
+import "testing"
+
+// The paper's §V protocol-complexity comparison: SLC is simpler than the
+// stock MOESI_CMP_directory in states and transitions, at a small cost in
+// actions.
+func TestComplexityComparison(t *testing.T) {
+	slc := SLCComplexity()
+	moesi := MOESIComplexity()
+	if slc.BaseStates >= moesi.BaseStates {
+		t.Errorf("SLC base states %d should be fewer than MOESI's %d", slc.BaseStates, moesi.BaseStates)
+	}
+	if slc.TransientStates >= moesi.TransientStates {
+		t.Errorf("SLC transient states %d should be fewer than MOESI's %d", slc.TransientStates, moesi.TransientStates)
+	}
+	if slc.Actions <= moesi.Actions {
+		t.Errorf("SLC actions %d should be slightly more than MOESI's %d", slc.Actions, moesi.Actions)
+	}
+	if slc.Transitions >= moesi.Transitions {
+		t.Errorf("SLC transitions %d should be far fewer than MOESI's %d", slc.Transitions, moesi.Transitions)
+	}
+	// Exact paper numbers.
+	if slc.BaseStates != 15 || slc.TransientStates != 24 || slc.Actions != 133 || slc.Transitions != 148 {
+		t.Errorf("SLC numbers drifted from paper: %+v", slc)
+	}
+	if moesi.BaseStates != 25 || moesi.TransientStates != 64 || moesi.Actions != 127 || moesi.Transitions != 264 {
+		t.Errorf("MOESI numbers drifted from paper: %+v", moesi)
+	}
+}

@@ -1,0 +1,246 @@
+// Package mesi implements a functional MOESI-style bit-vector directory
+// protocol. The paper uses the stock MOESI_CMP_directory protocol only as a
+// complexity yardstick for SLC (§V) and confirms SLC carries ~3% overhead
+// over it; we implement the protocol functionally both to back that
+// comparison and to serve as an independently tested coherence reference
+// for the machine's conformance tests.
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// State is a line's state in one private cache.
+type State uint8
+
+const (
+	// I: invalid.
+	I State = iota
+	// S: shared, clean, read-only.
+	S
+	// E: exclusive, clean, writable without a new transaction.
+	E
+	// O: owned — dirty but shared; this cache supplies data.
+	O
+	// M: modified — dirty and exclusive.
+	M
+)
+
+func (s State) String() string {
+	switch s {
+	case I:
+		return "I"
+	case S:
+		return "S"
+	case E:
+		return "E"
+	case O:
+		return "O"
+	case M:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Writable reports whether a store may hit in this state.
+func (s State) Writable() bool { return s == E || s == M }
+
+// Readable reports whether a load may hit in this state.
+func (s State) Readable() bool { return s != I }
+
+// lineDir is the directory's view of one line.
+type lineDir struct {
+	sharers map[int]State
+	owner   int // cache in M/O/E, -1 if none
+	version mem.Version
+}
+
+// Directory is a full-map MOESI directory over private caches.
+type Directory struct {
+	nCaches int
+	lines   map[mem.Line]*lineDir
+
+	// Transitions counts protocol state transitions taken, for the
+	// complexity/activity comparison with SLC.
+	Transitions uint64
+	// Invalidations counts invalidation messages sent.
+	Invalidations uint64
+	// Forwards counts owner-to-requester data forwards.
+	Forwards uint64
+}
+
+// NewDirectory creates a directory over nCaches private caches.
+func NewDirectory(nCaches int) *Directory {
+	return &Directory{nCaches: nCaches, lines: make(map[mem.Line]*lineDir)}
+}
+
+func (d *Directory) line(l mem.Line) *lineDir {
+	ld, ok := d.lines[l]
+	if !ok {
+		ld = &lineDir{sharers: make(map[int]State), owner: -1}
+		d.lines[l] = ld
+	}
+	return ld
+}
+
+// StateOf returns cache's state for line l.
+func (d *Directory) StateOf(l mem.Line, cache int) State {
+	if ld, ok := d.lines[l]; ok {
+		return ld.sharers[cache]
+	}
+	return I
+}
+
+// Version returns the current coherent version of the line.
+func (d *Directory) Version(l mem.Line) mem.Version { return d.line(l).version }
+
+// ReadResult describes what a Read transaction did.
+type ReadResult struct {
+	// Hit means the cache already had a readable copy.
+	Hit bool
+	// ForwardedFrom is the owner that supplied data (-1 = memory/LLC).
+	ForwardedFrom int
+	// NewState is the requester's resulting state.
+	NewState State
+}
+
+// Read performs a GetS from cache for line l.
+func (d *Directory) Read(l mem.Line, cache int) ReadResult {
+	ld := d.line(l)
+	if st := ld.sharers[cache]; st.Readable() {
+		return ReadResult{Hit: true, NewState: st}
+	}
+	res := ReadResult{ForwardedFrom: -1}
+	switch {
+	case ld.owner >= 0 && ld.owner != cache:
+		// Owner in M/E/O supplies data; M degrades to O (MOESI), E to S.
+		prevOwner := ld.owner
+		d.Forwards++
+		switch ld.sharers[prevOwner] {
+		case M:
+			d.setState(ld, prevOwner, O)
+		case E:
+			d.setState(ld, prevOwner, S)
+			ld.owner = -1
+		}
+		res.ForwardedFrom = prevOwner
+		d.setState(ld, cache, S)
+		res.NewState = S
+	case d.sharerCount(ld) == 0:
+		// First requester gets E.
+		d.setState(ld, cache, E)
+		ld.owner = cache
+		res.NewState = E
+	default:
+		d.setState(ld, cache, S)
+		res.NewState = S
+	}
+	return res
+}
+
+// WriteResult describes what a Write transaction did.
+type WriteResult struct {
+	// Hit means the cache already had a writable copy.
+	Hit bool
+	// Invalidated lists the caches that lost their copies.
+	Invalidated []int
+	// ForwardedFrom is the previous owner that supplied data (-1 = memory).
+	ForwardedFrom int
+}
+
+// Write performs a GetX (or upgrade) from cache for line l, installing the
+// new version v.
+func (d *Directory) Write(l mem.Line, cache int, v mem.Version) WriteResult {
+	ld := d.line(l)
+	st := ld.sharers[cache]
+	if st.Writable() {
+		ld.version = v
+		if st == E {
+			d.setState(ld, cache, M)
+		}
+		ld.owner = cache
+		return WriteResult{Hit: true, ForwardedFrom: -1}
+	}
+	res := WriteResult{ForwardedFrom: -1}
+	if ld.owner >= 0 && ld.owner != cache {
+		res.ForwardedFrom = ld.owner
+		d.Forwards++
+	}
+	for c, s := range ld.sharers {
+		if c == cache || s == I {
+			continue
+		}
+		d.setState(ld, c, I)
+		d.Invalidations++
+		res.Invalidated = append(res.Invalidated, c)
+	}
+	d.setState(ld, cache, M)
+	ld.owner = cache
+	ld.version = v
+	return res
+}
+
+// Evict removes cache's copy; it returns true if the line was dirty (a
+// writeback is needed).
+func (d *Directory) Evict(l mem.Line, cache int) bool {
+	ld := d.line(l)
+	st := ld.sharers[cache]
+	if st == I {
+		return false
+	}
+	dirty := st == M || st == O
+	d.setState(ld, cache, I)
+	if ld.owner == cache {
+		ld.owner = -1
+	}
+	return dirty
+}
+
+func (d *Directory) setState(ld *lineDir, cache int, s State) {
+	if ld.sharers[cache] != s {
+		d.Transitions++
+	}
+	if s == I {
+		delete(ld.sharers, cache)
+	} else {
+		ld.sharers[cache] = s
+	}
+}
+
+func (d *Directory) sharerCount(ld *lineDir) int {
+	n := 0
+	for _, s := range ld.sharers {
+		if s != I {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies SWMR: at most one cache in a writable state per
+// line, and no readable copies coexist with a writable one.
+func (d *Directory) CheckInvariants() error {
+	for l, ld := range d.lines {
+		writers, readers := 0, 0
+		for _, s := range ld.sharers {
+			if s.Writable() {
+				writers++
+			} else if s.Readable() {
+				readers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("mesi %v: %d writable copies", l, writers)
+		}
+		if writers == 1 && readers > 0 {
+			st := ld.sharers[ld.owner]
+			if st == M || st == E {
+				return fmt.Errorf("mesi %v: writable copy coexists with %d readers", l, readers)
+			}
+		}
+	}
+	return nil
+}

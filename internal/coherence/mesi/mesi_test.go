@@ -1,0 +1,163 @@
+package mesi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestFirstReadGetsExclusive(t *testing.T) {
+	d := NewDirectory(4)
+	r := d.Read(mem.Line(1), 0)
+	if r.Hit || r.NewState != E || r.ForwardedFrom != -1 {
+		t.Fatalf("first read: %+v", r)
+	}
+	r2 := d.Read(mem.Line(1), 0)
+	if !r2.Hit {
+		t.Fatal("second read by same cache must hit")
+	}
+}
+
+func TestReadSharingDowngradesExclusive(t *testing.T) {
+	d := NewDirectory(4)
+	d.Read(mem.Line(1), 0) // E
+	r := d.Read(mem.Line(1), 1)
+	if r.NewState != S {
+		t.Fatalf("second reader state: %v", r.NewState)
+	}
+	if d.StateOf(mem.Line(1), 0) != S {
+		t.Fatalf("former exclusive holder now %v, want S", d.StateOf(mem.Line(1), 0))
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := NewDirectory(4)
+	d.Read(mem.Line(1), 0)
+	d.Read(mem.Line(1), 1)
+	d.Read(mem.Line(1), 2)
+	w := d.Write(mem.Line(1), 3, mem.Version{Core: 3, Seq: 1})
+	if w.Hit {
+		t.Fatal("write from non-holder should miss")
+	}
+	if len(w.Invalidated) != 3 {
+		t.Fatalf("invalidated %v, want 3 caches", w.Invalidated)
+	}
+	if d.StateOf(mem.Line(1), 3) != M {
+		t.Fatalf("writer state %v", d.StateOf(mem.Line(1), 3))
+	}
+	for c := 0; c < 3; c++ {
+		if d.StateOf(mem.Line(1), c) != I {
+			t.Fatalf("cache %d not invalidated", c)
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeFromExclusiveIsSilentHit(t *testing.T) {
+	d := NewDirectory(2)
+	d.Read(mem.Line(2), 0) // E
+	w := d.Write(mem.Line(2), 0, mem.Version{Core: 0, Seq: 1})
+	if !w.Hit {
+		t.Fatal("E->M upgrade should be a hit")
+	}
+	if d.StateOf(mem.Line(2), 0) != M {
+		t.Fatalf("state %v", d.StateOf(mem.Line(2), 0))
+	}
+}
+
+func TestOwnerForwardsAndDegradesToOwned(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(mem.Line(3), 0, mem.Version{Core: 0, Seq: 1}) // M at 0
+	r := d.Read(mem.Line(3), 1)
+	if d.StateOf(mem.Line(3), 0) != O {
+		t.Fatalf("former M holder is %v, want O", d.StateOf(mem.Line(3), 0))
+	}
+	if r.NewState != S {
+		t.Fatalf("reader state %v", r.NewState)
+	}
+	if d.Forwards == 0 {
+		t.Fatal("owner forward not counted")
+	}
+}
+
+func TestWriteAfterOwnedInvalidatesOwner(t *testing.T) {
+	d := NewDirectory(3)
+	d.Write(mem.Line(4), 0, mem.Version{Core: 0, Seq: 1})
+	d.Read(mem.Line(4), 1) // 0:O, 1:S
+	w := d.Write(mem.Line(4), 2, mem.Version{Core: 2, Seq: 1})
+	if len(w.Invalidated) != 2 {
+		t.Fatalf("invalidated %v", w.Invalidated)
+	}
+	if w.ForwardedFrom != 0 {
+		t.Fatalf("forwarded from %d, want owner 0", w.ForwardedFrom)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(mem.Line(5), 0, mem.Version{Core: 0, Seq: 1})
+	if !d.Evict(mem.Line(5), 0) {
+		t.Fatal("evicting M line must report dirty")
+	}
+	if d.Evict(mem.Line(5), 0) {
+		t.Fatal("evicting absent line must report clean")
+	}
+	d.Read(mem.Line(6), 1)
+	d.Read(mem.Line(6), 0)
+	if d.Evict(mem.Line(6), 1) {
+		t.Fatal("evicting shared clean line must report clean")
+	}
+}
+
+func TestVersionTracksLastWriter(t *testing.T) {
+	d := NewDirectory(2)
+	d.Write(mem.Line(7), 0, mem.Version{Core: 0, Seq: 1})
+	d.Write(mem.Line(7), 1, mem.Version{Core: 1, Seq: 5})
+	if d.Version(mem.Line(7)) != (mem.Version{Core: 1, Seq: 5}) {
+		t.Fatalf("version %v", d.Version(mem.Line(7)))
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{I: "I", S: "S", E: "E", O: "O", M: "M", State(7): "State(7)"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%v", s)
+		}
+	}
+}
+
+// Property: SWMR holds across random traffic from 4 caches over 16 lines.
+func TestPropertySWMR(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDirectory(4)
+	seq := uint64(0)
+	for step := 0; step < 5000; step++ {
+		l := mem.Line(rng.Intn(16))
+		c := rng.Intn(4)
+		switch rng.Intn(3) {
+		case 0:
+			d.Read(l, c)
+		case 1:
+			seq++
+			d.Write(l, c, mem.Version{Core: c, Seq: seq})
+		case 2:
+			d.Evict(l, c)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if d.Transitions == 0 || d.Invalidations == 0 {
+		t.Fatal("traffic should have produced transitions and invalidations")
+	}
+}

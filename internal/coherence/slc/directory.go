@@ -1,0 +1,72 @@
+package slc
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Directory owns the sharing lists for every line that has ever been cached.
+// In hardware the list pointers live in the private caches with the
+// directory holding only the head; in the simulator the Directory is the
+// single point of serialization, which matches the protocol's semantics
+// (the directory orders all coherence operations for a line).
+type Directory struct {
+	lists map[mem.Line]*List
+
+	// coherenceLen samples the valid-copy count, persistLen the full list
+	// length (valid + invalid pending persist), at every list mutation —
+	// the two averages the paper contrasts in §V-B (~2 vs ~4).
+	coherenceLen *stats.Dist
+	persistLen   *stats.Dist
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory(set *stats.Set) *Directory {
+	return &Directory{
+		lists:        make(map[mem.Line]*List),
+		coherenceLen: set.Dist("slc.coherence_list_len"),
+		persistLen:   set.Dist("slc.persist_list_len"),
+	}
+}
+
+// List returns the sharing list for a line, creating it if needed.
+func (d *Directory) List(l mem.Line) *List {
+	lst, ok := d.lists[l]
+	if !ok {
+		lst = NewList(l)
+		d.lists[l] = lst
+	}
+	return lst
+}
+
+// Peek returns the list if it exists, without creating it.
+func (d *Directory) Peek(l mem.Line) *List { return d.lists[l] }
+
+// Sample records the current lengths of a line's list into the length
+// distributions. The machine calls this on every coherence transaction.
+func (d *Directory) Sample(l mem.Line) {
+	lst := d.lists[l]
+	if lst == nil || lst.Len() == 0 {
+		return
+	}
+	d.coherenceLen.Observe(uint64(len(lst.ValidNodes())))
+	d.persistLen.Observe(uint64(lst.Len()))
+}
+
+// Lengths returns (mean coherence-list length, mean persist-list length).
+func (d *Directory) Lengths() (coherence, persist float64) {
+	return d.coherenceLen.Mean(), d.persistLen.Mean()
+}
+
+// CheckAll verifies the invariants of every list; it returns the first error.
+func (d *Directory) CheckAll() error {
+	for _, lst := range d.lists {
+		if err := lst.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lines returns the number of tracked lines.
+func (d *Directory) Lines() int { return len(d.lists) }

@@ -1,0 +1,341 @@
+// Package slc implements the sharing-list coherence (SLC) structures of §IV:
+// an SCI-inspired protocol in which every requester of a line queues up in a
+// per-line doubly-linked list. The list's head is the newest requester (the
+// young, coherence end); its tail is the oldest unpersisted version (the
+// old, persistency end).
+//
+// Three principles from §IV-A shape the implementation:
+//
+//  1. Non-destructive invalidations — invalidating a node does not remove it;
+//     a dirty invalid node stays on the list until its version persists.
+//  2. Multiversioning — a list may simultaneously hold several versions of
+//     the line; only the newest-writer region at the head is valid.
+//  3. Tail-to-head persist — a conceptual persist token lives at the tail
+//     and passes toward the head as versions persist. We generalize the
+//     token into the "clear" predicate: a node is clear when no dirty
+//     (unpersisted) node remains below it. A dirty node may persist only
+//     when clear; after persisting, an invalid node disconnects while a
+//     valid one stays on the list as an ordinary coherence sharer. Clean
+//     invalid nodes in the clear region disappear immediately — they were
+//     only holding a persist-order dependency that is now satisfied.
+//
+// The package is a pure data structure with invariant checking; the machine
+// package drives it with coherence-transaction timing, and internal/core
+// maps the clear predicate to atomic-group persist gating.
+package slc
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Node is one cache's entry in a line's sharing list. A cache has at most
+// one node per line.
+type Node struct {
+	// Cache is the private cache (core) holding this copy.
+	Cache int
+	// Line is the cacheline this node is a version of (retained after the
+	// node unlinks, so callers can release frames and waiters).
+	Line mem.Line
+	// Valid means the copy may be read locally; invalid nodes exist only to
+	// persist in order (dirty) or to encode a dependency (clean).
+	Valid bool
+	// Dirty means the node carries a locally written version that must
+	// persist before the node may disconnect.
+	Dirty bool
+	// Version is the line value this node holds (the written version for
+	// dirty nodes, the observed version for clean ones).
+	Version mem.Version
+	// AGID tags the atomic group this node belongs to (0 = none); opaque
+	// to this package.
+	AGID uint64
+
+	// prev points toward the head (newer); next toward the tail (older).
+	prev, next *Node
+	list       *List
+}
+
+// Next returns the next-older node (toward the tail).
+func (n *Node) Next() *Node { return n.next }
+
+// Prev returns the next-newer node (toward the head).
+func (n *Node) Prev() *Node { return n.prev }
+
+// OnList reports whether the node is still linked.
+func (n *Node) OnList() bool { return n.list != nil }
+
+// Clear reports whether no dirty node remains below n — the generalized
+// persist token. Persist order for the line is satisfied up to this node.
+func (n *Node) Clear() bool {
+	for m := n.next; m != nil; m = m.next {
+		if m.Dirty {
+			return false
+		}
+	}
+	return true
+}
+
+// List is the sharing list for one line.
+type List struct {
+	Line       mem.Line
+	head, tail *Node
+	size       int
+
+	// byCache enforces one node per cache.
+	byCache map[int]*Node
+}
+
+// NewList creates an empty sharing list for a line.
+func NewList(line mem.Line) *List {
+	return &List{Line: line, byCache: make(map[int]*Node)}
+}
+
+// Len returns the number of linked nodes (all versions, valid and invalid).
+func (l *List) Len() int { return l.size }
+
+// Head returns the newest node (nil if empty).
+func (l *List) Head() *Node { return l.head }
+
+// Tail returns the oldest node (nil if empty).
+func (l *List) Tail() *Node { return l.tail }
+
+// NodeOf returns cache's node, or nil.
+func (l *List) NodeOf(cache int) *Node { return l.byCache[cache] }
+
+// Update reports the side effects of a list mutation: Removed nodes have
+// been unlinked (their cache frames and dependency holds are released);
+// NewlyClear nodes just gained the clear property (their atomic groups may
+// advance their waiting-to-become-tail counters).
+type Update struct {
+	Removed    []*Node
+	NewlyClear []*Node
+}
+
+// AddHead inserts a new node for cache at the head of the list — the
+// directory serialization point makes every new requester the new head
+// (footnote 1: "A new writer is inserted as the new 'head' in a
+// doubly-linked sharing list"). It panics if the cache already has a node;
+// callers must handle the local-upgrade / pending-persist cases first.
+func (l *List) AddHead(cache int, valid, dirty bool, version mem.Version, agID uint64) *Node {
+	if _, ok := l.byCache[cache]; ok {
+		panic(fmt.Sprintf("slc: cache %d already on list for %v", cache, l.Line))
+	}
+	n := &Node{Cache: cache, Line: l.Line, Valid: valid, Dirty: dirty, Version: version, AGID: agID}
+	l.linkHead(n)
+	return n
+}
+
+func (l *List) linkHead(n *Node) {
+	n.list = l
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+	l.size++
+	l.byCache[n.Cache] = n
+}
+
+// Invalidate marks a node invalid without unlinking it (principle 1) and
+// sweeps: clean invalid nodes in the clear region disappear immediately.
+func (l *List) Invalidate(n *Node) Update {
+	n.Valid = false
+	return l.sweep()
+}
+
+// MarkDirty upgrades a valid node to dirty with a new version (a local
+// store hitting its own valid copy).
+func (l *List) MarkDirty(n *Node, v mem.Version) {
+	if !n.Valid {
+		panic(fmt.Sprintf("slc: dirtying invalid node for %v", l.Line))
+	}
+	n.Dirty = true
+	n.Version = v
+}
+
+// MarkPersisted completes the persist of a dirty node: its version has
+// entered the persistent domain. The node must be clear (persists are
+// tail-to-head). An invalid node disconnects; a valid one remains on the
+// list as a clean coherence sharer. The returned update includes any clean
+// invalid nodes released by the sweep and the nodes that became clear.
+func (l *List) MarkPersisted(n *Node) Update {
+	if !n.Dirty {
+		panic(fmt.Sprintf("slc: MarkPersisted on clean node for %v", l.Line))
+	}
+	if !n.Clear() {
+		panic(fmt.Sprintf("slc: MarkPersisted out of order for %v (cache %d)", l.Line, n.Cache))
+	}
+	n.Dirty = false
+	var up Update
+	if !n.Valid {
+		l.unlink(n)
+		up.Removed = append(up.Removed, n)
+	}
+	more := l.sweep()
+	up.Removed = append(up.Removed, more.Removed...)
+	// Everything that was gated on this dirty node is now clear: all nodes
+	// above n up to (and including) the next dirty one.
+	up.NewlyClear = more.NewlyClear
+	return up
+}
+
+// MoveToHead relinks an existing clean valid node at the head of the list —
+// a cache upgrading its read copy to a write re-queues at the young end, as
+// every new writer must.
+func (l *List) MoveToHead(n *Node) Update {
+	if n.Dirty || !n.Valid {
+		panic(fmt.Sprintf("slc: MoveToHead requires clean valid node for %v", l.Line))
+	}
+	if l.head == n {
+		return Update{}
+	}
+	l.unlink(n)
+	l.linkHead(n)
+	return l.sweep()
+}
+
+// RemoveClean unlinks a clean node anywhere in the list (e.g. eviction of a
+// clean copy in a non-persistent baseline). It panics on dirty nodes: those
+// must persist via MarkPersisted.
+func (l *List) RemoveClean(n *Node) Update {
+	if n.Dirty {
+		panic(fmt.Sprintf("slc: RemoveClean on dirty node for %v", l.Line))
+	}
+	l.unlink(n)
+	up := l.sweep()
+	up.Removed = append([]*Node{n}, up.Removed...)
+	return up
+}
+
+// RemoveDestructive unlinks a node regardless of its dirty state — the
+// conventional destructive invalidation used by the non-multiversioned
+// systems (baseline coherence, HW-RP, and the BSP timing models), where a
+// dirty line is written back rather than kept for ordered persist.
+func (l *List) RemoveDestructive(n *Node) Update {
+	l.unlink(n)
+	up := l.sweep()
+	up.Removed = append([]*Node{n}, up.Removed...)
+	return up
+}
+
+// sweep removes clean invalid nodes in the clear region and reports which
+// surviving nodes are clear. The clear region runs from the tail up to and
+// including the first dirty node; clean invalid nodes there hold neither
+// data nor an unsatisfied dependency, so they disconnect — the generalized
+// "invalidated unmodified tails immediately pass the token and disappear".
+func (l *List) sweep() Update {
+	var up Update
+	n := l.tail
+	for n != nil {
+		prev := n.prev // capture before a possible unlink
+		if n.Dirty {
+			up.NewlyClear = append(up.NewlyClear, n)
+			break
+		}
+		if !n.Valid {
+			l.unlink(n)
+			up.Removed = append(up.Removed, n)
+		} else {
+			up.NewlyClear = append(up.NewlyClear, n)
+		}
+		n = prev
+	}
+	return up
+}
+
+func (l *List) unlink(n *Node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next, n.list = nil, nil, nil
+	l.size--
+	delete(l.byCache, n.Cache)
+}
+
+// ValidNodes returns the valid copies (always a contiguous run at the head).
+func (l *List) ValidNodes() []*Node {
+	var out []*Node
+	for n := l.head; n != nil && n.Valid; n = n.next {
+		out = append(out, n)
+	}
+	return out
+}
+
+// DirtyNewest returns the newest dirty node (the unpersisted producer of
+// the line's current value), or nil if every version has persisted.
+func (l *List) DirtyNewest() *Node {
+	for n := l.head; n != nil; n = n.next {
+		if n.Dirty {
+			return n
+		}
+	}
+	return nil
+}
+
+// PendingPersists counts dirty nodes still awaiting persist.
+func (l *List) PendingPersists() int {
+	c := 0
+	for n := l.head; n != nil; n = n.next {
+		if n.Dirty {
+			c++
+		}
+	}
+	return c
+}
+
+// CheckInvariants verifies the structural invariants of §IV-A and returns
+// an error describing the first violation:
+//
+//   - the list is consistently doubly linked with matching size;
+//   - valid nodes form a contiguous run at the head (everything older than
+//     the newest write is invalid);
+//   - no clean invalid node sits in the clear region (sweeps are eager);
+//   - each cache appears at most once.
+func (l *List) CheckInvariants() error {
+	seenCache := map[int]bool{}
+	count := 0
+	var prev *Node
+	validRun := true
+	for n := l.head; n != nil; n = n.next {
+		if n.prev != prev {
+			return fmt.Errorf("slc %v: broken prev link at cache %d", l.Line, n.Cache)
+		}
+		if n.list != l {
+			return fmt.Errorf("slc %v: node cache %d points at wrong list", l.Line, n.Cache)
+		}
+		if seenCache[n.Cache] {
+			return fmt.Errorf("slc %v: cache %d appears twice", l.Line, n.Cache)
+		}
+		seenCache[n.Cache] = true
+		if n.Valid && !validRun {
+			return fmt.Errorf("slc %v: valid node (cache %d) below an invalid one", l.Line, n.Cache)
+		}
+		if !n.Valid {
+			validRun = false
+		}
+		if !n.Valid && !n.Dirty && n.Clear() {
+			return fmt.Errorf("slc %v: clean invalid node (cache %d) lingering in clear region", l.Line, n.Cache)
+		}
+		prev = n
+		count++
+	}
+	if count != l.size {
+		return fmt.Errorf("slc %v: size %d but %d nodes linked", l.Line, l.size, count)
+	}
+	if l.tail != prev {
+		return fmt.Errorf("slc %v: tail pointer mismatch", l.Line)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package slcfsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coherence/slc"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Cross-model conformance: drive the message-driven FSM and the functional
+// sharing-list model (internal/coherence/slc, the one the machine uses)
+// with the same quiescent operation sequence and require identical
+// observable behavior — same list membership and order, same persist
+// sequences, same final memory versions.
+func TestConformanceAgainstFunctionalModel(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 500))
+		e, fsm := newSys(5)
+		dir := slc.NewDirectory(stats.NewSet())
+
+		var fsmPersists, refPersists []mem.Version
+		fsm.OnPersist = func(_ int, _ mem.Line, ver mem.Version) {
+			fsmPersists = append(fsmPersists, ver)
+		}
+		refMem := map[mem.Line]mem.Version{}
+
+		// The functional model's mirror of Persist triggers: pull dirty
+		// versions in the same (cache, line) order the FSM was asked to.
+		refPersist := func(c int, l mem.Line) {
+			lst := dir.List(l)
+			n := lst.NodeOf(c)
+			if n == nil || !n.Dirty || !n.Clear() {
+				return
+			}
+			refPersists = append(refPersists, n.Version)
+			refMem[l] = n.Version
+			up := lst.MarkPersisted(n)
+			// Dirty nodes uncovered as clear may have pending pulls; the
+			// FSM retries those automatically (wantPersist), so replay
+			// pulls until a fixpoint for fairness.
+			_ = up
+		}
+		refWrite := func(c int, l mem.Line, v mem.Version) {
+			lst := dir.List(l)
+			if n := lst.NodeOf(c); n != nil {
+				if n.Dirty {
+					lst.MarkDirty(n, v)
+					return
+				}
+				if n.Valid {
+					lst.MoveToHead(n)
+					for _, x := range lst.ValidNodes() {
+						if x != n {
+							lst.Invalidate(x)
+						}
+					}
+					lst.MarkDirty(n, v)
+					return
+				}
+				return // pending: the FSM queues too; skip
+			}
+			for _, x := range lst.ValidNodes() {
+				lst.Invalidate(x)
+			}
+			lst.AddHead(c, true, true, v, 0)
+		}
+		refRead := func(c int, l mem.Line) {
+			lst := dir.List(l)
+			if n := lst.NodeOf(c); n != nil {
+				return // hit or pending
+			}
+			cur := refMem[l]
+			if h := lst.Head(); h != nil && h.Valid {
+				cur = h.Version
+			}
+			lst.AddHead(c, true, false, cur, 0)
+		}
+
+		// wantPersist retry set for the reference model.
+		type pull struct {
+			c int
+			l mem.Line
+		}
+		pending := map[pull]bool{}
+		replayPulls := func() {
+			for changed := true; changed; {
+				changed = false
+				for p := range pending {
+					lst := dir.List(p.l)
+					n := lst.NodeOf(p.c)
+					if n == nil || !n.Dirty {
+						delete(pending, p)
+						changed = true
+						continue
+					}
+					if n.Clear() {
+						refPersists = append(refPersists, n.Version)
+						refMem[p.l] = n.Version
+						lst.MarkPersisted(n)
+						delete(pending, p)
+						changed = true
+					}
+				}
+			}
+		}
+		_ = refPersist
+
+		seq := uint64(0)
+		for step := 0; step < 150; step++ {
+			c := rng.Intn(5)
+			l := mem.Line(rng.Intn(4))
+			switch rng.Intn(4) {
+			case 0, 1:
+				// Skip ops on pending (PI/XI) nodes entirely: the FSM
+				// would queue them for later execution, which the
+				// synchronous reference cannot mirror.
+				st := fsm.StateOf(c, l)
+				if st != SI && st != SV && st != SD {
+					continue
+				}
+				seq++
+				ver := mem.Version{Core: c, Seq: seq}
+				fsm.Write(c, l, ver, nil)
+				refWrite(c, l, ver)
+			case 2:
+				st := fsm.StateOf(c, l)
+				if st != SI && st != SV && st != SD {
+					continue
+				}
+				fsm.Read(c, l, nil)
+				refRead(c, l)
+			case 3:
+				fsm.Persist(c, l)
+				pending[pull{c, l}] = true
+			}
+			e.Run()
+			replayPulls()
+			if err := fsm.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if err := dir.CheckAll(); err != nil {
+				t.Fatalf("trial %d step %d (ref): %v", trial, step, err)
+			}
+			// Compare list contents per line.
+			for ll := mem.Line(0); ll < 4; ll++ {
+				fsmList := fsm.ListOf(ll)
+				var refList []int
+				if lst := dir.Peek(ll); lst != nil {
+					for n := lst.Head(); n != nil; n = n.Next() {
+						refList = append(refList, n.Cache)
+					}
+				}
+				if len(fsmList) != len(refList) {
+					t.Fatalf("trial %d step %d line %v: fsm list %v vs ref %v",
+						trial, step, ll, fsmList, refList)
+				}
+				for i := range fsmList {
+					if fsmList[i] != refList[i] {
+						t.Fatalf("trial %d step %d line %v: fsm list %v vs ref %v",
+							trial, step, ll, fsmList, refList)
+					}
+				}
+			}
+		}
+		// Persist sequences must be identical.
+		if len(fsmPersists) != len(refPersists) {
+			t.Fatalf("trial %d: %d fsm persists vs %d ref", trial, len(fsmPersists), len(refPersists))
+		}
+		for i := range fsmPersists {
+			if fsmPersists[i] != refPersists[i] {
+				t.Fatalf("trial %d: persist %d: %v vs %v", trial, i, fsmPersists[i], refPersists[i])
+			}
+		}
+		// Final memory versions must agree.
+		for l, v := range refMem {
+			if fsm.MemoryVersion(l) != v {
+				t.Fatalf("trial %d: memory %v: fsm %v vs ref %v", trial, l, fsm.MemoryVersion(l), v)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package slcfsm implements the sharing-list coherence protocol of §IV as a
+// message-driven finite-state machine, the way the paper implements it in
+// SLICC on gem5: cache controllers and a home (directory) controller
+// exchange typed messages over the interconnect, each line at each
+// controller walks an explicit state machine, and persist tokens pass
+// tail-to-head as dirty versions drain.
+//
+// The machine package uses a functional model of the same protocol (state
+// mutates atomically at the directory-serialization instant); this package
+// exists to validate that model at message granularity and to ground the
+// paper's protocol-complexity comparison: the FSM's states and transitions
+// are first-class values that the tests count and exercise.
+//
+// One deliberate simplification keeps the transient-state space tractable:
+// every list mutation (attach at the head, unlink after persist or
+// collapse) acquires the line's busy token at the home controller first, so
+// mutations serialize exactly as directory operations do in the paper. SCI
+// performs some of these hand-offs distributed; the serialized version
+// preserves the protocol's structure (sharing lists, serial invalidation
+// walks, tail-to-head persist order) while making every race a queueing
+// case at the home controller.
+package slcfsm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MsgKind enumerates the protocol's message types.
+type MsgKind uint8
+
+const (
+	// MsgAttachRead / MsgAttachWrite: requester -> home; ask to join the
+	// list at the head for reading / writing.
+	MsgAttachRead MsgKind = iota
+	MsgAttachWrite
+	// MsgGrant: home -> requester; the line's busy token, carrying the old
+	// head (or none) and, when the home holds it, the data version.
+	MsgGrant
+	// MsgDataReq: new head -> old head; fetch the line's current version
+	// (and, for writes, start the old head's invalidation).
+	MsgDataReq
+	// MsgDataResp: old head -> new head.
+	MsgDataResp
+	// MsgInv: serial invalidation walk down the list on a write.
+	MsgInv
+	// MsgInvAck: deepest invalidated node -> new head; walk complete.
+	MsgInvAck
+	// MsgAttachDone: new head -> home; release the busy token.
+	MsgAttachDone
+	// MsgUnlinkReq: node -> home; ask to leave the list (persist complete
+	// or clean collapse).
+	MsgUnlinkReq
+	// MsgUnlinkGrant: home -> node.
+	MsgUnlinkGrant
+	// MsgNeighborUpdate: unlinking node -> prev/next; splice pointers.
+	MsgNeighborUpdate
+	// MsgSpliceAck: neighbor -> unlinking node; splice applied.
+	MsgSpliceAck
+	// MsgUnlinkDone: node -> home; release the busy token (carrying the
+	// unlinker's final next so the home can move its head pointer).
+	MsgUnlinkDone
+	// MsgClearToken: a node that unlinked from the clear region tells the
+	// node above it that nothing dirty remains below (the persist token
+	// of §IV-A passing tail-to-head).
+	MsgClearToken
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgAttachRead:
+		return "AttachRead"
+	case MsgAttachWrite:
+		return "AttachWrite"
+	case MsgGrant:
+		return "Grant"
+	case MsgDataReq:
+		return "DataReq"
+	case MsgDataResp:
+		return "DataResp"
+	case MsgInv:
+		return "Inv"
+	case MsgInvAck:
+		return "InvAck"
+	case MsgAttachDone:
+		return "AttachDone"
+	case MsgUnlinkReq:
+		return "UnlinkReq"
+	case MsgUnlinkGrant:
+		return "UnlinkGrant"
+	case MsgNeighborUpdate:
+		return "NeighborUpdate"
+	case MsgSpliceAck:
+		return "SpliceAck"
+	case MsgUnlinkDone:
+		return "UnlinkDone"
+	case MsgClearToken:
+		return "ClearToken"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// node addresses: caches are 0..N-1, the home controller is HomeID.
+const HomeID = -1
+
+// Msg is one protocol message.
+type Msg struct {
+	Kind     MsgKind
+	Line     mem.Line
+	Src, Dst int
+	// OldHead carries the previous head on MsgGrant (-2 = none; the home
+	// supplies data). Neighbor fields carry splice targets.
+	OldHead int
+	Version mem.Version
+	Dirty   bool
+	NewPrev int
+	NewNext int
+	HasData bool
+	// Write marks a MsgGrant/MsgDataReq as part of a write attach.
+	Write bool
+}
+
+// NoNode marks an absent cache reference in messages and link fields.
+const NoNode = -2

@@ -1,0 +1,666 @@
+package slcfsm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// CacheState is a line's state at one cache controller.
+type CacheState uint8
+
+const (
+	// SI: not on the sharing list.
+	SI CacheState = iota
+	// SAttachWait: attach sent, waiting for the home's grant (transient).
+	SAttachWait
+	// SDataWait: granted, waiting for data (and the invalidation-walk ack
+	// on writes) from the old head (transient).
+	SDataWait
+	// SV: valid clean, on the list.
+	SV
+	// SD: valid dirty, on the list (this cache produced the newest version).
+	SD
+	// SXI: invalid clean — holds only a persist-order dependency; unlinks
+	// once clear (§IV-A "invalidated unmodified tails ... disappear").
+	SXI
+	// SPI: invalid dirty — an older version that must persist in order
+	// before it may disconnect (non-destructive invalidation).
+	SPI
+	// SUnlinkWait: unlink requested, waiting for the home's busy token
+	// (transient).
+	SUnlinkWait
+	// SUnlinking: splicing neighbors (transient).
+	SUnlinking
+)
+
+func (s CacheState) String() string {
+	switch s {
+	case SI:
+		return "I"
+	case SAttachWait:
+		return "AttachWait"
+	case SDataWait:
+		return "DataWait"
+	case SV:
+		return "V"
+	case SD:
+		return "D"
+	case SXI:
+		return "XI"
+	case SPI:
+		return "PI"
+	case SUnlinkWait:
+		return "UnlinkWait"
+	case SUnlinking:
+		return "Unlinking"
+	default:
+		return fmt.Sprintf("CacheState(%d)", uint8(s))
+	}
+}
+
+// CacheStates enumerates the cache-side states (for the complexity count).
+func CacheStates() []CacheState {
+	return []CacheState{SI, SAttachWait, SDataWait, SV, SD, SXI, SPI, SUnlinkWait, SUnlinking}
+}
+
+// line is one cache's per-line controller state.
+type line struct {
+	state CacheState
+	// prev is toward the head (newer), next toward the tail (older).
+	prev, next int
+	version    mem.Version
+	// clear: no dirty version remains below this node (the persist token).
+	clear bool
+	// wantPersist marks a pending persist trigger for a dirty version.
+	wantPersist bool
+	// wantEvict marks a pending eviction: the node leaves the list as soon
+	// as its obligations (persisting a dirty version) are met.
+	wantEvict bool
+
+	// attach bookkeeping.
+	attachWrite bool
+	attachVer   mem.Version
+	gotData     bool
+	gotInvAck   bool
+	done        []func(mem.Version)
+
+	// unlink bookkeeping.
+	pendingAcks int
+
+	// deferred ops waiting for the line to leave a pending state.
+	waiters []func()
+}
+
+// homeLine is the home controller's per-line state.
+type homeLine struct {
+	head    int // NoNode if no list
+	busy    bool
+	queue   []Msg
+	version mem.Version // memory's copy
+}
+
+// System is a message-driven SLC protocol instance over n caches and one
+// home controller.
+type System struct {
+	engine *sim.Engine
+	net    *noc.Network
+	n      int
+
+	caches []map[mem.Line]*line
+	home   map[mem.Line]*homeLine
+
+	// OnPersist receives every persisted version in persist order per line.
+	OnPersist func(c int, l mem.Line, v mem.Version)
+
+	// Messages and Transitions count protocol activity; TransitionKinds
+	// records distinct (state, message) pairs exercised — the dynamic
+	// analogue of the SLICC transition table.
+	Messages        uint64
+	Transitions     uint64
+	TransitionKinds map[string]uint64
+}
+
+// New creates a protocol instance with n caches. Cache i sits at mesh node
+// i; the home controller at the last mesh node.
+func New(engine *sim.Engine, n int) *System {
+	set := stats.NewSet()
+	cfg := noc.DefaultConfig()
+	s := &System{
+		engine:          engine,
+		net:             noc.New(engine, cfg, set),
+		n:               n,
+		home:            make(map[mem.Line]*homeLine),
+		TransitionKinds: make(map[string]uint64),
+	}
+	for i := 0; i < n; i++ {
+		s.caches = append(s.caches, make(map[mem.Line]*line))
+	}
+	return s
+}
+
+func (s *System) cacheLine(c int, l mem.Line) *line {
+	ln, ok := s.caches[c][l]
+	if !ok {
+		ln = &line{state: SI, prev: NoNode, next: NoNode}
+		s.caches[c][l] = ln
+	}
+	return ln
+}
+
+func (s *System) homeLine(l mem.Line) *homeLine {
+	h, ok := s.home[l]
+	if !ok {
+		h = &homeLine{head: NoNode}
+		s.home[l] = h
+	}
+	return h
+}
+
+func (s *System) nodeOf(id int) int {
+	if id == HomeID {
+		return s.net.Nodes() - 1
+	}
+	return id % (s.net.Nodes() - 1)
+}
+
+// send routes a protocol message over the mesh.
+func (s *System) send(m Msg) {
+	s.Messages++
+	s.net.Send(s.nodeOf(m.Src), s.nodeOf(m.Dst), func() { s.deliver(m) })
+}
+
+func (s *System) deliver(m Msg) {
+	if m.Dst == HomeID {
+		s.homeHandle(m)
+		return
+	}
+	s.cacheHandle(m)
+}
+
+func (s *System) transition(c int, l mem.Line, from CacheState, ev string) {
+	s.Transitions++
+	s.TransitionKinds[fmt.Sprintf("%s/%s", from, ev)]++
+	_ = c
+	_ = l
+}
+
+// ---------------- public operations ----------------
+
+// Read makes cache c attach for reading; done receives the observed version.
+func (s *System) Read(c int, l mem.Line, done func(mem.Version)) {
+	ln := s.cacheLine(c, l)
+	switch ln.state {
+	case SV, SD:
+		// Local hit.
+		if done != nil {
+			v := ln.version
+			s.engine.Schedule(1, func() { done(v) })
+		}
+	case SI:
+		s.startAttach(c, l, false, mem.Version{}, done)
+	default:
+		// Pending state: retry when it resolves.
+		ln.waiters = append(ln.waiters, func() { s.Read(c, l, done) })
+	}
+}
+
+// Write makes cache c install version v; done runs at write completion.
+func (s *System) Write(c int, l mem.Line, v mem.Version, done func(mem.Version)) {
+	ln := s.cacheLine(c, l)
+	switch ln.state {
+	case SD:
+		// Coalesce in place.
+		s.transition(c, l, SD, "localWrite")
+		ln.version = v
+		if done != nil {
+			s.engine.Schedule(1, func() { done(v) })
+		}
+	case SV:
+		// Upgrade: leave the list cleanly, then re-attach as a writer.
+		// (SLICC SLC has a dedicated upgrade transaction; funneling it
+		// through unlink+attach reuses the same serialized mutations.)
+		s.transition(c, l, SV, "upgrade")
+		s.startUnlink(c, l, func() { s.Write(c, l, v, done) })
+	case SI:
+		s.startAttach(c, l, true, v, done)
+	default:
+		ln.waiters = append(ln.waiters, func() { s.Write(c, l, v, done) })
+	}
+}
+
+// Persist asks cache c to persist its dirty version of l once the persist
+// token allows; it is the drain trigger an atomic group would supply.
+func (s *System) Persist(c int, l mem.Line) {
+	ln := s.cacheLine(c, l)
+	switch ln.state {
+	case SD, SPI:
+		ln.wantPersist = true
+		s.maybePersist(c, l)
+	default:
+		// Nothing dirty to persist here.
+	}
+}
+
+// Evict removes cache c's copy of l from the cache (§II-A trigger 1): a
+// clean copy simply leaves the list; a dirty one must persist first — the
+// protocol-level analogue of freezing the atomic group on eviction and
+// holding the line in the eviction buffer until it persists.
+func (s *System) Evict(c int, l mem.Line) {
+	ln := s.cacheLine(c, l)
+	switch ln.state {
+	case SV:
+		s.transition(c, l, SV, "evict")
+		s.startUnlink(c, l, nil)
+	case SD:
+		s.transition(c, l, SD, "evict")
+		ln.wantPersist = true
+		ln.wantEvict = true
+		s.maybePersist(c, l)
+	default:
+		// Absent, already invalid-pending, or mid-transaction: nothing to
+		// do — invalid nodes leave on their own once their version drains.
+	}
+}
+
+// ---------------- attach flow ----------------
+
+func (s *System) startAttach(c int, l mem.Line, write bool, v mem.Version, done func(mem.Version)) {
+	ln := s.cacheLine(c, l)
+	s.transition(c, l, ln.state, "attach")
+	ln.state = SAttachWait
+	ln.attachWrite = write
+	ln.attachVer = v
+	ln.gotData = false
+	ln.gotInvAck = !write
+	if done != nil {
+		ln.done = append(ln.done, done)
+	}
+	kind := MsgAttachRead
+	if write {
+		kind = MsgAttachWrite
+	}
+	s.send(Msg{Kind: kind, Line: l, Src: c, Dst: HomeID, Write: write})
+}
+
+func (s *System) homeHandle(m Msg) {
+	h := s.homeLine(m.Line)
+	switch m.Kind {
+	case MsgAttachRead, MsgAttachWrite, MsgUnlinkReq:
+		if h.busy {
+			h.queue = append(h.queue, m)
+			return
+		}
+		h.busy = true
+		s.homeServe(m)
+	case MsgAttachDone, MsgUnlinkDone:
+		if m.Kind == MsgUnlinkDone && h.head == m.Src {
+			// The head left the list; its (post-splice) next is the new
+			// head. Done here rather than at grant time: queued unlinks
+			// served earlier under the same token may have respliced the
+			// requester's next in the meantime.
+			h.head = m.NewNext
+		}
+		h.busy = false
+		if len(h.queue) > 0 {
+			next := h.queue[0]
+			h.queue = h.queue[1:]
+			h.busy = true
+			s.homeServe(next)
+		}
+	default:
+		panic(fmt.Sprintf("slcfsm: home got %v", m.Kind))
+	}
+}
+
+func (s *System) homeServe(m Msg) {
+	h := s.homeLine(m.Line)
+	switch m.Kind {
+	case MsgAttachRead, MsgAttachWrite:
+		old := h.head
+		h.head = m.Src
+		g := Msg{Kind: MsgGrant, Line: m.Line, Src: HomeID, Dst: m.Src,
+			OldHead: old, Write: m.Kind == MsgAttachWrite}
+		if old == NoNode {
+			g.Version = h.version
+			g.HasData = true
+		}
+		s.send(g)
+	case MsgUnlinkReq:
+		s.send(Msg{Kind: MsgUnlinkGrant, Line: m.Line, Src: HomeID, Dst: m.Src})
+	}
+}
+
+func (s *System) cacheHandle(m Msg) {
+	c := m.Dst
+	l := m.Line
+	ln := s.cacheLine(c, l)
+	switch m.Kind {
+	case MsgGrant:
+		s.transition(c, l, ln.state, "grant")
+		ln.prev = NoNode
+		ln.next = m.OldHead
+		if m.OldHead == NoNode {
+			// Born into an empty list: the home supplied data and the
+			// persist token (nothing below).
+			ln.clear = true
+			if !ln.attachWrite {
+				ln.version = m.Version
+			} else {
+				ln.version = ln.attachVer
+			}
+			s.finishAttach(c, l)
+			return
+		}
+		ln.clear = false
+		ln.state = SDataWait
+		s.send(Msg{Kind: MsgDataReq, Line: l, Src: c, Dst: m.OldHead, Write: ln.attachWrite})
+
+	case MsgDataReq:
+		s.transition(c, l, ln.state, "dataReq")
+		// We are the old head: link up and supply data.
+		ln.prev = m.Src
+		resp := Msg{Kind: MsgDataResp, Line: l, Src: c, Dst: m.Src, Version: ln.version}
+		s.send(resp)
+		if m.Write {
+			// The write invalidates the valid run starting at us; the walk
+			// proceeds serially down the list (§IV's queue discipline).
+			s.invalidateSelfAndWalk(c, l, m.Src)
+		}
+
+	case MsgDataResp:
+		s.transition(c, l, ln.state, "dataResp")
+		if ln.attachWrite {
+			ln.version = ln.attachVer
+		} else {
+			ln.version = m.Version
+		}
+		ln.gotData = true
+		if ln.gotData && ln.gotInvAck {
+			s.finishAttach(c, l)
+		}
+
+	case MsgInv:
+		s.transition(c, l, ln.state, "inv")
+		if ln.state != SV && ln.state != SD {
+			// Already invalid: the valid run ends above us; the walk is
+			// complete.
+			s.send(Msg{Kind: MsgInvAck, Line: l, Src: c, Dst: m.Src})
+			return
+		}
+		s.invalidateSelfAndWalk(c, l, m.Src)
+
+	case MsgInvAck:
+		s.transition(c, l, ln.state, "invAck")
+		ln.gotInvAck = true
+		if ln.gotData && ln.gotInvAck {
+			s.finishAttach(c, l)
+		}
+
+	case MsgUnlinkGrant:
+		s.transition(c, l, ln.state, "unlinkGrant")
+		ln.state = SUnlinking
+		ln.pendingAcks = 0
+		if ln.prev != NoNode {
+			ln.pendingAcks++
+			s.send(Msg{Kind: MsgNeighborUpdate, Line: l, Src: c, Dst: ln.prev, NewNext: ln.next, NewPrev: NoNode})
+		}
+		if ln.next != NoNode {
+			ln.pendingAcks++
+			s.send(Msg{Kind: MsgNeighborUpdate, Line: l, Src: c, Dst: ln.next, NewPrev: ln.prev, NewNext: NoNode})
+		}
+		if ln.pendingAcks == 0 {
+			s.finishUnlink(c, l)
+		}
+
+	case MsgNeighborUpdate:
+		s.transition(c, l, ln.state, "splice")
+		// NewNext set: our below-neighbor changed. NewPrev set: our
+		// above-neighbor changed. (NoNode means "now none"; the zero Msg
+		// fields use NoNode sentinels set by the sender.)
+		if m.Src == ln.next {
+			ln.next = m.NewNext
+		}
+		if m.Src == ln.prev {
+			ln.prev = m.NewPrev
+		}
+		s.send(Msg{Kind: MsgSpliceAck, Line: l, Src: c, Dst: m.Src})
+
+	case MsgSpliceAck:
+		s.transition(c, l, ln.state, "spliceAck")
+		ln.pendingAcks--
+		if ln.pendingAcks == 0 && ln.state == SUnlinking {
+			s.finishUnlink(c, l)
+		}
+
+	case MsgClearToken:
+		s.transition(c, l, ln.state, "clearToken")
+		ln.clear = true
+		s.maybePersist(c, l)
+		s.maybeCollapse(c, l)
+
+	default:
+		panic(fmt.Sprintf("slcfsm: cache %d got %v in %v", c, m.Kind, ln.state))
+	}
+}
+
+// invalidateSelfAndWalk invalidates this node as part of writer's attach
+// and forwards the walk to the next valid node; the deepest valid node
+// acks the writer.
+func (s *System) invalidateSelfAndWalk(c int, l mem.Line, writer int) {
+	ln := s.cacheLine(c, l)
+	switch ln.state {
+	case SV:
+		ln.state = SXI
+	case SD:
+		ln.state = SPI
+	}
+	// Forward the walk down the list; invalid nodes bounce it back as the
+	// ack (valid nodes are contiguous at the head).
+	if ln.next != NoNode {
+		s.send(Msg{Kind: MsgInv, Line: l, Src: writer, Dst: ln.next})
+	} else {
+		s.send(Msg{Kind: MsgInvAck, Line: l, Src: c, Dst: writer})
+	}
+	s.maybePersist(c, l)
+	s.maybeCollapse(c, l)
+}
+
+func (s *System) finishAttach(c int, l mem.Line) {
+	ln := s.cacheLine(c, l)
+	if ln.attachWrite {
+		ln.state = SD
+	} else {
+		ln.state = SV
+	}
+	s.send(Msg{Kind: MsgAttachDone, Line: l, Src: c, Dst: HomeID})
+	dones := ln.done
+	ln.done = nil
+	v := ln.version
+	for _, d := range dones {
+		d := d
+		s.engine.Schedule(0, func() { d(v) })
+	}
+	s.wake(ln)
+	s.maybePersist(c, l)
+}
+
+// maybePersist fires a pending persist once the node is clear.
+func (s *System) maybePersist(c int, l mem.Line) {
+	ln := s.cacheLine(c, l)
+	if !ln.wantPersist || !ln.clear {
+		return
+	}
+	switch ln.state {
+	case SD:
+		s.transition(c, l, SD, "persist")
+		ln.wantPersist = false
+		if s.OnPersist != nil {
+			s.OnPersist(c, l, ln.version)
+		}
+		s.homeLine(l).version = ln.version
+		ln.state = SV // persisted valid copy stays as a clean sharer...
+		if ln.wantEvict {
+			// ...unless it was evicted: it only stayed to persist.
+			ln.wantEvict = false
+			s.startUnlink(c, l, nil)
+			return
+		}
+		s.wake(ln)
+	case SPI:
+		s.transition(c, l, SPI, "persist")
+		ln.wantPersist = false
+		if s.OnPersist != nil {
+			s.OnPersist(c, l, ln.version)
+		}
+		s.homeLine(l).version = ln.version
+		s.startUnlink(c, l, nil)
+	}
+}
+
+// maybeCollapse unlinks a clear clean-invalid node (it holds no data and
+// its dependency is satisfied).
+func (s *System) maybeCollapse(c int, l mem.Line) {
+	ln := s.cacheLine(c, l)
+	if ln.state == SXI && ln.clear {
+		s.startUnlink(c, l, nil)
+	}
+}
+
+func (s *System) startUnlink(c int, l mem.Line, after func()) {
+	ln := s.cacheLine(c, l)
+	s.transition(c, l, ln.state, "unlink")
+	ln.state = SUnlinkWait
+	if after != nil {
+		ln.waiters = append(ln.waiters, after)
+	}
+	s.send(Msg{Kind: MsgUnlinkReq, Line: l, Src: c, Dst: HomeID})
+}
+
+func (s *System) finishUnlink(c int, l mem.Line) {
+	ln := s.cacheLine(c, l)
+	// Pass the persist token up before disappearing: everything below us
+	// was already clear (we were), so our departure makes our prev clear.
+	if ln.clear && ln.prev != NoNode {
+		s.send(Msg{Kind: MsgClearToken, Line: l, Src: c, Dst: ln.prev})
+	}
+	s.send(Msg{Kind: MsgUnlinkDone, Line: l, Src: c, Dst: HomeID, NewNext: ln.next})
+	ln.state = SI
+	ln.prev, ln.next = NoNode, NoNode
+	ln.clear = false
+	ln.wantPersist = false
+	s.wake(ln)
+}
+
+func (s *System) wake(ln *line) {
+	ws := ln.waiters
+	ln.waiters = nil
+	for _, w := range ws {
+		w := w
+		s.engine.Schedule(0, w)
+	}
+}
+
+// ---------------- inspection ----------------
+
+// StateOf returns cache c's state for line l.
+func (s *System) StateOf(c int, l mem.Line) CacheState {
+	if ln, ok := s.caches[c][l]; ok {
+		return ln.state
+	}
+	return SI
+}
+
+// VersionAt returns cache c's version of line l.
+func (s *System) VersionAt(c int, l mem.Line) mem.Version {
+	if ln, ok := s.caches[c][l]; ok {
+		return ln.version
+	}
+	return mem.Version{}
+}
+
+// MemoryVersion returns the home's (persisted) version of l.
+func (s *System) MemoryVersion(l mem.Line) mem.Version {
+	return s.homeLine(l).version
+}
+
+// ListOf walks the sharing list for l from the home's head pointer,
+// returning the cache IDs head-to-tail.
+func (s *System) ListOf(l mem.Line) []int {
+	var out []int
+	seen := map[int]bool{}
+	for c := s.homeLine(l).head; c != NoNode; {
+		if seen[c] {
+			return append(out, -99) // cycle marker; invariant check fails
+		}
+		seen[c] = true
+		out = append(out, c)
+		c = s.cacheLine(c, l).next
+	}
+	return out
+}
+
+// CheckInvariants verifies the protocol's structural invariants for every
+// line in a quiescent system (no pending events).
+func (s *System) CheckInvariants() error {
+	for l, h := range s.home {
+		if h.busy {
+			return fmt.Errorf("slcfsm %v: home busy at quiescence", l)
+		}
+		list := s.ListOf(l)
+		validRun := true
+		writers := 0
+		for i, c := range list {
+			if c == -99 {
+				return fmt.Errorf("slcfsm %v: cycle in sharing list", l)
+			}
+			ln := s.cacheLine(c, l)
+			// Doubly-linked consistency.
+			if i == 0 && ln.prev != NoNode {
+				return fmt.Errorf("slcfsm %v: head %d has prev %d", l, c, ln.prev)
+			}
+			if i > 0 && ln.prev != list[i-1] {
+				return fmt.Errorf("slcfsm %v: node %d prev %d, want %d", l, c, ln.prev, list[i-1])
+			}
+			switch ln.state {
+			case SV:
+				if !validRun {
+					return fmt.Errorf("slcfsm %v: valid node %d below invalid", l, c)
+				}
+			case SD:
+				if !validRun {
+					return fmt.Errorf("slcfsm %v: dirty valid node %d below invalid", l, c)
+				}
+				writers++
+			case SXI, SPI:
+				validRun = false
+			default:
+				return fmt.Errorf("slcfsm %v: node %d in transient state %v at quiescence", l, c, ln.state)
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("slcfsm %v: %d dirty valid copies (SWMR violated)", l, writers)
+		}
+	}
+	// No node outside a list may think it is linked.
+	for c := range s.caches {
+		for l, ln := range s.caches[c] {
+			if ln.state == SI {
+				continue
+			}
+			onList := false
+			for _, x := range s.ListOf(l) {
+				if x == c {
+					onList = true
+				}
+			}
+			if !onList {
+				return fmt.Errorf("slcfsm %v: cache %d in %v but not reachable from head", l, c, ln.state)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func v(core int, seq uint64) mem.Version { return mem.Version{Core: core, Seq: seq} }
+
+func newTracker(core int) *Tracker { return NewTracker(core, NewIDSource()) }
+
+func TestOpenCreatesGroup(t *testing.T) {
+	tr := newTracker(0)
+	g := tr.Open()
+	if g.State() != Open || g.Core != 0 || g.Size() != 0 {
+		t.Fatalf("fresh group: %v", g)
+	}
+	if tr.Open() != g {
+		t.Fatal("Open must return the same open group")
+	}
+	if tr.Live() != 1 {
+		t.Fatalf("live=%d", tr.Live())
+	}
+}
+
+func TestStoreCoalescing(t *testing.T) {
+	tr := newTracker(0)
+	g := tr.Open()
+	g.AddStore(mem.Line(1), v(0, 1), true)
+	g.AddStore(mem.Line(1), v(0, 2), true)
+	g.AddStore(mem.Line(2), v(0, 3), true)
+	if g.Size() != 2 || g.DirtyLen() != 2 {
+		t.Fatalf("size=%d dirty=%d", g.Size(), g.DirtyLen())
+	}
+	if ver, _ := g.VersionOf(mem.Line(1)); ver != v(0, 2) {
+		t.Fatalf("coalesced version %v", ver)
+	}
+}
+
+func TestCleanReadInclusion(t *testing.T) {
+	tr := newTracker(0)
+	g := tr.Open()
+	g.AddCleanRead(mem.Line(5), v(1, 7), false)
+	if g.Size() != 1 || g.DirtyLen() != 0 || !g.Has(mem.Line(5)) {
+		t.Fatal("clean read not included")
+	}
+	// A later store upgrades the member to dirty.
+	g.AddStore(mem.Line(5), v(0, 1), false)
+	if g.DirtyLen() != 1 || g.Size() != 1 {
+		t.Fatal("clean->dirty upgrade should not double count")
+	}
+	// A read of an already-dirty line is a no-op.
+	g.AddCleanRead(mem.Line(5), v(0, 1), true)
+	if g.DirtyLen() != 1 || g.Size() != 1 {
+		t.Fatal("read of dirty member must not demote it")
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	tr := newTracker(0)
+	g := tr.Open()
+	g.AddStore(mem.Line(1), v(0, 1), true)
+	if !g.Freeze(FreezeRemoteRead) {
+		t.Fatal("first freeze must succeed")
+	}
+	if g.Freeze(FreezeRemoteWrite) {
+		t.Fatal("second freeze must be a no-op")
+	}
+	if g.Reason() != FreezeRemoteRead {
+		t.Fatalf("reason=%v", g.Reason())
+	}
+	if tr.Peek() != nil {
+		t.Fatal("open pointer must clear on freeze")
+	}
+	g2 := tr.Open()
+	if g2 == g || g2.Seq <= g.Seq {
+		t.Fatal("new open group must be younger")
+	}
+	// Intra-core order recorded as an explicit dep edge.
+	if len(g2.DepIDs) != 1 || g2.DepIDs[0] != g.ID {
+		t.Fatalf("intra-core dep edges: %v", g2.DepIDs)
+	}
+}
+
+func TestStoreIntoFrozenPanics(t *testing.T) {
+	tr := newTracker(0)
+	g := tr.Open()
+	g.Freeze(FreezeEviction)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("store into frozen group did not panic")
+		}
+	}()
+	g.AddStore(mem.Line(1), v(0, 1), true)
+}
+
+func TestDrainLifecycle(t *testing.T) {
+	tr := newTracker(0)
+	var drainable []*Group
+	tr.OnDrainable = func(g *Group) { drainable = append(drainable, g) }
+	g := tr.Open()
+	g.AddStore(mem.Line(1), v(0, 1), false) // not at tail yet
+	g.Freeze(FreezeRemoteWrite)
+	if len(drainable) != 0 {
+		t.Fatal("group with pending tails must not be drainable")
+	}
+	g.LineAtTail(mem.Line(1))
+	if len(drainable) != 1 || drainable[0] != g {
+		t.Fatalf("drainable notifications: %v", drainable)
+	}
+	g.StartDrain()
+	if g.State() != Draining {
+		t.Fatalf("state=%v", g.State())
+	}
+	g.MarkDurable()
+	if g.State() != Durable || tr.Live() != 0 {
+		t.Fatalf("state=%v live=%d", g.State(), tr.Live())
+	}
+	g.Retire()
+	if g.State() != Retired {
+		t.Fatalf("state=%v", g.State())
+	}
+}
+
+func TestIntraCoreDrainOrder(t *testing.T) {
+	tr := newTracker(0)
+	var drainable []*Group
+	tr.OnDrainable = func(g *Group) { drainable = append(drainable, g) }
+	g1 := tr.Open()
+	g1.AddStore(mem.Line(1), v(0, 1), false)
+	g1.Freeze(FreezeRemoteRead)
+	g2 := tr.Open()
+	g2.AddStore(mem.Line(2), v(0, 2), true)
+	g2.Freeze(FreezeRemoteRead)
+	// g2 has all tails but must wait for g1 (older) to start draining.
+	if g2.Drainable() {
+		t.Fatal("younger group must not drain before older")
+	}
+	g1.LineAtTail(mem.Line(1))
+	if len(drainable) != 1 || drainable[0] != g1 {
+		t.Fatalf("drainable: %v", drainable)
+	}
+	g1.StartDrain()
+	// Now g2 may drain (older has started: allocation order preserved).
+	if !g2.Drainable() {
+		t.Fatal("younger group should be drainable once older is draining")
+	}
+	g1.MarkDurable()
+	if len(drainable) != 2 || drainable[1] != g2 {
+		t.Fatalf("drainable after durable: %v", drainable)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrozenHolder(t *testing.T) {
+	tr := newTracker(0)
+	g1 := tr.Open()
+	g1.AddStore(mem.Line(9), v(0, 1), true)
+	g1.Freeze(FreezeRemoteRead)
+	g2 := tr.Open()
+	g2.AddStore(mem.Line(10), v(0, 2), true)
+	if tr.FrozenHolder(mem.Line(9)) != g1 {
+		t.Fatal("frozen holder not found")
+	}
+	if tr.FrozenHolder(mem.Line(10)) != nil {
+		t.Fatal("open group's line must not report a frozen holder")
+	}
+	if tr.FrozenHolder(mem.Line(11)) != nil {
+		t.Fatal("unknown line must not report a holder")
+	}
+}
+
+func TestDependOnRules(t *testing.T) {
+	ids := NewIDSource()
+	tr0, tr1 := NewTracker(0, ids), NewTracker(1, ids)
+	a := tr0.Open()
+	b := tr1.Open()
+	a.AddStore(mem.Line(1), v(0, 1), true)
+	// Reading from a freezes it; only then may b depend on it.
+	a.Freeze(FreezeRemoteRead)
+	b.DependOn(a)
+	b.DependOn(a) // duplicate ignored
+	b.DependOn(nil)
+	if len(b.Deps()) != 1 || len(b.DepIDs) != 1 {
+		t.Fatalf("deps=%v ids=%v", b.Deps(), b.DepIDs)
+	}
+	// A dependency from a still-open group is a protocol violation.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dep on open group did not panic")
+			}
+		}()
+		b.DependOn(tr0.Open())
+	}()
+	// Durable groups are dropped as dependencies.
+	a.StartDrain()
+	a.MarkDurable()
+	if len(b.Deps()) != 0 {
+		t.Fatal("satisfied dep must be removed")
+	}
+	c := tr1.Open() // hmm: b is still open; Open returns b
+	_ = c
+	b.Freeze(FreezeSizeLimit)
+	d := tr1.Open()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incoming dep into frozen group did not panic")
+		}
+	}()
+	b.DependOn(d)
+}
+
+func TestCheckAcyclic(t *testing.T) {
+	ids := NewIDSource()
+	tr0, tr1, tr2 := NewTracker(0, ids), NewTracker(1, ids), NewTracker(2, ids)
+	a, b, c := tr0.Open(), tr1.Open(), tr2.Open()
+	a.Freeze(FreezeRemoteRead)
+	b.DependOn(a)
+	b.Freeze(FreezeRemoteRead)
+	c.DependOn(b)
+	if err := CheckAcyclic([]*Group{a, b, c}); err != nil {
+		t.Fatalf("chain misreported as cyclic: %v", err)
+	}
+	// Force a cycle via the internal map (cannot arise through the API).
+	a.deps[c] = true
+	c.rdeps[a] = true
+	if err := CheckAcyclic([]*Group{a, b, c}); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestMaxLiveHighWater(t *testing.T) {
+	tr := newTracker(0)
+	for i := 0; i < 5; i++ {
+		g := tr.Open()
+		g.AddStore(mem.Line(i), v(0, uint64(i+1)), true)
+		g.Freeze(FreezeSizeLimit)
+	}
+	if tr.MaxLive != 5 {
+		t.Fatalf("MaxLive=%d", tr.MaxLive)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnOpenCallback(t *testing.T) {
+	tr := newTracker(3)
+	var opened []*Group
+	tr.OnOpen = func(g *Group) { opened = append(opened, g) }
+	g := tr.Open()
+	tr.Open()
+	g.Freeze(FreezeDrain)
+	tr.Open()
+	if len(opened) != 2 {
+		t.Fatalf("opened %d groups", len(opened))
+	}
+}
+
+// Property: random freeze/tail/drain traffic across several cores never
+// violates tracker invariants, never creates a pb cycle, and groups always
+// move through the lifecycle monotonically.
+func TestPropertyLifecycleMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		ids := NewIDSource()
+		trackers := make([]*Tracker, 4)
+		for i := range trackers {
+			trackers[i] = NewTracker(i, ids)
+		}
+		var all []*Group
+		seen := map[*Group]State{}
+		var drainQ []*Group
+		for i := range trackers {
+			i := i
+			trackers[i].OnDrainable = func(g *Group) { drainQ = append(drainQ, g) }
+			trackers[i].OnOpen = func(g *Group) { all = append(all, g) }
+		}
+		seq := uint64(0)
+		for step := 0; step < 400; step++ {
+			tr := trackers[rng.Intn(len(trackers))]
+			switch rng.Intn(5) {
+			case 0, 1: // store
+				seq++
+				g := tr.Open()
+				line := mem.Line(rng.Intn(8))
+				g.AddStore(line, v(tr.Core(), seq), rng.Intn(2) == 0)
+			case 2: // expose (freeze) open group, then a peer depends on it
+				g := tr.Peek()
+				if g == nil {
+					continue
+				}
+				g.Freeze(FreezeRemoteRead)
+				peer := trackers[rng.Intn(len(trackers))]
+				if pg := peer.Peek(); pg != nil && pg != g {
+					pg.DependOn(g)
+				}
+			case 3: // resolve a pending tail
+				g := tr.Peek()
+				if g == nil {
+					continue
+				}
+				for l := range g.pendingTail {
+					g.LineAtTail(l)
+					break
+				}
+			case 4: // service the drain queue
+				if len(drainQ) == 0 {
+					continue
+				}
+				g := drainQ[0]
+				drainQ = drainQ[1:]
+				g.StartDrain()
+				g.MarkDurable()
+				g.Retire()
+			}
+			for _, g := range all {
+				if prev, ok := seen[g]; ok && g.State() < prev {
+					t.Fatalf("trial %d: state regressed on %v", trial, g)
+				}
+				seen[g] = g.State()
+			}
+			for _, tr := range trackers {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+			}
+		}
+		if err := CheckAcyclic(all); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// sweepBenches picks a small, contention-diverse subset for ablations.
+func sweepBenches(o Options) []trace.Profile {
+	if len(o.Benchmarks) > 0 {
+		return o.benchmarks()
+	}
+	var out []trace.Profile
+	for _, name := range []string{"radix", "ocean_cp", "bodytrack", "dedup"} {
+		if p, ok := trace.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AGBSweepResult reports the AGB-size ablation (§I: the 10 KB AGB can be
+// cut to one eighth — 1.25 KB per channel — without significant impact).
+type AGBSweepResult struct {
+	Rows []AGBSweepRow
+}
+
+// AGBSweepRow is one (benchmark, AGB size) sample.
+type AGBSweepRow struct {
+	Bench string
+	// LinesPerSlice is the AGB slice capacity; AGLimit tracks it (an AG
+	// cannot exceed what the buffer guarantees atomic).
+	LinesPerSlice int
+	Cycles        uint64
+	AGBStalls     uint64
+}
+
+// AGBSweep runs TSOPER across AGB slice capacities.
+func AGBSweep(o Options) *AGBSweepResult {
+	sizes := []int{160, 80, 40, 20} // 10 KB down to 1.25 KB per channel
+	out := &AGBSweepResult{}
+	for _, b := range sweepBenches(o) {
+		for _, sz := range sizes {
+			cfg := machine.TableI(machine.TSOPER)
+			cfg.AGB.LinesPerSlice = sz
+			if cfg.AGLimit > sz {
+				cfg.AGLimit = sz / 2
+				if cfg.AGLimit == 0 {
+					cfg.AGLimit = 1
+				}
+			}
+			r := RunConfig(b, cfg, o)
+			out.Rows = append(out.Rows, AGBSweepRow{
+				Bench: b.Name, LinesPerSlice: sz,
+				Cycles: uint64(r.Cycles), AGBStalls: r.AGBStalls,
+			})
+		}
+	}
+	return out
+}
+
+func (a *AGBSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AGB size sweep (TSOPER): slice capacity vs execution time\n")
+	var base uint64
+	for _, r := range a.Rows {
+		if r.LinesPerSlice == 160 {
+			base = r.Cycles
+		}
+		fmt.Fprintf(&b, "  %-12s %4d lines/slice (%5.2f KB): %10d cycles (%.3fx)  stalls=%d\n",
+			r.Bench, r.LinesPerSlice, float64(r.LinesPerSlice)*64/1024,
+			r.Cycles, float64(r.Cycles)/float64(base), r.AGBStalls)
+	}
+	return b.String()
+}
+
+// EvictSweepResult reports the eviction-buffer depth ablation (§III-B: 16
+// entries never experience pressure).
+type EvictSweepResult struct {
+	Rows []EvictSweepRow
+}
+
+// EvictSweepRow is one (benchmark, depth) sample.
+type EvictSweepRow struct {
+	Bench   string
+	Entries int
+	Cycles  uint64
+	Max     int
+	Stalls  uint64
+}
+
+// evictBenches picks benchmarks whose working sets exceed the private
+// cache, so the eviction buffer actually sees traffic.
+func evictBenches(o Options) []trace.Profile {
+	if len(o.Benchmarks) > 0 {
+		return o.benchmarks()
+	}
+	var out []trace.Profile
+	for _, name := range []string{"blackscholes", "swaptions", "canneal", "radix"} {
+		if p, ok := trace.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EvictSweep runs TSOPER across eviction-buffer depths.
+func EvictSweep(o Options) *EvictSweepResult {
+	out := &EvictSweepResult{}
+	for _, b := range evictBenches(o) {
+		for _, n := range []int{16, 8, 4, 2} {
+			cfg := machine.TableI(machine.TSOPER)
+			cfg.EvictBufEntries = n
+			r := RunConfig(b, cfg, o)
+			out.Rows = append(out.Rows, EvictSweepRow{
+				Bench: b.Name, Entries: n, Cycles: uint64(r.Cycles),
+				Max: r.EvictBufMax, Stalls: r.EvictBufStalls,
+			})
+		}
+	}
+	return out
+}
+
+func (a *EvictSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Eviction buffer sweep (TSOPER)\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-12s %2d entries: %10d cycles  max-occupancy=%d stalls=%d\n",
+			r.Bench, r.Entries, r.Cycles, r.Max, r.Stalls)
+	}
+	return b.String()
+}
+
+// AGBOrgResult compares the centralized and distributed AGB organizations
+// of §II-C at equal total capacity.
+type AGBOrgResult struct {
+	Rows []AGBOrgRow
+}
+
+// AGBOrgRow is one benchmark's comparison.
+type AGBOrgRow struct {
+	Bench                    string
+	Centralized, Distributed uint64
+}
+
+// AGBOrganizations runs the organization comparison.
+func AGBOrganizations(o Options) *AGBOrgResult {
+	out := &AGBOrgResult{}
+	for _, b := range sweepBenches(o) {
+		central := machine.TableI(machine.TSOPER)
+		central.AGB.Slices = 1
+		central.AGB.LinesPerSlice = 1280 // same total capacity
+		rc := RunConfig(b, central, o)
+		rd := RunOne(b, machine.TSOPER, o)
+		out.Rows = append(out.Rows, AGBOrgRow{
+			Bench: b.Name, Centralized: uint64(rc.Cycles), Distributed: uint64(rd.Cycles),
+		})
+	}
+	return out
+}
+
+func (a *AGBOrgResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AGB organization (TSOPER, equal capacity): centralized vs distributed\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-12s centralized %10d cycles   distributed %10d cycles (%.3fx)\n",
+			r.Bench, r.Centralized, r.Distributed, float64(r.Distributed)/float64(r.Centralized))
+	}
+	return b.String()
+}
+
+// SLCOverheadResult quantifies SLC's coherence cost against a conventional
+// MESI-style directory on the non-persistent baseline (§V: the paper
+// confirms a ~3% overhead, to be paid only on persistent addresses in a
+// hybrid deployment).
+type SLCOverheadResult struct {
+	Rows []SLCOverheadRow
+	Avg  float64
+}
+
+// SLCOverheadRow is one benchmark's SLC-vs-MESI baseline comparison.
+type SLCOverheadRow struct {
+	Bench      string
+	MESICycles uint64
+	SLCCycles  uint64
+}
+
+// SLCOverhead runs the coherence-protocol comparison.
+func SLCOverhead(o Options) *SLCOverheadResult {
+	out := &SLCOverheadResult{}
+	var ratios []float64
+	for _, b := range o.benchmarks() {
+		slcRun := RunOne(b, machine.Baseline, o)
+		cfg := machine.TableI(machine.Baseline)
+		cfg.Coherence = machine.CoherenceMESI
+		mesiRun := RunConfig(b, cfg, o)
+		out.Rows = append(out.Rows, SLCOverheadRow{
+			Bench: b.Name, MESICycles: uint64(mesiRun.Cycles), SLCCycles: uint64(slcRun.Cycles),
+		})
+		ratios = append(ratios, float64(slcRun.Cycles)/float64(mesiRun.Cycles))
+	}
+	out.Avg = mean(ratios)
+	return out
+}
+
+func (a *SLCOverheadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLC coherence overhead vs MESI-style directory (baseline, no persistency)\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-14s MESI %10d  SLC %10d  (%.3fx)\n",
+			r.Bench, r.MESICycles, r.SLCCycles, float64(r.SLCCycles)/float64(r.MESICycles))
+	}
+	fmt.Fprintf(&b, "  %-14s SLC/MESI = %.3fx (paper: ~1.03x)\n", "average", a.Avg)
+	return b.String()
+}
+
+// WhisperResult reports the selective-persistency study: the §V baseline
+// discussion notes that suites like WHISPER persist only ~4% of stores, so
+// a hybrid that applies the persistency machinery only to persistent
+// addresses recovers most of the (already small) TSOPER overhead.
+type WhisperResult struct {
+	Rows []WhisperRow
+}
+
+// WhisperRow compares full-coverage and shared-region-only persistency.
+type WhisperRow struct {
+	Bench                        string
+	BaselineCycles               uint64
+	FullCycles, SelectiveCycles  uint64
+	FullPersists, SelectPersists uint64
+}
+
+// Whisper runs the selective-persistency comparison.
+func Whisper(o Options) *WhisperResult {
+	out := &WhisperResult{}
+	shared := func(l mem.Line) bool {
+		return l >= mem.LineOf(trace.SharedBase) && l < mem.LineOf(trace.PrivateBase)
+	}
+	for _, b := range sweepBenches(o) {
+		base := RunOne(b, machine.Baseline, o)
+		full := RunOne(b, machine.TSOPER, o)
+		cfg := machine.TableI(machine.TSOPER)
+		cfg.PersistFilter = shared
+		sel := RunConfig(b, cfg, o)
+		out.Rows = append(out.Rows, WhisperRow{
+			Bench:           b.Name,
+			BaselineCycles:  uint64(base.Cycles),
+			FullCycles:      uint64(full.Cycles),
+			SelectiveCycles: uint64(sel.Cycles),
+			FullPersists:    full.TotalPersistWrites,
+			SelectPersists:  sel.TotalPersistWrites,
+		})
+	}
+	return out
+}
+
+func (a *WhisperResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Selective persistency (WHISPER-style hybrid): persist shared region only\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-12s full %.3fx baseline (%d persists)   selective %.3fx (%d persists)\n",
+			r.Bench,
+			float64(r.FullCycles)/float64(r.BaselineCycles), r.FullPersists,
+			float64(r.SelectiveCycles)/float64(r.BaselineCycles), r.SelectPersists)
+	}
+	return b.String()
+}
+
+// BSPEpochResult reports the BSP epoch-size ablation (§V-B: shrinking
+// BSP+SLC+AGB epochs to 80 lines closes most of the residual gap).
+type BSPEpochResult struct {
+	Rows []BSPEpochRow
+}
+
+// BSPEpochRow is one (benchmark, epoch size) sample, normalized to TSOPER.
+type BSPEpochRow struct {
+	Bench       string
+	EpochStores int
+	VsTSOPER    float64
+}
+
+// epochBenches adds low-conflict benchmarks: BSP breaks epochs on every
+// conflict, so the configured epoch length only binds where conflicts are
+// rare enough for epochs to reach it.
+func epochBenches(o Options) []trace.Profile {
+	if len(o.Benchmarks) > 0 {
+		return o.benchmarks()
+	}
+	var out []trace.Profile
+	for _, name := range []string{"blackscholes", "swaptions", "bodytrack", "ocean_cp"} {
+		if p, ok := trace.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BSPEpochSweep runs BSP+SLC+AGB across epoch sizes.
+func BSPEpochSweep(o Options) *BSPEpochResult {
+	out := &BSPEpochResult{}
+	for _, b := range epochBenches(o) {
+		ts := RunOne(b, machine.TSOPER, o)
+		for _, ep := range []int{10000, 1000, 80} {
+			cfg := machine.TableI(machine.BSPSLCAGB)
+			cfg.BSPEpochStores = ep
+			r := RunConfig(b, cfg, o)
+			out.Rows = append(out.Rows, BSPEpochRow{
+				Bench: b.Name, EpochStores: ep,
+				VsTSOPER: float64(r.Cycles) / float64(ts.Cycles),
+			})
+		}
+	}
+	return out
+}
+
+func (a *BSPEpochResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BSP+SLC+AGB epoch-size sweep, normalized to TSOPER (§V-B)\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "  %-12s epoch %6d stores: %.3fx TSOPER\n", r.Bench, r.EpochStores, r.VsTSOPER)
+	}
+	return b.String()
+}

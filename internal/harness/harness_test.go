@@ -1,0 +1,270 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// tiny returns options that keep harness tests fast while exercising every
+// code path: two contrasting benchmarks at a small scale.
+func tiny() Options {
+	return Options{Scale: 0.08, Seed: 3, Benchmarks: []string{"radix", "dedup"}, Parallel: true}
+}
+
+func TestRunMatrixShape(t *testing.T) {
+	o := tiny()
+	res := RunMatrix(o.benchmarks(), []machine.SystemKind{machine.Baseline, machine.TSOPER}, o)
+	if len(res) != 2 {
+		t.Fatalf("benchmarks: %d", len(res))
+	}
+	for name, m := range res {
+		if len(m) != 2 {
+			t.Fatalf("%s: systems %d", name, len(m))
+		}
+		for kind, r := range m {
+			if r == nil || r.Cycles == 0 {
+				t.Fatalf("%s/%v: empty result", name, kind)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	o := tiny()
+	o.Parallel = true
+	rp := RunMatrix(o.benchmarks(), []machine.SystemKind{machine.TSOPER}, o)
+	o.Parallel = false
+	rs := RunMatrix(o.benchmarks(), []machine.SystemKind{machine.TSOPER}, o)
+	for name := range rp {
+		if rp[name][machine.TSOPER].Cycles != rs[name][machine.TSOPER].Cycles {
+			t.Fatalf("%s: parallel and serial runs diverge", name)
+		}
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	f := Figure11(tiny())
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows: %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		for s, v := range r.Normalized {
+			if v < 0.5 || v > 30 {
+				t.Fatalf("%s/%v implausible normalization %f", r.Bench, s, v)
+			}
+		}
+	}
+	if f.Avg[machine.STW] <= f.Avg[machine.TSOPER] {
+		t.Errorf("STW avg (%f) should exceed TSOPER avg (%f)", f.Avg[machine.STW], f.Avg[machine.TSOPER])
+	}
+	out := f.String()
+	if !strings.Contains(out, "Figure 11") || !strings.Contains(out, "average") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	f := Figure12(tiny())
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows: %d", len(f.Rows))
+	}
+	if !strings.Contains(f.String(), "normalized to TSOPER") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure13(t *testing.T) {
+	f := Figure13(tiny())
+	if f.FracUnder10 <= 0 || f.FracUnder10 > 1 {
+		t.Fatalf("FracUnder10=%f", f.FracUnder10)
+	}
+	if f.FracOver80 > 0.05 {
+		t.Fatalf("too many oversized AGs: %f (limit is 80)", f.FracOver80)
+	}
+	prev := 0.0
+	for _, bin := range f.Pooled {
+		if bin.Frac < prev {
+			t.Fatal("pooled CDF not monotone")
+		}
+		prev = bin.Frac
+	}
+	if !strings.Contains(f.String(), "Figure 13") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure14(t *testing.T) {
+	f := Figure14(tiny())
+	for _, r := range f.Rows {
+		if r.Persist[machine.TSOPER] <= 0 {
+			t.Fatalf("%s: TSOPER persist traffic missing", r.Bench)
+		}
+		if r.Coherence[machine.TSOPER] <= 0 {
+			t.Fatalf("%s: TSOPER coherence traffic missing", r.Bench)
+		}
+	}
+	if !strings.Contains(f.String(), "Figure 14") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure15(t *testing.T) {
+	o := tiny()
+	o.Benchmarks = nil // Figure15 always runs ocean_cp
+	f := Figure15(o)
+	if f.FracSFROne < 0.5 {
+		t.Errorf("expected mostly single-store SFRs, got %.2f", f.FracSFROne)
+	}
+	if f.HWRPPersists <= f.TSOPERPersists {
+		t.Errorf("HW-RP persists (%d) should exceed TSOPER's (%d) on ocean_cp",
+			f.HWRPPersists, f.TSOPERPersists)
+	}
+	if f.SFRTimeline.Len() == 0 || f.AGTimeline.Len() == 0 {
+		t.Fatal("timelines empty")
+	}
+	if !strings.Contains(f.String(), "ocean_cp") {
+		t.Fatal("render missing benchmark")
+	}
+}
+
+func TestLists(t *testing.T) {
+	l := Lists(tiny())
+	if len(l.Rows) != 2 {
+		t.Fatalf("rows: %d", len(l.Rows))
+	}
+	if l.AvgPersist < l.AvgCoherence {
+		t.Errorf("persist lists (%.2f) should be at least as long as coherence lists (%.2f)",
+			l.AvgPersist, l.AvgCoherence)
+	}
+	if !strings.Contains(l.String(), "average") {
+		t.Fatal("render missing average")
+	}
+}
+
+func TestAGBSweep(t *testing.T) {
+	o := tiny()
+	a := AGBSweep(o)
+	if len(a.Rows) != 8 { // 2 benches x 4 sizes
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+	if !strings.Contains(a.String(), "AGB size sweep") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestEvictSweep(t *testing.T) {
+	a := EvictSweep(tiny())
+	if len(a.Rows) != 8 {
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+	for _, r := range a.Rows {
+		if r.Entries == 16 && r.Stalls != 0 {
+			t.Errorf("%s: 16-entry eviction buffer should see no pressure (stalls=%d)", r.Bench, r.Stalls)
+		}
+	}
+}
+
+func TestAGBOrganizations(t *testing.T) {
+	a := AGBOrganizations(tiny())
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+}
+
+func TestBSPEpochSweep(t *testing.T) {
+	a := BSPEpochSweep(tiny())
+	if len(a.Rows) != 6 {
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+	// Shrinking the epoch to 80 stores should not be slower than 10,000.
+	byBench := map[string]map[int]float64{}
+	for _, r := range a.Rows {
+		if byBench[r.Bench] == nil {
+			byBench[r.Bench] = map[int]float64{}
+		}
+		byBench[r.Bench][r.EpochStores] = r.VsTSOPER
+	}
+	for bench, m := range byBench {
+		if m[80] > m[10000]*1.05 {
+			t.Errorf("%s: 80-store epochs (%.3f) slower than 10000-store (%.3f)", bench, m[80], m[10000])
+		}
+	}
+}
+
+func TestSLCOverhead(t *testing.T) {
+	a := SLCOverhead(tiny())
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+	// SLC should be within a few percent of MESI, never wildly off.
+	if a.Avg < 0.95 || a.Avg > 1.15 {
+		t.Fatalf("SLC/MESI = %.3f, expected near-parity (~1.03 in the paper)", a.Avg)
+	}
+	if !strings.Contains(a.String(), "MESI") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestMESIRejectedForMultiversionedSystems(t *testing.T) {
+	cfg := machine.TableI(machine.TSOPER)
+	cfg.Coherence = machine.CoherenceMESI
+	if _, err := machine.New(cfg); err == nil {
+		t.Fatal("TSOPER on MESI must be rejected (needs multiversioning)")
+	}
+	cfg = machine.TableI(machine.BSP)
+	cfg.Coherence = machine.CoherenceMESI
+	if _, err := machine.New(cfg); err != nil {
+		t.Fatalf("BSP on MESI should be allowed: %v", err)
+	}
+	if machine.CoherenceMESI.String() != "mesi" || machine.CoherenceSLC.String() != "slc" {
+		t.Fatal("coherence kind names")
+	}
+}
+
+func TestWhisper(t *testing.T) {
+	a := Whisper(tiny())
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows: %d", len(a.Rows))
+	}
+	for _, r := range a.Rows {
+		if r.SelectPersists >= r.FullPersists {
+			t.Errorf("%s: selective persists %d not below full %d",
+				r.Bench, r.SelectPersists, r.FullPersists)
+		}
+	}
+	if !strings.Contains(a.String(), "Selective persistency") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTableIText(t *testing.T) {
+	out := TableIText()
+	for _, want := range []string{"Table I", "Atomic Group Buffer", "NVM", "SLC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolComplexityText(t *testing.T) {
+	out := ProtocolComplexityText()
+	if !strings.Contains(out, "SLC") || !strings.Contains(out, "MOESI_CMP_directory") {
+		t.Fatalf("complexity table:\n%s", out)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Scale != 1.0 || !o.Parallel {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if len(o.benchmarks()) != 22 {
+		t.Fatalf("default roster: %d", len(o.benchmarks()))
+	}
+	bad := Options{Scale: -1}
+	if bad.scale() != 1.0 {
+		t.Fatal("negative scale should clamp")
+	}
+}

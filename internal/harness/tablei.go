@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/machine"
+)
+
+// TableIText renders the simulated system configuration (the paper's
+// Table I) as the simulator actually instantiates it.
+func TableIText() string {
+	cfg := machine.TableI(machine.TSOPER)
+	var b strings.Builder
+	b.WriteString("Table I: system configuration (as simulated)\n")
+	fmt.Fprintf(&b, "  Cores                  %d in-order, TSO store buffer %d entries\n",
+		cfg.Cores, cfg.StoreBufferEntries)
+	fmt.Fprintf(&b, "  Private cache          %d KB, %d-way, %d-cycle hit (L1 folded in)\n",
+		cfg.PrivGeom.SizeBytes/1024, cfg.PrivGeom.Ways, cfg.PrivHit)
+	fmt.Fprintf(&b, "  Shared LLC             %d MB, %d-way, %d banks, %d-cycle access\n",
+		cfg.LLCGeom.SizeBytes/(1024*1024), cfg.LLCGeom.Ways, cfg.LLCBanks, cfg.LLCLatency)
+	fmt.Fprintf(&b, "  Coherence              SLC sharing-list protocol (directory at LLC banks)\n")
+	fmt.Fprintf(&b, "  Atomic Group Buffer    %d slices x %d lines (%.1f KB each), %d-cycle transfer, %d-cycle arbiter\n",
+		cfg.AGB.Slices, cfg.AGB.LinesPerSlice, float64(cfg.AGB.LinesPerSlice)*64/1024,
+		cfg.AGB.TransferLatency, cfg.AGB.ArbiterLatency)
+	fmt.Fprintf(&b, "  AG size limit          %d cachelines\n", cfg.AGLimit)
+	fmt.Fprintf(&b, "  Eviction buffer        %d entries per private cache\n", cfg.EvictBufEntries)
+	fmt.Fprintf(&b, "  NVM                    %d ranks, %d/%d-cycle write/read latency, %d/%d-cycle occupancy\n",
+		cfg.NVM.Ranks, cfg.NVM.WriteLatency, cfg.NVM.ReadLatency,
+		cfg.NVM.WriteOccupancy, cfg.NVM.ReadOccupancy)
+	fmt.Fprintf(&b, "  NoC                    %dx%d mesh, %d-cycle hops\n",
+		cfg.NoC.Width, cfg.NoC.Height, cfg.NoC.HopLatency)
+	fmt.Fprintf(&b, "  BSP epoch              %d stores\n", cfg.BSPEpochStores)
+	return b.String()
+}
+
+// ProtocolComplexityText renders the §V SLICC complexity comparison.
+func ProtocolComplexityText() string {
+	slc := coherence.SLCComplexity()
+	moesi := coherence.MOESIComplexity()
+	var b strings.Builder
+	b.WriteString("Protocol complexity (SLICC metrics, §V)\n")
+	fmt.Fprintf(&b, "  %-22s %11s %16s %8s %12s\n", "protocol", "base states", "transient states", "actions", "transitions")
+	for _, c := range []coherence.Complexity{slc, moesi} {
+		fmt.Fprintf(&b, "  %-22s %11d %16d %8d %12d\n",
+			c.Protocol, c.BaseStates, c.TransientStates, c.Actions, c.Transitions)
+	}
+	return b.String()
+}

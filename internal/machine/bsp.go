@@ -1,0 +1,215 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/coherence/slc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// bspSys models Buffered Strict Persistency (Joshi et al.) and the two
+// stepping stones of §V-B. BSP collects each core's stores into large
+// hardware epochs (10,000 stores) that persist *through the LLC*: every
+// epoch line is first written to the LLC and from there to NVM. Two
+// serializations follow (Fig. 1):
+//
+//   - L1 exclusion: a remote request for a dirty line waits until that
+//     line's epoch flush reaches the LLC. BSP+SLC eliminates this via
+//     sharing-list multiversioning (the requester gets the data
+//     immediately).
+//   - LLC exclusion: the LLC accepts a newer version of a line only after
+//     its older version has persisted to NVM. BSP+SLC+AGB eliminates this
+//     by persisting epochs into an idealized unbounded AGB instead.
+//
+// In all variants, a local store to a line belonging to a still-flushing
+// epoch waits for that line's flush write — with 10,000-store epochs this
+// residual serialization is what keeps BSP+SLC+AGB a few percent behind
+// TSOPER (§V-B).
+type bspSys struct {
+	m *Machine
+	// slcMode removes L1 exclusion; agbMode removes LLC exclusion.
+	slcMode, agbMode bool
+
+	epochs []*bspEpoch
+	// lineAvail is, per line, when its most recent flush write lands in
+	// the persist path (LLC or AGB) — both the L1-exclusion wait for
+	// remote requesters (plain BSP) and the local flushing-epoch gate.
+	lineAvail map[mem.Line]sim.Time
+	// llcPersistDone is, per line, when the LLC's current version finishes
+	// persisting to NVM — the LLC-exclusion gate for the next flush write.
+	llcPersistDone map[mem.Line]sim.Time
+
+	liveFlushes int
+	drainDone   func()
+}
+
+type bspEpoch struct {
+	core   int
+	stores int
+	dirty  map[mem.Line]mem.Version
+}
+
+func newBSPSys(m *Machine) *bspSys {
+	s := &bspSys{
+		m:              m,
+		slcMode:        m.cfg.System == BSPSLC || m.cfg.System == BSPSLCAGB,
+		agbMode:        m.cfg.System == BSPSLCAGB,
+		lineAvail:      make(map[mem.Line]sim.Time),
+		llcPersistDone: make(map[mem.Line]sim.Time),
+	}
+	for i := 0; i < m.cfg.Cores; i++ {
+		s.epochs = append(s.epochs, &bspEpoch{core: i, dirty: make(map[mem.Line]mem.Version)})
+	}
+	return s
+}
+
+// The BSP variants are timing models over conventional (destructive)
+// invalidation; multiversioning's timing benefit is captured by zeroing the
+// L1 exclusion delay rather than by keeping invalid versions resident.
+func (s *bspSys) destructive(mem.Line) bool { return true }
+
+// gateStore delays a store to a line whose flush write has not completed.
+func (s *bspSys) gateStore(c *coreUnit, line mem.Line, proceed func()) {
+	if avail, ok := s.lineAvail[line]; ok && avail > s.m.engine.Now() {
+		s.m.engine.At(avail, func() { s.gateStore(c, line, proceed) })
+		return
+	}
+	proceed()
+}
+
+func (s *bspSys) storeCommitted(c *coreUnit, node *slc.Node, _ *slc.Node) {
+	ep := s.epochs[c.id]
+	ep.dirty[node.Line] = node.Version
+	ep.stores++
+	if ep.stores >= s.m.cfg.BSPEpochStores {
+		s.flushEpoch(c.id)
+	}
+}
+
+func (s *bspSys) loadObservedDirty(*coreUnit, *slc.Node, *slc.Node) {}
+
+// exposed breaks and flushes the owner's epoch (BSP's conflict handling).
+// Plain BSP makes the requester wait for the requested line's LLC write —
+// the L1 exclusion time; the SLC variants return zero.
+func (s *bspSys) exposed(n *slc.Node, _ bool) sim.Time {
+	if _, inEpoch := s.epochs[n.Cache].dirty[n.Line]; inEpoch {
+		s.flushEpoch(n.Cache)
+	}
+	if s.slcMode {
+		return 0
+	}
+	if avail, ok := s.lineAvail[n.Line]; ok && avail > s.m.engine.Now() {
+		return avail - s.m.engine.Now()
+	}
+	return 0
+}
+
+func (s *bspSys) evictedDirty(n *slc.Node) {
+	if _, inEpoch := s.epochs[n.Cache].dirty[n.Line]; inEpoch {
+		s.flushEpoch(n.Cache)
+	}
+}
+
+func (s *bspSys) nodeCleared(*slc.Node) {}
+
+// marker closes the current epoch (the closest BSP analogue of an AG
+// boundary), flushing it in the background.
+func (s *bspSys) marker(c *coreUnit) { s.flushEpoch(c.id) }
+
+// dirEvicted: BSP keeps epoch information alongside LLC lines, so losing
+// the entry forces the epoch out (the complication §III-B contrasts with).
+func (s *bspSys) dirEvicted(n *slc.Node) {
+	if _, inEpoch := s.epochs[n.Cache].dirty[n.Line]; inEpoch {
+		s.flushEpoch(n.Cache)
+	}
+}
+
+// flushEpoch writes the epoch's lines into the persist path. Through the
+// LLC each write claims the line's home bank and waits out LLC exclusion;
+// through the idealized AGB it only claims an ingress port. The epoch's
+// lines stay unavailable to new stores until their flush write lands.
+func (s *bspSys) flushEpoch(coreID int) {
+	ep := s.epochs[coreID]
+	if len(ep.dirty) == 0 {
+		ep.stores = 0
+		return
+	}
+	s.m.set.Dist("ag.size").Observe(uint64(len(ep.dirty)))
+	lines := make([]sfrLine, 0, len(ep.dirty))
+	for l, v := range ep.dirty {
+		lines = append(lines, sfrLine{l, v})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].line < lines[j].line })
+	s.epochs[coreID] = &bspEpoch{core: coreID, dirty: make(map[mem.Line]mem.Version)}
+
+	s.liveFlushes++
+	remaining := len(lines)
+	// The flush streams serially out of the private cache's single port:
+	// line i cannot issue before line i-1. A remote requester therefore
+	// waits, on average, half the epoch flush for its line (Fig. 1a's
+	// "worst case L1 exclusion time is a function of epoch size").
+	cursor := s.m.engine.Now()
+	for _, lv := range lines {
+		lv := lv
+		var flushedAt sim.Time
+		s.m.persistWrites.Inc()
+		if s.agbMode {
+			// Idealized unbounded AGB: ingress port serialization only.
+			slice := int(uint64(lv.line) % uint64(s.m.cfg.AGB.Slices))
+			start := s.m.buffer.PortClaim(slice, cursor, s.m.cfg.AGB.TransferLatency)
+			flushedAt = start + s.m.cfg.AGB.TransferLatency
+			cursor = start + s.m.cfg.AGB.TransferLatency
+			s.m.engine.At(flushedAt, func() {
+				s.m.memory.Write(lv.line, lv.ver, nil)
+			})
+		} else {
+			// Through the LLC: serial L1 egress, bank occupancy, and LLC
+			// exclusion (the older version must persist to NVM first).
+			bank := s.m.bankOf(lv.line)
+			at := cursor
+			if pd, ok := s.llcPersistDone[lv.line]; ok && pd > at {
+				at = pd
+			}
+			start := s.m.banks.Claim(bank, at, s.m.cfg.BankOccupancy)
+			flushedAt = start + s.m.cfg.LLCLatency
+			cursor = start + s.m.cfg.BankOccupancy
+			s.m.engine.At(flushedAt, func() {
+				// The epoch flush lands in the LLC (a coherence writeback)
+				// and persists from there to NVM.
+				s.m.llcFill(lv.line, lv.ver)
+				s.m.coherenceWrites.Inc()
+				nvmDone := s.m.memory.Write(lv.line, lv.ver, nil)
+				s.llcPersistDone[lv.line] = nvmDone
+			})
+		}
+		if cur, ok := s.lineAvail[lv.line]; !ok || flushedAt > cur {
+			s.lineAvail[lv.line] = flushedAt
+		}
+		s.m.engine.At(flushedAt, func() {
+			remaining--
+			if remaining == 0 {
+				s.liveFlushes--
+				s.checkDrainDone()
+			}
+		})
+	}
+}
+
+func (s *bspSys) sync(_ *coreUnit, done func()) { done() }
+
+func (s *bspSys) drain(done func()) {
+	s.drainDone = done
+	for id := range s.epochs {
+		s.flushEpoch(id)
+	}
+	s.checkDrainDone()
+}
+
+func (s *bspSys) checkDrainDone() {
+	if s.drainDone != nil && s.liveFlushes == 0 {
+		cb := s.drainDone
+		s.drainDone = nil
+		cb()
+	}
+}

@@ -1,0 +1,202 @@
+// Package machine wires the full simulated system of Table I: eight in-order
+// cores with TSO FIFO store buffers, private caches running the SLC
+// sharing-list protocol, a banked shared LLC with its directory, the atomic
+// group buffer, a mesh NoC, and NVM ranks — and runs a workload under one of
+// the persistency systems compared in §V (Baseline, HW-RP, BSP, BSP+SLC,
+// BSP+SLC+AGB, STW, TSOPER).
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/agb"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/nvm"
+	"repro/internal/sim"
+)
+
+// SystemKind selects the persistency system under evaluation.
+type SystemKind int
+
+const (
+	// Baseline is SLC coherence with no persistency support (§V "Systems" 1).
+	Baseline SystemKind = iota
+	// HWRP is the hypothetical hardware relaxed-persistency model (§V 2):
+	// no order within synchronization-free regions, order across them.
+	HWRP
+	// BSP is Buffered Strict Persistency after Joshi et al. (§V 3):
+	// hardware epochs persisting through the LLC with L1 and LLC exclusion.
+	BSP
+	// BSPSLC replaces BSP's coherence with SLC, removing L1 exclusion
+	// (§V-B stepping stone).
+	BSPSLC
+	// BSPSLCAGB further persists epochs through an idealized unbounded AGB,
+	// removing LLC exclusion (§V-B stepping stone).
+	BSPSLCAGB
+	// STW is the stop-the-world strict TSO persistency of §III.
+	STW
+	// TSOPER is the full proposal.
+	TSOPER
+)
+
+func (k SystemKind) String() string {
+	switch k {
+	case Baseline:
+		return "baseline"
+	case HWRP:
+		return "hw-rp"
+	case BSP:
+		return "bsp"
+	case BSPSLC:
+		return "bsp+slc"
+	case BSPSLCAGB:
+		return "bsp+slc+agb"
+	case STW:
+		return "stw"
+	case TSOPER:
+		return "tsoper"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// Systems lists every system in the order the figures present them.
+func Systems() []SystemKind {
+	return []SystemKind{Baseline, HWRP, BSP, BSPSLC, BSPSLCAGB, STW, TSOPER}
+}
+
+// CoherenceKind selects the coherence protocol's timing discipline.
+type CoherenceKind int
+
+const (
+	// CoherenceSLC is the sharing-list protocol: invalidations walk the
+	// list serially, one hop per valid copy (§IV).
+	CoherenceSLC CoherenceKind = iota
+	// CoherenceMESI models a conventional bit-vector directory: the
+	// directory multicasts invalidations in parallel (one hop regardless
+	// of sharer count) and never retains invalid copies. Only the
+	// non-multiversioned systems (baseline, HW-RP, BSP) may run on it;
+	// the paper uses it to quantify SLC's ~3% coherence overhead (§V).
+	CoherenceMESI
+)
+
+func (k CoherenceKind) String() string {
+	if k == CoherenceMESI {
+		return "mesi"
+	}
+	return "slc"
+}
+
+// Config describes the simulated machine.
+type Config struct {
+	// System selects the persistency model.
+	System SystemKind
+	// Coherence selects the protocol timing (default SLC).
+	Coherence CoherenceKind
+
+	// Cores is the number of cores/private caches (Table I: 8).
+	Cores int
+	// StoreBufferEntries is the TSO store buffer depth per core.
+	StoreBufferEntries int
+
+	// PrivGeom sizes each private cache (Table I: 512 KB 16-way L2; the L1
+	// is folded into the private hit latency).
+	PrivGeom cache.Geometry
+	// LLCGeom sizes the shared LLC (Table I: 16 MB, 16-way, 8 banks).
+	LLCGeom  cache.Geometry
+	LLCBanks int
+
+	// PrivHit is the private cache hit latency; LLCLatency the LLC/
+	// directory bank access latency; BankOccupancy the per-access bank
+	// busy time; SyncLatency the cost of a synchronization operation.
+	PrivHit       sim.Time
+	LLCLatency    sim.Time
+	BankOccupancy sim.Time
+	SyncLatency   sim.Time
+
+	// AGLimit caps atomic-group size in cachelines (§V: 80 for STW/TSOPER).
+	AGLimit int
+	// EvictBufEntries sizes the per-cache eviction buffer (§III-B: 16).
+	EvictBufEntries int
+
+	// BSPEpochStores is BSP's hardware epoch length (§V-B: 10,000 stores).
+	BSPEpochStores int
+	// WPQDepth bounds HW-RP's outstanding persists per core before a sync
+	// must stall (double-buffered SFR batches).
+	WPQDepth int
+
+	// PersistFilter, when non-nil, restricts persistency to the lines it
+	// accepts — the WHISPER-style hybrid sketched in §V's baseline
+	// discussion: the sharing-list persistency machinery applies only to
+	// persistent addresses, everything else behaves like a conventional
+	// protocol. nil persists everything (the paper's evaluated mode).
+	PersistFilter func(l mem.Line) bool
+
+	NoC noc.Config
+	NVM nvm.Config
+	AGB agb.Config
+}
+
+// TableI returns the paper's evaluated configuration for the given system.
+func TableI(system SystemKind) Config {
+	cfg := Config{
+		System:             system,
+		Cores:              8,
+		StoreBufferEntries: 56,
+		// The cache geometry is Table I's, scaled down with the synthetic
+		// traces (which are orders of magnitude shorter than the paper's
+		// regions of interest) so that capacity behavior — evictions,
+		// writebacks, eviction-buffer pressure — is exercised at the same
+		// working-set-to-cache ratio the real workloads see.
+		PrivGeom:        cache.Geometry{SizeBytes: 64 * 1024, Ways: 16},
+		LLCGeom:         cache.Geometry{SizeBytes: 2 * 1024 * 1024, Ways: 16},
+		LLCBanks:        8,
+		PrivHit:         4,
+		LLCLatency:      20,
+		BankOccupancy:   4,
+		SyncLatency:     30,
+		AGLimit:         80,
+		EvictBufEntries: 16,
+		BSPEpochStores:  10000,
+		WPQDepth:        64,
+		NoC:             noc.DefaultConfig(),
+		NVM:             nvm.DefaultConfig(),
+		AGB:             agb.DefaultConfig(),
+	}
+	if system == BSPSLCAGB {
+		// §V-B: an idealized unbounded AGB able to fit BSP's huge epochs.
+		cfg.AGB.LinesPerSlice = 1 << 20
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: cores must be positive")
+	}
+	if c.StoreBufferEntries <= 0 {
+		return fmt.Errorf("machine: store buffer must be positive")
+	}
+	if c.AGLimit <= 0 {
+		return fmt.Errorf("machine: AG limit must be positive")
+	}
+	if c.AGLimit > c.AGB.LinesPerSlice {
+		return fmt.Errorf("machine: AG limit %d exceeds AGB slice capacity %d (atomicity unguaranteeable)",
+			c.AGLimit, c.AGB.LinesPerSlice)
+	}
+	if c.LLCBanks <= 0 {
+		return fmt.Errorf("machine: LLC banks must be positive")
+	}
+	if c.Coherence == CoherenceMESI {
+		switch c.System {
+		case Baseline, HWRP, BSP:
+			// Conventional coherence suffices for these.
+		default:
+			return fmt.Errorf("machine: %v requires sharing-list coherence (multiversioning)", c.System)
+		}
+	}
+	return nil
+}

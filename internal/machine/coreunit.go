@@ -1,0 +1,176 @@
+package machine
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// coreUnit is one in-order core: it executes its trace sequentially,
+// blocking on loads, and retires stores through a FIFO TSO store buffer
+// that drains in the background.
+type coreUnit struct {
+	m   *Machine
+	id  int
+	ops []mem.Op
+	pc  int
+
+	// sb is the FIFO store buffer; each entry is a line with the version
+	// the store will install (stores to the same line do NOT collapse in
+	// the buffer — TSO allows it, but keeping them distinct preserves the
+	// per-line version order for the checker). Marker stores (§II-D) flow
+	// through the buffer in program order like any other store.
+	sb       []pendingStore
+	draining bool
+	// sbWait marks the core blocked on a full store buffer.
+	sbWait bool
+	// syncWait marks the core blocked at a sync waiting for SB empty.
+	syncWait bool
+
+	storeSeq uint64
+	done     bool
+}
+
+type pendingStore struct {
+	line   mem.Line
+	ver    mem.Version
+	marker bool
+}
+
+func newCoreUnit(m *Machine, id int, ops []mem.Op) *coreUnit {
+	return &coreUnit{m: m, id: id, ops: ops}
+}
+
+// step executes trace operations until the core blocks or finishes.
+func (c *coreUnit) step() {
+	if c.done {
+		return
+	}
+	if c.pc >= len(c.ops) {
+		// The trace is done, but TSO requires the buffered stores to
+		// retire before the core counts as finished.
+		if len(c.sb) > 0 {
+			c.syncWait = true
+			c.kickDrain()
+			return
+		}
+		c.done = true
+		c.m.coreDone(c)
+		return
+	}
+	op := c.ops[c.pc]
+	switch op.Kind {
+	case mem.OpCompute:
+		c.pc++
+		c.m.engine.Schedule(sim.Time(op.Arg), c.step)
+
+	case mem.OpLoad:
+		line := mem.LineOf(op.Addr)
+		c.m.loads.Inc()
+		// TSO store-to-load forwarding from the store buffer.
+		if c.sbHolds(line) {
+			c.pc++
+			c.m.engine.Schedule(1, c.step)
+			return
+		}
+		c.m.load(c, line, func() {
+			c.pc++
+			c.m.engine.Schedule(1, c.step)
+		})
+
+	case mem.OpStore:
+		if len(c.sb) >= c.m.cfg.StoreBufferEntries {
+			c.sbWait = true
+			c.kickDrain()
+			return
+		}
+		c.storeSeq++
+		c.sb = append(c.sb, pendingStore{
+			line: mem.LineOf(op.Addr),
+			ver:  mem.Version{Core: c.id, Seq: c.storeSeq},
+		})
+		c.m.stores.Inc()
+		c.pc++
+		c.kickDrain()
+		c.m.engine.Schedule(1, c.step)
+
+	case mem.OpMarker:
+		if len(c.sb) >= c.m.cfg.StoreBufferEntries {
+			c.sbWait = true
+			c.kickDrain()
+			return
+		}
+		c.sb = append(c.sb, pendingStore{marker: true})
+		c.pc++
+		c.kickDrain()
+		c.m.engine.Schedule(1, c.step)
+
+	case mem.OpSync:
+		c.m.syncs.Inc()
+		// A sync (lock op / barrier) drains the store buffer, then runs
+		// the system's persist hook (HW-RP's SFR boundary), then costs
+		// the fixed synchronization latency.
+		c.syncWait = true
+		c.kickDrain()
+		c.trySyncComplete()
+	}
+}
+
+// sbHolds reports whether the store buffer has a pending store to line.
+func (c *coreUnit) sbHolds(line mem.Line) bool {
+	for i := len(c.sb) - 1; i >= 0; i-- {
+		if c.sb[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// kickDrain starts the store-buffer drain engine if idle. Stores retire
+// strictly in FIFO order (TSO).
+func (c *coreUnit) kickDrain() {
+	if c.draining || len(c.sb) == 0 {
+		c.trySyncComplete()
+		return
+	}
+	c.draining = true
+	st := c.sb[0]
+	if st.marker {
+		// A marker store reaches the cache in program order and closes
+		// the current atomic group (§II-D); it writes nothing.
+		c.m.sys.marker(c)
+		c.sb = c.sb[1:]
+		c.draining = false
+		if c.sbWait {
+			c.sbWait = false
+			c.m.engine.Schedule(0, c.step)
+		}
+		c.kickDrain()
+		return
+	}
+	c.m.store(c, st.line, st.ver, func() {
+		c.sb = c.sb[1:]
+		c.draining = false
+		if c.sbWait {
+			c.sbWait = false
+			c.m.engine.Schedule(0, c.step)
+		}
+		c.kickDrain()
+	})
+}
+
+// trySyncComplete finishes a pending sync once the store buffer is empty.
+func (c *coreUnit) trySyncComplete() {
+	if !c.syncWait || len(c.sb) > 0 || c.draining {
+		return
+	}
+	c.syncWait = false
+	if c.pc >= len(c.ops) {
+		// End-of-trace drain completed.
+		c.m.engine.Schedule(0, c.step)
+		return
+	}
+	c.m.sys.sync(c, func() {
+		c.pc++
+		c.m.engine.Schedule(c.m.cfg.SyncLatency, c.step)
+	})
+}

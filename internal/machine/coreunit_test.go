@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Store buffer capacity of one still makes forward progress (fully
+// serialized drain).
+func TestStoreBufferDepthOne(t *testing.T) {
+	cfg := TableI(TSOPER)
+	cfg.StoreBufferEntries = 1
+	var ops []mem.Op
+	for i := uint64(0); i < 30; i++ {
+		ops = append(ops, st(addr(i)), ld(addr(i)))
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops))
+	if r.Stores != 30 || r.Loads != 30 {
+		t.Fatalf("ops: %d stores %d loads", r.Stores, r.Loads)
+	}
+}
+
+// A trace ending with buffered stores must still retire them before the
+// core counts as done (TSO end-of-trace drain).
+func TestEndOfTraceDrains(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{st(addr(1)), st(addr(2)), st(addr(3))},
+	)
+	if r.Stores != 3 {
+		t.Fatalf("stores=%d", r.Stores)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if r.Durable[mem.Line(i)].IsInitial() {
+			t.Fatalf("line %d lost at end of trace", i)
+		}
+	}
+}
+
+// Back-to-back syncs and syncs with nothing buffered are harmless.
+func TestSyncEdgeCases(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{sy(1), sy(2), st(addr(1)), sy(3), sy(4), ld(addr(1))},
+	)
+	if r.SyncOps != 4 || r.Stores != 1 || r.Loads != 1 {
+		t.Fatalf("ops: %+v", r)
+	}
+}
+
+// Loads to the same line as an in-flight buffered store forward from the
+// buffer even when the buffer holds multiple stores to that line.
+func TestMultipleBufferedStoresForward(t *testing.T) {
+	cfg := TableI(Baseline)
+	cfg.StoreBufferEntries = 8
+	ops := []mem.Op{
+		st(addr(5)), st(addr(5)), st(addr(5)), ld(addr(5)),
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops))
+	if r.Stores != 3 || r.Loads != 1 {
+		t.Fatalf("ops: %+v", r)
+	}
+	// The line's coherence order must show all three versions in order.
+	order := r.LineOrder[mem.Line(5)]
+	if len(order) != 3 {
+		t.Fatalf("order: %v", order)
+	}
+	for i, v := range order {
+		if v.Seq != uint64(i+1) {
+			t.Fatalf("order: %v", order)
+		}
+	}
+}
+
+// Compute bursts advance time without touching memory.
+func TestComputeOnlyCore(t *testing.T) {
+	r := runDirected(t, Baseline,
+		[]mem.Op{cp(100), cp(200), cp(300)},
+	)
+	if r.Stores != 0 || r.Loads != 0 {
+		t.Fatalf("memory ops on compute-only trace: %+v", r)
+	}
+	if r.Cycles < 600 {
+		t.Fatalf("compute time not modeled: %d cycles", r.Cycles)
+	}
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// CrashState is the machine state an instant after a power failure: the
+// recovered NVM image (NVM contents plus the AGB's durable super group —
+// the AGB is in the persistent domain, §II-B) and the bookkeeping the
+// crash-consistency checker validates it against.
+type CrashState struct {
+	System SystemKind
+	// At is the crash cycle.
+	At sim.Time
+	// Image is the recovered durable version of every line ever persisted
+	// (absent = initial pre-run contents).
+	Image map[mem.Line]mem.Version
+	// Groups is the full atomic-group journal at the crash.
+	Groups []*core.Group
+	// DurableOrder lists groups in the order they entered the durable
+	// super group (AGB allocation order).
+	DurableOrder []*core.Group
+	// LineOrder is the directory-serialized store order per line.
+	LineOrder map[mem.Line][]mem.Version
+	// StoresIssued is the per-core count of stores that left each store
+	// buffer before the crash.
+	StoresIssued []uint64
+}
+
+// RunWithCrash executes the workload until the crash cycle (or natural
+// completion, whichever is first) and returns the post-crash durable state.
+// Only the strict-persistency systems (STW, TSOPER) produce a checkable
+// group journal.
+func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
+	if len(w.Cores) != m.cfg.Cores {
+		panic("machine: workload/core mismatch")
+	}
+	for i, ops := range w.Cores {
+		c := newCoreUnit(m, i, ops)
+		m.cores = append(m.cores, c)
+		m.running++
+		m.engine.Schedule(0, c.step)
+	}
+	m.engine.RunUntil(at)
+
+	cs := &CrashState{
+		System:       m.cfg.System,
+		At:           m.engine.Now(),
+		Image:        make(map[mem.Line]mem.Version),
+		Groups:       m.journal,
+		DurableOrder: m.durableOrder,
+		LineOrder:    m.lineOrder,
+	}
+	for _, c := range m.cores {
+		cs.StoresIssued = append(cs.StoresIssued, c.storeSeq)
+	}
+	// Recover: replay the durable groups in durability order. Applying
+	// every durable group (including retired ones, whose lines already
+	// reached NVM) reconstructs the newest durable version per line —
+	// same-address FIFO holds because durability order is allocation order.
+	for _, g := range cs.DurableOrder {
+		for l, v := range g.DirtyLines() {
+			cs.Image[l] = v
+		}
+	}
+	return cs
+}

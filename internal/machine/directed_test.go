@@ -1,0 +1,375 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// directed builds a workload from hand-written per-core op lists, padding
+// with idle cores up to the machine's core count.
+func directed(cfg Config, cores ...[]mem.Op) *trace.Workload {
+	w := &trace.Workload{
+		Profile: trace.Profile{Name: "directed", OpsPerCore: 0},
+		Cores:   make([][]mem.Op, cfg.Cores),
+	}
+	for i, ops := range cores {
+		w.Cores[i] = ops
+	}
+	return w
+}
+
+func st(a mem.Addr) mem.Op      { return mem.Op{Kind: mem.OpStore, Addr: a} }
+func ld(a mem.Addr) mem.Op      { return mem.Op{Kind: mem.OpLoad, Addr: a} }
+func cp(n uint32) mem.Op        { return mem.Op{Kind: mem.OpCompute, Arg: n} }
+func sy(id uint32) mem.Op       { return mem.Op{Kind: mem.OpSync, Arg: id} }
+func addr(line uint64) mem.Addr { return mem.Addr(line << mem.LineShift) }
+
+func runDirected(t *testing.T, kind SystemKind, cores ...[]mem.Op) *Results {
+	t.Helper()
+	cfg := TableI(kind)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run(directed(cfg, cores...))
+}
+
+// A remote read must freeze the writer's open group (§II-A trigger 3), and
+// a subsequent local store to the same line must still complete, landing in
+// a younger group.
+func TestDirectedRemoteReadFreezes(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{st(addr(1)), st(addr(2)), cp(2000), st(addr(1))},
+		[]mem.Op{cp(300), ld(addr(1))},
+	)
+	var frozen *core.Group
+	for _, g := range r.Groups {
+		if g.Core == 0 && g.Reason() == core.FreezeRemoteRead {
+			frozen = g
+			break
+		}
+	}
+	if frozen == nil {
+		t.Fatal("no group frozen by the remote read")
+	}
+	if !frozen.HasDirty(mem.Line(1)) || !frozen.HasDirty(mem.Line(2)) {
+		t.Fatalf("frozen group should hold both coalesced lines: %v", frozen)
+	}
+	// The second store to line 1 must be in a younger group.
+	var younger bool
+	for _, g := range r.Groups {
+		if g.Core == 0 && g != frozen && g.HasDirty(mem.Line(1)) {
+			if g.Seq <= frozen.Seq {
+				t.Fatalf("re-store landed in older group %v", g)
+			}
+			younger = true
+		}
+	}
+	if !younger {
+		t.Fatal("second store to the frozen line has no younger group")
+	}
+	// Final durable version is core 0's second store to line 1.
+	if got := r.Durable[mem.Line(1)]; got != (mem.Version{Core: 0, Seq: 3}) {
+		t.Fatalf("durable version of line 1: %v", got)
+	}
+}
+
+// A reader of an unpersisted remote version must record a persist-before
+// dependency on the producer's group (§III-A read inclusion).
+func TestDirectedReadInclusionDependency(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{st(addr(10))},
+		[]mem.Op{cp(400), ld(addr(10)), st(addr(20))},
+	)
+	var producer, consumer *core.Group
+	for _, g := range r.Groups {
+		if g.Core == 0 && g.HasDirty(mem.Line(10)) {
+			producer = g
+		}
+		if g.Core == 1 && g.HasDirty(mem.Line(20)) {
+			consumer = g
+		}
+	}
+	if producer == nil || consumer == nil {
+		t.Fatalf("missing groups: producer=%v consumer=%v", producer, consumer)
+	}
+	if !consumer.Has(mem.Line(10)) {
+		t.Fatal("reader's group does not include the read line (§III-A)")
+	}
+	found := false
+	for _, dep := range consumer.DepIDs {
+		if dep == producer.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("consumer %v lacks pb dependency on producer %v (deps %v)",
+			consumer, producer, consumer.DepIDs)
+	}
+}
+
+// Writer-after-writer: the second writer's group depends on the first's,
+// and the durable image ends with the second version.
+func TestDirectedWriteAfterWriteDependency(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{st(addr(5))},
+		[]mem.Op{cp(500), st(addr(5))},
+	)
+	var g0, g1 *core.Group
+	for _, g := range r.Groups {
+		if g.HasDirty(mem.Line(5)) {
+			if g.Core == 0 {
+				g0 = g
+			} else if g.Core == 1 {
+				g1 = g
+			}
+		}
+	}
+	if g0 == nil || g1 == nil {
+		t.Fatal("missing writer groups")
+	}
+	dep := false
+	for _, d := range g1.DepIDs {
+		if d == g0.ID {
+			dep = true
+		}
+	}
+	if !dep {
+		t.Fatalf("second writer lacks dependency on first (deps %v)", g1.DepIDs)
+	}
+	if got := r.Durable[mem.Line(5)]; got != (mem.Version{Core: 1, Seq: 1}) {
+		t.Fatalf("durable: %v", got)
+	}
+	if g0.Reason() != core.FreezeRemoteWrite {
+		t.Fatalf("first writer frozen by %v, want remote-write", g0.Reason())
+	}
+}
+
+// Stores to lines of a frozen group stall but never deadlock, even when the
+// same line ping-pongs between two cores.
+func TestDirectedPingPong(t *testing.T) {
+	var ops0, ops1 []mem.Op
+	for i := 0; i < 30; i++ {
+		ops0 = append(ops0, st(addr(7)), cp(50))
+		ops1 = append(ops1, cp(30), st(addr(7)))
+	}
+	r := runDirected(t, TSOPER, ops0, ops1)
+	if r.Stores != 60 {
+		t.Fatalf("stores=%d", r.Stores)
+	}
+	order := r.LineOrder[mem.Line(7)]
+	if len(order) != 60 {
+		t.Fatalf("line 7 order has %d entries", len(order))
+	}
+	if got := r.Durable[mem.Line(7)]; got != order[len(order)-1] {
+		t.Fatalf("durable %v, want %v", got, order[len(order)-1])
+	}
+}
+
+// Capacity evictions of dirty lines freeze groups with the eviction reason
+// and everything still persists (§II-A trigger 1, §III-B buffers).
+func TestDirectedEvictionFreeze(t *testing.T) {
+	cfg := TableI(TSOPER)
+	// Raise the AG size limit (and the AGB slice that guarantees its
+	// atomicity) so the group is still open when capacity evictions start;
+	// otherwise every group freezes at the size limit first.
+	cfg.AGLimit = 4096
+	cfg.AGB.LinesPerSlice = 8192
+	var ops []mem.Op
+	// March far beyond the private cache capacity (64 KB = 1024 lines).
+	for i := uint64(0); i < 3000; i++ {
+		ops = append(ops, st(addr(100+i)))
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops))
+	sawEvict := false
+	for _, g := range r.Groups {
+		if g.Reason() == core.FreezeEviction {
+			sawEvict = true
+			break
+		}
+	}
+	if !sawEvict {
+		t.Fatal("capacity march produced no eviction freezes")
+	}
+	for i := uint64(0); i < 3000; i++ {
+		if r.Durable[mem.Line(100+i)].IsInitial() {
+			t.Fatalf("line %d never persisted", 100+i)
+		}
+	}
+}
+
+// A tiny AGB back-pressures group drains without deadlock, and the stall
+// counter reports it.
+func TestDirectedAGBBackpressure(t *testing.T) {
+	cfg := TableI(TSOPER)
+	cfg.AGB.Slices = 1
+	cfg.AGB.LinesPerSlice = 8
+	cfg.AGLimit = 4
+	var ops0, ops1 []mem.Op
+	for i := uint64(0); i < 400; i++ {
+		ops0 = append(ops0, st(addr(i%64)))
+		ops1 = append(ops1, st(addr(64+i%64)))
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops0, ops1))
+	if r.AGBStalls == 0 {
+		t.Fatal("tiny AGB should have stalled reservations")
+	}
+	if r.AGSizes.Max() > 4 {
+		t.Fatalf("AG exceeded limit: %d", r.AGSizes.Max())
+	}
+}
+
+// STW must be strictly slower than TSOPER on a conflict-heavy directed
+// trace (it stops the world per freeze).
+func TestDirectedSTWCost(t *testing.T) {
+	mk := func() ([]mem.Op, []mem.Op) {
+		var a, b []mem.Op
+		for i := uint64(0); i < 50; i++ {
+			a = append(a, st(addr(i%8)), cp(20))
+			b = append(b, cp(10), st(addr(i%8)))
+		}
+		return a, b
+	}
+	a, b := mk()
+	stw := runDirected(t, STW, a, b)
+	a, b = mk()
+	ts := runDirected(t, TSOPER, a, b)
+	if stw.Cycles <= ts.Cycles {
+		t.Fatalf("STW (%d) not slower than TSOPER (%d)", stw.Cycles, ts.Cycles)
+	}
+}
+
+// HW-RP: syncs delimit SFRs; each sync flushes the region's dirty lines.
+func TestDirectedHWRPSFRs(t *testing.T) {
+	r := runDirected(t, HWRP,
+		[]mem.Op{st(addr(1)), st(addr(2)), sy(1), st(addr(3)), sy(2), st(addr(1))},
+	)
+	if r.SFRStores.Count() < 2 {
+		t.Fatalf("expected >=2 SFR samples, got %d", r.SFRStores.Count())
+	}
+	// Two persists of line 1 (one per SFR) plus lines 2 and 3: >= 4 total.
+	if r.TotalPersistWrites < 4 {
+		t.Fatalf("persist writes %d, want >= 4 (line 1 persists twice)", r.TotalPersistWrites)
+	}
+	for _, l := range []uint64{1, 2, 3} {
+		if r.Durable[mem.Line(l)].IsInitial() {
+			t.Fatalf("line %d not durable", l)
+		}
+	}
+}
+
+// BSP: epochs flush at the configured store count.
+func TestDirectedBSPEpochBoundary(t *testing.T) {
+	cfg := TableI(BSP)
+	cfg.BSPEpochStores = 10
+	var ops []mem.Op
+	for i := uint64(0); i < 100; i++ {
+		ops = append(ops, st(addr(i)))
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops))
+	if r.AGSizes.Count() < 9 {
+		t.Fatalf("expected ~10 epoch flushes, got %d", r.AGSizes.Count())
+	}
+	if r.AGSizes.Max() > 10 {
+		t.Fatalf("epoch exceeded 10 stores' worth of lines: %d", r.AGSizes.Max())
+	}
+}
+
+// TSO store buffer: a full buffer blocks the core, a sync drains it, and
+// store-to-load forwarding serves buffered lines without a miss.
+func TestDirectedStoreBufferBehavior(t *testing.T) {
+	cfg := TableI(TSOPER)
+	cfg.StoreBufferEntries = 4
+	var ops []mem.Op
+	for i := uint64(0); i < 40; i++ {
+		ops = append(ops, st(addr(i)))
+	}
+	ops = append(ops, sy(1))
+	ops = append(ops, ld(addr(39)))
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops))
+	if r.Stores != 40 || r.SyncOps != 1 {
+		t.Fatalf("ops: %d stores %d syncs", r.Stores, r.SyncOps)
+	}
+}
+
+// Store-to-load forwarding: a load of a line still in the store buffer must
+// not consult the cache hierarchy at all.
+func TestDirectedForwarding(t *testing.T) {
+	fwd := runDirected(t, Baseline,
+		[]mem.Op{st(addr(77)), ld(addr(77))},
+	)
+	if fwd.Loads != 1 || fwd.Stores != 1 {
+		t.Fatalf("ops: %+v", fwd)
+	}
+	// The forwarded load must not issue a second memory transaction: a run
+	// loading an unrelated cold line pays a second NVM fetch and is
+	// measurably slower.
+	miss := runDirected(t, Baseline,
+		[]mem.Op{st(addr(77)), ld(addr(99))},
+	)
+	if fwd.Cycles >= miss.Cycles {
+		t.Fatalf("forwarding (%d cycles) not faster than a second miss (%d cycles)",
+			fwd.Cycles, miss.Cycles)
+	}
+}
+
+// A capacity march of dirty lines must complete on every system: the
+// destructive systems write victims back and unlink them, the
+// multiversioned ones stage them through the eviction buffer. (Regression
+// test: baseline once parked dirty victims in the eviction buffer forever.)
+func TestDirectedCapacityMarchAllSystems(t *testing.T) {
+	for _, kind := range Systems() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := TableI(kind)
+			var ops []mem.Op
+			for i := uint64(0); i < 2500; i++ {
+				ops = append(ops, st(addr(1000+i)))
+			}
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := m.Run(directed(cfg, ops))
+			if r.Stores != 2500 {
+				t.Fatalf("stores=%d", r.Stores)
+			}
+			if r.CoherenceWrites == 0 {
+				t.Fatal("capacity march produced no writebacks")
+			}
+		})
+	}
+}
+
+// Empty and trivial workloads complete cleanly on every system.
+func TestDirectedTrivialWorkloads(t *testing.T) {
+	for _, kind := range Systems() {
+		r := runDirected(t, kind) // all cores idle
+		if r.Stores != 0 {
+			t.Fatalf("%v: phantom stores", kind)
+		}
+		r = runDirected(t, kind, []mem.Op{st(addr(1))})
+		if r.Stores != 1 {
+			t.Fatalf("%v: single store lost", kind)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Randomized robustness: random small workload profiles and random machine
+// configurations across every system must complete without deadlock, and
+// the strict systems must always leave a complete, ordered durable image
+// and an acyclic persist-before graph.
+func TestFuzzConfigurationsAndWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 24; trial++ {
+		p := trace.Profile{
+			Name:         "fuzz",
+			OpsPerCore:   150 + rng.Intn(250),
+			StoreFrac:    0.15 + rng.Float64()*0.5,
+			SharedFrac:   rng.Float64() * 0.8,
+			SharedLines:  8 + rng.Intn(256),
+			PrivateLines: 8 + rng.Intn(256),
+			HotFrac:      rng.Float64() * 0.7,
+			HotLines:     1 + rng.Intn(12),
+			Locality:     rng.Float64() * 0.8,
+			SyncPeriod:   40 + rng.Intn(300),
+			CSStores:     1 + rng.Intn(3),
+			CSBurst:      1 + rng.Intn(4),
+			ComputeMean:  rng.Intn(5),
+			FalseSharing: rng.Float64() * 0.5,
+		}
+		kind := Systems()[rng.Intn(len(Systems()))]
+		cfg := TableI(kind)
+		cfg.Cores = 2 + rng.Intn(7)
+		cfg.StoreBufferEntries = 2 + rng.Intn(56)
+		cfg.EvictBufEntries = 2 + rng.Intn(16)
+		if kind != BSPSLCAGB {
+			cfg.AGB.LinesPerSlice = 20 + rng.Intn(160)
+		}
+		if cfg.AGLimit > cfg.AGB.LinesPerSlice {
+			cfg.AGLimit = cfg.AGB.LinesPerSlice
+		}
+		cfg.BSPEpochStores = 20 + rng.Intn(2000)
+
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, kind, err)
+		}
+		w := trace.Generate(p, cfg.Cores, int64(trial))
+		r := m.Run(w) // panics on deadlock
+
+		if r.Stores == 0 {
+			t.Fatalf("trial %d (%v): no stores ran", trial, kind)
+		}
+		if kind == STW || kind == TSOPER {
+			for line, order := range r.LineOrder {
+				if got := r.Durable[line]; got != order[len(order)-1] {
+					t.Fatalf("trial %d (%v): line %v durable %v want %v",
+						trial, kind, line, got, order[len(order)-1])
+				}
+			}
+			for _, g := range r.Groups {
+				if g.State() != core.Retired {
+					t.Fatalf("trial %d (%v): group %v not retired", trial, kind, g)
+				}
+				if g.Size() > cfg.AGLimit {
+					t.Fatalf("trial %d (%v): group %v over limit %d", trial, kind, g, cfg.AGLimit)
+				}
+			}
+			if err := core.CheckAcyclic(r.Groups); err != nil {
+				t.Fatalf("trial %d (%v): %v", trial, kind, err)
+			}
+		}
+	}
+}
+
+// Crash-point fuzzing lives in internal/checker (which can import this
+// package); see checker.TestFuzzCrashPoints.

@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/coherence/slc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// hwrpSys models HW-RP, the hypothetical hardware relaxed-persistency
+// system of §V ("Systems" 2): persists are unordered within a
+// synchronization-free region (SFR) and ordered across synchronization
+// points. Persistence is at cacheline granularity: at each sync, the core
+// flushes every line it dirtied during the ending SFR; dirty lines that are
+// invalidated or evicted persist spontaneously. Because SFRs bounded by
+// critical sections are tiny (often one store), HW-RP coalesces far less
+// than TSOPER and produces the highest persist traffic (Fig. 14, Fig. 15).
+type hwrpSys struct {
+	m *Machine
+	// sfr tracks the lines dirtied in each core's current SFR.
+	sfr []map[mem.Line]mem.Version
+	// sfrStores counts stores in the current SFR (Fig. 15 histogram).
+	sfrStores []int
+	// outstanding counts a core's persists not yet durable; a sync stalls
+	// while it exceeds the WPQ depth (persist-order backpressure).
+	outstanding []int
+	syncWaiters [][]func()
+}
+
+func newHWRPSys(m *Machine) *hwrpSys {
+	s := &hwrpSys{m: m}
+	for i := 0; i < m.cfg.Cores; i++ {
+		s.sfr = append(s.sfr, make(map[mem.Line]mem.Version))
+		s.sfrStores = append(s.sfrStores, 0)
+		s.outstanding = append(s.outstanding, 0)
+		s.syncWaiters = append(s.syncWaiters, nil)
+	}
+	return s
+}
+
+func (s *hwrpSys) destructive(mem.Line) bool { return true }
+
+func (s *hwrpSys) gateStore(_ *coreUnit, _ mem.Line, proceed func()) { proceed() }
+
+func (s *hwrpSys) storeCommitted(c *coreUnit, node *slc.Node, _ *slc.Node) {
+	s.sfr[c.id][node.Line] = node.Version
+	s.sfrStores[c.id]++
+}
+
+func (s *hwrpSys) loadObservedDirty(*coreUnit, *slc.Node, *slc.Node) {}
+
+// exposed: an invalidated dirty line persists spontaneously — its value is
+// about to be overwritten, and relaxed persistency still must not lose a
+// write that a pre-crash observer could have seen.
+func (s *hwrpSys) exposed(n *slc.Node, write bool) sim.Time {
+	if write {
+		s.persistLine(n.Cache, n.Line, n.Version)
+	}
+	return 0
+}
+
+// evictedDirty: spontaneous persist on eviction ("Evictions of dirty lines
+// are counted as spontaneous persists").
+func (s *hwrpSys) evictedDirty(n *slc.Node) {
+	s.persistLine(n.Cache, n.Line, n.Version)
+}
+
+func (s *hwrpSys) nodeCleared(*slc.Node) {}
+
+// marker: relaxed persistency has no atomic groups to delimit.
+func (s *hwrpSys) marker(*coreUnit) {}
+
+// dirEvicted: the line's owner still holds it; nothing to persist early.
+func (s *hwrpSys) dirEvicted(*slc.Node) {}
+
+// persistLine issues one cacheline persist through the per-rank WPQ.
+func (s *hwrpSys) persistLine(coreID int, line mem.Line, ver mem.Version) {
+	delete(s.sfr[coreID], line)
+	s.m.persistWrites.Inc()
+	s.outstanding[coreID]++
+	// Durability point is WPQ admission (power-backed queue), not media
+	// write completion — SFR persistency is buffered.
+	s.m.memory.WriteBuffered(line, ver, func() {
+		s.outstanding[coreID]--
+		s.wake(coreID)
+	}, nil)
+}
+
+// sync is the SFR boundary: flush the region's dirty lines, enforcing
+// cross-SFR order by stalling when too many older persists are in flight.
+func (s *hwrpSys) sync(c *coreUnit, done func()) {
+	if s.outstanding[c.id] > s.m.cfg.WPQDepth {
+		s.syncWaiters[c.id] = append(s.syncWaiters[c.id], func() { s.sync(c, done) })
+		return
+	}
+	s.m.set.Dist("sfr.stores").Observe(uint64(s.sfrStores[c.id]))
+	s.m.set.Dist("ag.size").Observe(uint64(len(s.sfr[c.id]))) // region size in lines
+	s.m.timeline.Append(uint64(s.m.engine.Now()), float64(s.sfrStores[c.id]))
+	s.sfrStores[c.id] = 0
+	for _, lv := range sortedSFR(s.sfr[c.id]) {
+		s.persistLine(c.id, lv.line, lv.ver)
+	}
+	done()
+}
+
+func (s *hwrpSys) wake(coreID int) {
+	if s.outstanding[coreID] > s.m.cfg.WPQDepth {
+		return
+	}
+	ws := s.syncWaiters[coreID]
+	if len(ws) == 0 {
+		return
+	}
+	s.syncWaiters[coreID] = nil
+	for _, fn := range ws {
+		fn := fn
+		s.m.engine.Schedule(0, fn)
+	}
+}
+
+// drain flushes every core's final SFR; durability completes as the engine
+// drains the NVM writes.
+func (s *hwrpSys) drain(done func()) {
+	for id := range s.sfr {
+		if s.sfrStores[id] > 0 {
+			s.m.set.Dist("sfr.stores").Observe(uint64(s.sfrStores[id]))
+		}
+		for _, lv := range sortedSFR(s.sfr[id]) {
+			s.persistLine(id, lv.line, lv.ver)
+		}
+	}
+	done()
+}
+
+type sfrLine struct {
+	line mem.Line
+	ver  mem.Version
+}
+
+func sortedSFR(m map[mem.Line]mem.Version) []sfrLine {
+	out := make([]sfrLine, 0, len(m))
+	for l, v := range m {
+		out = append(out, sfrLine{l, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
+}

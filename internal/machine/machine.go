@@ -1,0 +1,257 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/agb"
+	"repro/internal/cache"
+	"repro/internal/coherence/slc"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/nvm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Machine is one simulated CMP instance. It is single-use: construct, Run,
+// then read Results.
+type Machine struct {
+	cfg    Config
+	engine *sim.Engine
+	set    *stats.Set
+	net    *noc.Network
+	memory *nvm.Memory
+	buffer *agb.Buffer
+	dir    *slc.Directory
+	llc    *cache.Cache[mem.Version]
+	banks  *sim.Bank
+
+	cores []*coreUnit
+	priv  []*privCache
+	sys   system
+
+	// waiters are continuations blocked on "cache c's copy of line l is no
+	// longer pending" (removed from the list or persisted in place).
+	waiters map[waitKey][]func()
+	// evbufWaiters are fills blocked on a full eviction buffer, per cache.
+	evbufWaiters [][]func()
+
+	// current is the newest coherent version of each line (what a reader
+	// observes); lineOrder is the full directory-serialized version order.
+	current map[mem.Line]mem.Version
+
+	coherenceWrites *stats.Counter
+	persistWrites   *stats.Counter
+	loads, stores   *stats.Counter
+	syncs           *stats.Counter
+	invalWalks      *stats.Dist
+
+	// lineOrder records the coherence (directory) serialization of store
+	// versions per line, consumed by the crash-consistency checker.
+	lineOrder map[mem.Line][]mem.Version
+
+	journal      []*core.Group
+	durableOrder []*core.Group
+	timeline     *stats.Series
+
+	running   int
+	execDone  sim.Time
+	drainDone sim.Time
+
+	// Traffic snapshots taken when execution (not the end-of-run flush)
+	// completes: Fig. 14 reports steady-state traffic, and the final drain
+	// is a simulation artifact that would inflate the buffered systems.
+	execCoherenceWrites uint64
+	execPersistWrites   uint64
+	execNVMWrites       uint64
+}
+
+type waitKey struct {
+	cache int
+	line  mem.Line
+}
+
+// privCache is one core's private cache plus its eviction buffer (§III-B).
+type privCache struct {
+	id    int
+	arr   *cache.Cache[*slc.Node]
+	evbuf *cache.EvictBuffer[*slc.Node]
+}
+
+// New constructs a machine for the configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:       cfg,
+		engine:    sim.NewEngine(),
+		set:       stats.NewSet(),
+		waiters:   make(map[waitKey][]func()),
+		lineOrder: make(map[mem.Line][]mem.Version),
+		current:   make(map[mem.Line]mem.Version),
+		timeline:  &stats.Series{Name: "region_size"},
+	}
+	m.net = noc.New(m.engine, cfg.NoC, m.set)
+	m.memory = nvm.New(m.engine, cfg.NVM, m.set)
+	m.buffer = agb.New(m.engine, m.memory, cfg.AGB, m.set)
+	m.dir = slc.NewDirectory(m.set)
+	m.llc = cache.New[mem.Version](cfg.LLCGeom)
+	m.banks = sim.NewBank(cfg.LLCBanks)
+	m.coherenceWrites = m.set.Counter("traffic.coherence_writes")
+	m.persistWrites = m.set.Counter("traffic.persist_writes")
+	m.loads = m.set.Counter("ops.loads")
+	m.stores = m.set.Counter("ops.stores")
+	m.syncs = m.set.Counter("ops.syncs")
+	m.invalWalks = m.set.Dist("slc.invalidation_walk")
+
+	for i := 0; i < cfg.Cores; i++ {
+		m.priv = append(m.priv, &privCache{
+			id:    i,
+			arr:   cache.New[*slc.Node](cfg.PrivGeom),
+			evbuf: cache.NewEvictBuffer[*slc.Node](cfg.EvictBufEntries),
+		})
+	}
+	m.evbufWaiters = make([][]func(), cfg.Cores)
+	m.sys = newSystem(m)
+	return m, nil
+}
+
+// Run executes the workload to completion, flushes trailing persists, and
+// returns the results. It panics if the workload has a different core count
+// than the machine.
+func (m *Machine) Run(w *trace.Workload) *Results {
+	if len(w.Cores) != m.cfg.Cores {
+		panic(fmt.Sprintf("machine: workload has %d cores, machine %d", len(w.Cores), m.cfg.Cores))
+	}
+	for i, ops := range w.Cores {
+		c := newCoreUnit(m, i, ops)
+		m.cores = append(m.cores, c)
+		m.running++
+		m.engine.Schedule(0, c.step)
+	}
+	m.engine.Run()
+	if m.running != 0 {
+		panic(fmt.Sprintf("machine: deadlock — %d cores stuck at cycle %d (%s)",
+			m.running, m.engine.Now(), m.cfg.System))
+	}
+	m.execDone = m.engine.Now()
+	m.execCoherenceWrites = m.coherenceWrites.Value
+	m.execPersistWrites = m.persistWrites.Value
+	m.execNVMWrites = m.memory.Writes()
+
+	// End-of-run flush: expose everything so the durable image completes.
+	flushed := false
+	m.sys.drain(func() { flushed = true })
+	m.engine.Run()
+	if !flushed {
+		panic("machine: final drain never completed")
+	}
+	m.drainDone = m.engine.Now()
+	return m.results(w)
+}
+
+func (m *Machine) results(w *trace.Workload) *Results {
+	coh, per := m.dir.Lengths()
+	r := &Results{
+		System:             m.cfg.System,
+		Benchmark:          w.Profile.Name,
+		Cycles:             m.execDone,
+		DrainCycles:        m.drainDone,
+		CoherenceWrites:    m.execCoherenceWrites,
+		PersistWrites:      m.execPersistWrites,
+		NVMWrites:          m.execNVMWrites,
+		TotalPersistWrites: m.persistWrites.Value,
+		Stores:             m.stores.Value,
+		Loads:              m.loads.Value,
+		SyncOps:            m.syncs.Value,
+		Groups:             m.journal,
+		AGSizes:            m.set.Dist("ag.size"),
+		SFRStores:          m.set.Dist("sfr.stores"),
+		SizeTimeline:       m.timeline,
+		CoherenceListLen:   coh,
+		PersistListLen:     per,
+		AGBStalls:          m.buffer.Stalls(),
+		Durable:            m.memory.DurableImage(),
+		LineOrder:          m.lineOrder,
+		Set:                m.set,
+	}
+	for _, pc := range m.priv {
+		if pc.evbuf.MaxOccupancy > r.EvictBufMax {
+			r.EvictBufMax = pc.evbuf.MaxOccupancy
+		}
+		r.EvictBufStalls += pc.evbuf.Stalls
+	}
+	return r
+}
+
+func (m *Machine) coreDone(*coreUnit) {
+	m.running--
+}
+
+// ---- topology helpers ----
+
+// coreNode maps core i to its mesh node; bankNode maps LLC bank b to its
+// node on the other half of the mesh.
+func (m *Machine) coreNode(c int) int { return c % m.net.Nodes() }
+
+func (m *Machine) bankNode(b int) int {
+	n := m.net.Nodes()
+	return (n/2 + b) % n
+}
+
+func (m *Machine) bankOf(l mem.Line) int { return int(uint64(l) % uint64(m.cfg.LLCBanks)) }
+
+// ---- waiter infrastructure ----
+
+// waitLineFree parks a continuation until cache's copy of line stops being
+// pending (its node is unlinked or persists in place).
+func (m *Machine) waitLineFree(cacheID int, line mem.Line, fn func()) {
+	k := waitKey{cacheID, line}
+	m.waiters[k] = append(m.waiters[k], fn)
+}
+
+// releaseLine wakes the waiters for (cache, line).
+func (m *Machine) releaseLine(cacheID int, line mem.Line) {
+	k := waitKey{cacheID, line}
+	ws := m.waiters[k]
+	if len(ws) == 0 {
+		return
+	}
+	delete(m.waiters, k)
+	for _, fn := range ws {
+		fn := fn
+		m.engine.Schedule(0, fn)
+	}
+}
+
+// applyUpdate processes sharing-list side effects: removed nodes free their
+// cache frames and wake waiters; newly clear nodes notify the system (AG
+// waiting-to-become-tail accounting).
+func (m *Machine) applyUpdate(up slc.Update) {
+	for _, n := range up.Removed {
+		m.dropFrame(n)
+		m.releaseLine(n.Cache, n.Line)
+		// A removed node is trivially clear for its cache's groups.
+		m.sys.nodeCleared(n)
+	}
+	for _, n := range up.NewlyClear {
+		m.sys.nodeCleared(n)
+	}
+}
+
+// dropFrame releases the private-cache frame or eviction-buffer slot that
+// held node n.
+func (m *Machine) dropFrame(n *slc.Node) {
+	pc := m.priv[n.Cache]
+	if e := pc.arr.Peek(n.Line); e != nil && e.Data == n {
+		pc.arr.Remove(n.Line)
+		return
+	}
+	if got, ok := pc.evbuf.Get(n.Line); ok && got == n {
+		pc.evbuf.Release(n.Line)
+		m.evbufReleased(n.Cache)
+	}
+}

@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func mk(id uint32) mem.Op { return mem.Op{Kind: mem.OpMarker, Arg: id} }
+
+// Marker stores (§II-D) close the open group in program order, so
+// software-defined epochs map one-to-one onto atomic groups.
+func TestMarkerClosesGroup(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{st(addr(1)), st(addr(2)), mk(1), st(addr(3)), mk(2), st(addr(4))},
+	)
+	var markerGroups []*core.Group
+	for _, g := range r.Groups {
+		if g.Core == 0 && g.Reason() == core.FreezeMarker {
+			markerGroups = append(markerGroups, g)
+		}
+	}
+	if len(markerGroups) != 2 {
+		t.Fatalf("marker-frozen groups: %d, want 2", len(markerGroups))
+	}
+	first := markerGroups[0]
+	if !first.HasDirty(mem.Line(1)) || !first.HasDirty(mem.Line(2)) || first.Size() != 2 {
+		t.Fatalf("first epoch group wrong: %v", first)
+	}
+	second := markerGroups[1]
+	if !second.HasDirty(mem.Line(3)) || second.Size() != 1 {
+		t.Fatalf("second epoch group wrong: %v", second)
+	}
+}
+
+// Markers respect store-buffer order: a marker between two stores to the
+// same line splits their versions into different groups.
+func TestMarkerSplitsSameLine(t *testing.T) {
+	r := runDirected(t, TSOPER,
+		[]mem.Op{st(addr(9)), mk(1), st(addr(9))},
+	)
+	holders := 0
+	for _, g := range r.Groups {
+		if g.Core == 0 && g.HasDirty(mem.Line(9)) {
+			holders++
+		}
+	}
+	if holders != 2 {
+		t.Fatalf("line 9 versions in %d groups, want 2", holders)
+	}
+	if got := r.Durable[mem.Line(9)]; got != (mem.Version{Core: 0, Seq: 2}) {
+		t.Fatalf("durable: %v", got)
+	}
+}
+
+// Markers are harmless no-ops on systems without atomic groups.
+func TestMarkerNoopElsewhere(t *testing.T) {
+	for _, kind := range []SystemKind{Baseline, HWRP, BSP} {
+		r := runDirected(t, kind, []mem.Op{st(addr(1)), mk(1), st(addr(2))})
+		if r.Stores != 2 {
+			t.Fatalf("%v: stores=%d", kind, r.Stores)
+		}
+	}
+}
+
+// A marker on an idle core (no open group) is a no-op.
+func TestMarkerIdleCore(t *testing.T) {
+	r := runDirected(t, TSOPER, []mem.Op{mk(1), st(addr(1))})
+	for _, g := range r.Groups {
+		if g.Reason() == core.FreezeMarker {
+			t.Fatalf("marker froze a group before any store: %v", g)
+		}
+	}
+}
+
+// Directory (LLC) evictions freeze the affected group (§III-B). Force them
+// with a tiny LLC.
+func TestDirectoryEvictionFreeze(t *testing.T) {
+	cfg := TableI(TSOPER)
+	cfg.LLCGeom.SizeBytes = 64 * 64 // 64 lines
+	cfg.AGLimit = 80
+	var ops, reader []mem.Op
+	// Write a few lines, then a second core streams reads over many other
+	// lines, displacing the writer's LLC/directory entries.
+	for i := uint64(0); i < 4; i++ {
+		ops = append(ops, st(addr(i)))
+	}
+	ops = append(ops, cp(60000))
+	for i := uint64(100); i < 400; i++ {
+		reader = append(reader, ld(addr(i)))
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Run(directed(cfg, ops, reader))
+	saw := false
+	for _, g := range r.Groups {
+		if g.Reason() == core.FreezeDirEviction {
+			saw = true
+			break
+		}
+	}
+	if !saw {
+		t.Fatal("tiny LLC never produced a directory-eviction freeze")
+	}
+	if r.Set.CounterValue("dir.evictions") == 0 {
+		t.Fatal("dir.evictions counter not incremented")
+	}
+}

@@ -1,0 +1,358 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/coherence/slc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// This file implements the coherence transaction paths. All protocol and
+// persistency state mutates atomically at the directory-serialization
+// instant (the home LLC bank's access event); the latencies computed there
+// only delay when the requesting core resumes. The single-threaded event
+// engine makes the serialization order identical to the event order, so no
+// transient protocol races need modeling — matching the role the directory
+// plays in the real protocol, where it orders all operations per line.
+
+// nodeOf returns cacheID's sharing-list node for line, if any.
+func (m *Machine) nodeOf(cacheID int, line mem.Line) *slc.Node {
+	if lst := m.dir.Peek(line); lst != nil {
+		return lst.NodeOf(cacheID)
+	}
+	return nil
+}
+
+// load services a core's load. done runs when the value is available.
+func (m *Machine) load(c *coreUnit, line mem.Line, done func()) {
+	node := m.nodeOf(c.id, line)
+	if node != nil && node.Valid {
+		// Private hit (cache frame or eviction buffer, same latency).
+		if pc := m.priv[c.id]; pc.arr.Peek(line) != nil {
+			pc.arr.Lookup(line) // LRU touch
+		}
+		m.engine.Schedule(m.cfg.PrivHit, done)
+		return
+	}
+	if node != nil {
+		// Invalid copy pending persist: the frame is unusable until the
+		// version leaves for the persistent domain (§II-A multiversioning).
+		m.waitLineFree(c.id, line, func() { m.load(c, line, done) })
+		return
+	}
+	m.readTransaction(c, line, done)
+}
+
+// store retires one store-buffer entry. done runs when the store has
+// committed to the private cache (TSO: the store buffer may then pop it).
+func (m *Machine) store(c *coreUnit, line mem.Line, ver mem.Version, done func()) {
+	m.sys.gateStore(c, line, func() { m.storeAttempt(c, line, ver, done) })
+}
+
+func (m *Machine) storeAttempt(c *coreUnit, line mem.Line, ver mem.Version, done func()) {
+	node := m.nodeOf(c.id, line)
+	if node != nil {
+		if !node.Valid {
+			m.waitLineFree(c.id, line, func() { m.store(c, line, ver, done) })
+			return
+		}
+		if node.Dirty {
+			// Write hit on our own dirty copy: coalesce in place. The
+			// gate guaranteed the owning group is still open.
+			m.priv[c.id].arr.Lookup(line)
+			m.dir.List(line).MarkDirty(node, ver)
+			m.recordStore(line, ver)
+			m.sys.storeCommitted(c, node, nil)
+			m.engine.Schedule(m.cfg.PrivHit, done)
+			return
+		}
+		// Clean valid copy: upgrade (invalidation round, no data fetch).
+		m.writeTransaction(c, line, ver, node, done)
+		return
+	}
+	m.writeTransaction(c, line, ver, nil, done)
+}
+
+// readTransaction is a GetS miss: request to the home bank, data from the
+// current owner, the LLC, or NVM.
+func (m *Machine) readTransaction(c *coreUnit, line mem.Line, done func()) {
+	src := m.coreNode(c.id)
+	bank := m.bankOf(line)
+	bnode := m.bankNode(bank)
+	reqArrive := m.net.Send(src, bnode, nil)
+	start := m.banks.Claim(bank, reqArrive, m.cfg.BankOccupancy)
+	dirAt := start + m.cfg.LLCLatency
+	m.engine.At(dirAt, func() {
+		lst := m.dir.List(line)
+		vd := lst.DirtyNewest()
+		if vd != nil && !vd.Valid {
+			// The producing version is invalid-pending; the newest valid
+			// data is in the LLC (it was written back at invalidation).
+			vd = nil
+		}
+		var extra sim.Time
+		if vd != nil {
+			extra = m.sys.exposed(vd, false)
+			// Downgrade writeback: the LLC is kept current (§II-B).
+			m.llcFill(line, vd.Version)
+			m.coherenceWrites.Inc()
+		}
+		observed := m.current[line]
+		agid := uint64(0)
+		node := lst.AddHead(c.id, true, false, observed, agid)
+		if vd != nil {
+			// Read of an unpersisted version: include the line in the
+			// reader's group and record the dependency (§III-A).
+			m.sys.loadObservedDirty(c, node, vd)
+		}
+		m.dir.Sample(line)
+
+		finish := func(dataReady sim.Time) {
+			m.insertFrame(c.id, line, node, func() {
+				m.engine.At(maxTime(dataReady, m.engine.Now()), done)
+			})
+		}
+		switch {
+		case vd != nil:
+			// Forward: bank -> owner -> requester.
+			owner := m.coreNode(vd.Cache)
+			fwdArrive := m.net.Send(bnode, owner, nil)
+			m.engine.At(fwdArrive+m.cfg.PrivHit+extra, func() {
+				arrive := m.net.Send(owner, src, nil)
+				finish(arrive)
+			})
+		case m.llc.Lookup(line) != nil:
+			arrive := m.net.Send(bnode, src, nil)
+			finish(arrive + extra)
+		default:
+			if _, inAGB := m.buffer.Lookup(line); inAGB {
+				// AGB search under the LLC-miss shadow (§II-B): the line
+				// was evicted from the LLC but a newer version still sits
+				// in the persist buffer; serve it at buffer latency.
+				m.set.Counter("agb.search_hits").Inc()
+				arrive := m.net.Send(bnode, src, nil)
+				finish(arrive + m.cfg.AGB.TransferLatency + extra)
+				return
+			}
+			memDone := m.memory.Read(line, nil)
+			m.llcFill(line, observed)
+			m.engine.At(memDone, func() {
+				arrive := m.net.Send(bnode, src, nil)
+				finish(arrive + extra)
+			})
+		}
+	})
+}
+
+// writeTransaction is a GetX miss or an upgrade of a clean valid copy
+// (upgrade != nil). All other valid copies are invalidated with a serial
+// sharing-list walk; data comes from the owner, the LLC, or NVM.
+func (m *Machine) writeTransaction(c *coreUnit, line mem.Line, ver mem.Version, upgrade *slc.Node, done func()) {
+	src := m.coreNode(c.id)
+	bank := m.bankOf(line)
+	bnode := m.bankNode(bank)
+	reqArrive := m.net.Send(src, bnode, nil)
+	start := m.banks.Claim(bank, reqArrive, m.cfg.BankOccupancy)
+	dirAt := start + m.cfg.LLCLatency
+	m.engine.At(dirAt, func() {
+		lst := m.dir.List(line)
+		if upgrade != nil && (!upgrade.Valid || upgrade.Dirty) {
+			// Our copy changed while the upgrade was in flight (another
+			// writer invalidated it): restart as a full miss.
+			m.store(c, line, ver, done)
+			return
+		}
+		vd := lst.DirtyNewest()
+		if vd != nil && !vd.Valid {
+			vd = nil
+		}
+		var extra sim.Time
+		needData := upgrade == nil
+		llcHit := m.llc.Lookup(line) != nil
+		if vd != nil {
+			extra = m.sys.exposed(vd, true)
+			m.llcFill(line, vd.Version)
+			m.coherenceWrites.Inc()
+		}
+
+		// Serial invalidation walk over the remaining valid copies.
+		nInval := 0
+		destructive := m.sys.destructive(line)
+		for _, n := range lst.ValidNodes() {
+			if n.Cache == c.id {
+				continue
+			}
+			nInval++
+			if destructive {
+				if n.Dirty {
+					m.llcFill(line, n.Version)
+				}
+				m.applyUpdate(lst.RemoveDestructive(n))
+			} else {
+				m.applyUpdate(lst.Invalidate(n))
+			}
+		}
+		m.invalWalks.Observe(uint64(nInval))
+		// SLC walks the sharing list serially (one hop per valid copy);
+		// a conventional directory multicasts invalidations in parallel.
+		walk := sim.Time(nInval) * m.cfg.NoC.HopLatency
+		if m.cfg.Coherence == CoherenceMESI && nInval > 0 {
+			walk = m.cfg.NoC.HopLatency
+		}
+
+		// Install the new version at the head of the list.
+		var node *slc.Node
+		if upgrade != nil {
+			m.applyUpdate(lst.MoveToHead(upgrade))
+			lst.MarkDirty(upgrade, ver)
+			node = upgrade
+		} else {
+			node = lst.AddHead(c.id, true, true, ver, 0)
+		}
+		m.recordStore(line, ver)
+		m.sys.storeCommitted(c, node, vd)
+		m.dir.Sample(line)
+
+		finish := func(dataReady sim.Time) {
+			m.insertFrame(c.id, line, node, func() {
+				m.engine.At(maxTime(dataReady, m.engine.Now()), done)
+			})
+		}
+		switch {
+		case !needData:
+			arrive := m.net.Send(bnode, src, nil)
+			finish(arrive + walk + extra)
+		case vd != nil:
+			owner := m.coreNode(vd.Cache)
+			fwdArrive := m.net.Send(bnode, owner, nil)
+			m.engine.At(fwdArrive+m.cfg.PrivHit+extra, func() {
+				arrive := m.net.Send(owner, src, nil)
+				finish(arrive + walk)
+			})
+		case llcHit:
+			arrive := m.net.Send(bnode, src, nil)
+			finish(arrive + walk + extra)
+		default:
+			memDone := m.memory.Read(line, nil)
+			m.llcFill(line, ver)
+			m.engine.At(memDone, func() {
+				arrive := m.net.Send(bnode, src, nil)
+				finish(arrive + walk + extra)
+			})
+		}
+	})
+}
+
+// recordStore logs the directory-serialized version order per line (the
+// coherence order the crash checker validates against) and the current
+// coherent version.
+func (m *Machine) recordStore(line mem.Line, ver mem.Version) {
+	m.lineOrder[line] = append(m.lineOrder[line], ver)
+	m.current[line] = ver
+}
+
+// llcFill installs or refreshes a line in the LLC. The directory lives with
+// the LLC banks, so an LLC eviction is also a directory eviction (§III-B):
+// if the victim line has an unpersisted dirty copy, its group freezes and
+// persists; the line's data survives in the private caches / AGB, and
+// correctness is version-tracked independently of LLC residency.
+func (m *Machine) llcFill(line mem.Line, ver mem.Version) {
+	if e := m.llc.Peek(line); e != nil {
+		e.Data = ver
+		return
+	}
+	_, victim := m.llc.Insert(line, ver)
+	if victim == nil {
+		return
+	}
+	if lst := m.dir.Peek(victim.Line); lst != nil {
+		if vd := lst.DirtyNewest(); vd != nil {
+			m.set.Counter("dir.evictions").Inc()
+			m.sys.dirEvicted(vd)
+		}
+	}
+}
+
+// insertFrame secures a private-cache frame for node, relocating or
+// dropping a victim first. If the victim must be retained for persistency
+// (dirty, or invalid-pending) and the eviction buffer is full, the fill
+// stalls until space frees (§III-B).
+func (m *Machine) insertFrame(cacheID int, line mem.Line, node *slc.Node, then func()) {
+	pc := m.priv[cacheID]
+	if !node.OnList() {
+		// The node resolved (e.g. persisted and collapsed) before the fill
+		// completed; no frame needed.
+		then()
+		return
+	}
+	if e := pc.arr.Peek(line); e != nil {
+		// Frame already present (e.g. re-dirtying an existing copy).
+		e.Data = node
+		then()
+		return
+	}
+	if v := pc.arr.Victim(line); v != nil {
+		vnode := v.Data
+		if m.sys.destructive(v.Line) {
+			// Conventional protocols: dirty victims write back and leave
+			// the list; persistency reacts via the eviction hook (HW-RP's
+			// spontaneous persist, BSP's epoch flush).
+			if vnode.Dirty && vnode.Valid {
+				m.llcFill(v.Line, vnode.Version)
+				m.coherenceWrites.Inc()
+				m.sys.evictedDirty(vnode)
+			}
+			pc.arr.Remove(v.Line)
+			m.applyUpdate(m.dir.List(v.Line).RemoveDestructive(vnode))
+		} else if vnode.Dirty || !vnode.Valid {
+			// Must be retained until persisted: move to eviction buffer.
+			if !pc.evbuf.Put(v.Line, vnode) {
+				m.evbufWait(cacheID, func() { m.insertFrame(cacheID, line, node, then) })
+				return
+			}
+			pc.arr.Remove(v.Line)
+			if vnode.Dirty && vnode.Valid {
+				// Exposing a dirty line to the LLC: writeback + the
+				// system's eviction persist policy (§II-A trigger 1).
+				m.llcFill(v.Line, vnode.Version)
+				m.coherenceWrites.Inc()
+				m.sys.evictedDirty(vnode)
+			}
+		} else {
+			// Clean valid: silent drop, leave the sharing list.
+			pc.arr.Remove(v.Line)
+			m.applyUpdate(m.dir.List(v.Line).RemoveClean(vnode))
+		}
+	}
+	if e, _ := pc.arr.Insert(line, node); e == nil {
+		panic(fmt.Sprintf("machine: cache %d set for %v unexpectedly unfillable", cacheID, line))
+	}
+	then()
+}
+
+// evbufWait parks a continuation until cacheID's eviction buffer releases
+// an entry.
+func (m *Machine) evbufWait(cacheID int, fn func()) {
+	m.evbufWaiters[cacheID] = append(m.evbufWaiters[cacheID], fn)
+}
+
+// evbufReleased wakes eviction-buffer waiters for cacheID.
+func (m *Machine) evbufReleased(cacheID int) {
+	ws := m.evbufWaiters[cacheID]
+	if len(ws) == 0 {
+		return
+	}
+	m.evbufWaiters[cacheID] = nil
+	for _, fn := range ws {
+		fn := fn
+		m.engine.Schedule(0, fn)
+	}
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Results summarizes one simulation run.
+type Results struct {
+	System    SystemKind
+	Benchmark string
+
+	// Cycles is the execution time: the cycle at which the last core
+	// finished its trace (persists may still be trailing).
+	Cycles sim.Time
+	// DrainCycles is when the final persist completed (end-of-run flush).
+	DrainCycles sim.Time
+
+	// CoherenceWrites counts downgrades/writebacks into the LLC;
+	// PersistWrites counts writes entering the persistent domain
+	// (AGB buffering, BSP LLC->NVM persists, HW-RP flushes). These are the
+	// two bar segments of Fig. 14.
+	CoherenceWrites uint64
+	PersistWrites   uint64
+	// NVMWrites counts line writes reaching the NVM ranks.
+	NVMWrites uint64
+	// TotalPersistWrites additionally includes the end-of-run flush.
+	TotalPersistWrites uint64
+
+	// Stores and Loads executed.
+	Stores, Loads uint64
+	// SyncOps executed.
+	SyncOps uint64
+
+	// Groups is the full atomic-group journal (TSOPER/STW; nil otherwise).
+	Groups []*core.Group
+	// AGSizes is the atomic-group (or SFR/epoch) size distribution in
+	// cachelines — Fig. 13 for TSOPER, Fig. 15 for HW-RP's SFRs.
+	AGSizes *stats.Dist
+	// SFRStores is HW-RP's stores-per-SFR distribution (Fig. 15 histogram).
+	SFRStores *stats.Dist
+	// SizeTimeline samples group/region size over time (Fig. 15 timelines).
+	SizeTimeline *stats.Series
+
+	// CoherenceListLen and PersistListLen are the mean sharing-list lengths
+	// (§V-B: ~2 coherence vs ~4 persist).
+	CoherenceListLen float64
+	PersistListLen   float64
+
+	// EvictBufMax is the eviction-buffer high-water mark across caches.
+	EvictBufMax int
+	// EvictBufStalls counts eviction-buffer-full stalls.
+	EvictBufStalls uint64
+	// AGBStalls counts AGB reservation stalls.
+	AGBStalls uint64
+
+	// Durable is the NVM image at the end of the run (after drain).
+	Durable map[mem.Line]mem.Version
+	// LineOrder is the directory-serialized store-version order per line
+	// (the coherence order the crash checker validates against).
+	LineOrder map[mem.Line][]mem.Version
+
+	// Set is the full raw metric registry.
+	Set *stats.Set
+}
+
+func (r *Results) String() string {
+	return fmt.Sprintf("%s/%s: %d cycles, %d stores, %d coherence writes, %d persist writes, %d NVM writes",
+		r.Benchmark, r.System, r.Cycles, r.Stores, r.CoherenceWrites, r.PersistWrites, r.NVMWrites)
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"repro/internal/coherence/slc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// system is the persistency model plugged into the machine. The machine
+// owns coherence; the system decides what exposure, commitment, and
+// eviction mean for persistency, and how much extra delay they impose.
+type system interface {
+	// destructive selects the invalidation policy: true unlinks invalidated
+	// copies (conventional protocols); false keeps them on the sharing list
+	// until persisted (§IV-A non-destructive invalidation).
+	destructive(l mem.Line) bool
+	// gateStore may delay a store before its coherence transaction issues
+	// (frozen-group lines, flushing-epoch lines, a stopped world).
+	gateStore(c *coreUnit, line mem.Line, proceed func())
+	// storeCommitted runs at the directory instant of a committed store.
+	// prevDirty is the previous unpersisted producer of the line (nil if
+	// none) — the persist-before source for this write.
+	storeCommitted(c *coreUnit, node *slc.Node, prevDirty *slc.Node)
+	// loadObservedDirty runs when a load observes an unpersisted remote
+	// version: readerNode is the reader's new list node, producer the
+	// dirty node it read (§III-A read inclusion).
+	loadObservedDirty(c *coreUnit, readerNode, producer *slc.Node)
+	// exposed runs when a remote request (write=true for GetX) hits a
+	// dirty node. It returns extra delay imposed on the requester (BSP's
+	// L1 exclusion time; zero for SLC-based systems).
+	exposed(n *slc.Node, write bool) sim.Time
+	// evictedDirty runs when a valid dirty line leaves the private cache.
+	evictedDirty(n *slc.Node)
+	// dirEvicted runs when a directory/LLC entry whose line has an
+	// unpersisted dirty copy is evicted (§III-B: freeze and persist; the
+	// entry is buffered until the affected lines persist).
+	dirEvicted(n *slc.Node)
+	// nodeCleared runs when a sharing-list node becomes clear (no dirty
+	// versions below it) — the atomic-group tail accounting of §IV-B.
+	nodeCleared(n *slc.Node)
+	// marker runs a software marker store (§II-D): strict systems close the
+	// core's current atomic group so AG boundaries align with software-
+	// defined recovery epochs; others ignore it.
+	marker(c *coreUnit)
+	// sync runs a core's synchronization operation (HW-RP's SFR boundary).
+	sync(c *coreUnit, done func())
+	// drain flushes all residual persistency state at end of run; done
+	// fires when everything buffered has a durability guarantee.
+	drain(done func())
+}
+
+// newSystem instantiates the configured persistency model.
+func newSystem(m *Machine) system {
+	switch m.cfg.System {
+	case Baseline:
+		return &baselineSys{}
+	case HWRP:
+		return newHWRPSys(m)
+	case BSP, BSPSLC, BSPSLCAGB:
+		return newBSPSys(m)
+	case STW, TSOPER:
+		return newTSOPERSys(m)
+	default:
+		panic("machine: unknown system kind")
+	}
+}
+
+// baselineSys is SLC coherence with no persistency support at all.
+type baselineSys struct{}
+
+func (*baselineSys) destructive(mem.Line) bool { return true }
+func (*baselineSys) gateStore(_ *coreUnit, _ mem.Line, proceed func()) {
+	proceed()
+}
+func (*baselineSys) storeCommitted(*coreUnit, *slc.Node, *slc.Node)    {}
+func (*baselineSys) loadObservedDirty(*coreUnit, *slc.Node, *slc.Node) {}
+func (*baselineSys) exposed(*slc.Node, bool) sim.Time                  { return 0 }
+func (*baselineSys) evictedDirty(*slc.Node)                            {}
+func (*baselineSys) dirEvicted(*slc.Node)                              {}
+func (*baselineSys) nodeCleared(*slc.Node)                             {}
+func (*baselineSys) marker(*coreUnit)                                  {}
+func (*baselineSys) sync(_ *coreUnit, done func())                     { done() }
+func (*baselineSys) drain(done func())                                 { done() }

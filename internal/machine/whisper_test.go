@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// sharedOnly accepts only lines in the synthetic shared region — the
+// "persistent addresses" of the WHISPER-style hybrid.
+func sharedOnly(l mem.Line) bool {
+	return l >= mem.LineOf(trace.SharedBase) && l < mem.LineOf(trace.PrivateBase)
+}
+
+// Selective persistency (§V baseline discussion): with a persist filter,
+// only persistent lines get atomic-group treatment; private traffic runs
+// like a conventional protocol.
+func TestSelectivePersistency(t *testing.T) {
+	p := smallProfile(400)
+	full := runSmall(t, TSOPER, 400, 17)
+
+	cfg := TableI(TSOPER)
+	cfg.PersistFilter = sharedOnly
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := m.Run(trace.Generate(p, cfg.Cores, 17))
+
+	if sel.TotalPersistWrites >= full.TotalPersistWrites {
+		t.Fatalf("selective persists %d should be below full %d",
+			sel.TotalPersistWrites, full.TotalPersistWrites)
+	}
+	// Only persistent lines may appear in the durable image.
+	for line, v := range sel.Durable {
+		if !sharedOnly(line) && !v.IsInitial() {
+			t.Fatalf("non-persistent line %v reached NVM (%v)", line, v)
+		}
+	}
+	// Persistent lines still persist completely.
+	for line, order := range sel.LineOrder {
+		if !sharedOnly(line) {
+			continue
+		}
+		if got := sel.Durable[line]; got != order[len(order)-1] {
+			t.Fatalf("persistent line %v durable %v, want %v", line, got, order[len(order)-1])
+		}
+	}
+	// Groups contain only persistent lines.
+	for _, g := range sel.Groups {
+		for line := range g.DirtyLines() {
+			if !sharedOnly(line) {
+				t.Fatalf("group %v tracks non-persistent line %v", g, line)
+			}
+		}
+	}
+}
+
+// The hybrid must never be slower than full-coverage TSOPER on the same
+// workload: it strictly removes persistency work.
+func TestSelectiveNotSlower(t *testing.T) {
+	p := smallProfile(400)
+	full := runSmall(t, TSOPER, 400, 29)
+	cfg := TableI(TSOPER)
+	cfg.PersistFilter = sharedOnly
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := m.Run(trace.Generate(p, cfg.Cores, 29))
+	if sel.Cycles > full.Cycles+full.Cycles/20 {
+		t.Fatalf("selective (%d) notably slower than full (%d)", sel.Cycles, full.Cycles)
+	}
+}

@@ -1,0 +1,100 @@
+// Package noc models the on-chip interconnection network. The paper uses
+// GARNET with a 2D mesh (Table I); only end-to-end message latency and link
+// contention influence its results, so we model the mesh as hop-count
+// latency (per-hop router + link delay) plus per-node-pair link occupancy
+// for bandwidth contention.
+package noc
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes the mesh.
+type Config struct {
+	// Width and Height give the mesh dimensions; nodes are numbered
+	// row-major. An 8-core CMP with 8 LLC banks maps onto a 4x4 mesh.
+	Width, Height int
+	// HopLatency is router traversal + link delay per hop, in cycles.
+	HopLatency sim.Time
+	// LinkOccupancy is how long a message occupies its injection port,
+	// modeling serialization of multi-flit packets.
+	LinkOccupancy sim.Time
+}
+
+// DefaultConfig returns a 4x4 mesh with 3-cycle hops and 1-cycle
+// injection occupancy, matching the paper's GARNET setup in spirit.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, HopLatency: 3, LinkOccupancy: 1}
+}
+
+// Network routes messages between nodes.
+type Network struct {
+	cfg    Config
+	engine *sim.Engine
+	// ports serializes injections per source node.
+	ports *sim.Bank
+
+	msgs *stats.Counter
+	hops *stats.Counter
+}
+
+// New creates a network on the engine.
+func New(engine *sim.Engine, cfg Config, set *stats.Set) *Network {
+	if cfg.Width <= 0 {
+		cfg.Width = 1
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 1
+	}
+	return &Network{
+		cfg:    cfg,
+		engine: engine,
+		ports:  sim.NewBank(cfg.Width * cfg.Height),
+		msgs:   set.Counter("noc.messages"),
+		hops:   set.Counter("noc.hops"),
+	}
+}
+
+// Nodes returns the number of mesh nodes.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Hops returns the Manhattan distance between two nodes (XY routing).
+func (n *Network) Hops(src, dst int) int {
+	sx, sy := src%n.cfg.Width, src/n.cfg.Width
+	dx, dy := dst%n.cfg.Width, dst/n.cfg.Width
+	h := abs(sx-dx) + abs(sy-dy)
+	if h == 0 {
+		h = 1 // local delivery still crosses the node's router once
+	}
+	return h
+}
+
+// Latency returns the uncontended traversal time between two nodes.
+func (n *Network) Latency(src, dst int) sim.Time {
+	return sim.Time(n.Hops(src, dst)) * n.cfg.HopLatency
+}
+
+// Send models a message from src to dst starting now; it returns the arrival
+// time and schedules deliver (if non-nil) at that time. Injection contention
+// at the source is modeled; in-network contention is folded into HopLatency.
+func (n *Network) Send(src, dst int, deliver func()) sim.Time {
+	n.msgs.Inc()
+	n.hops.Add(uint64(n.Hops(src, dst)))
+	start := n.ports.Claim(src, n.engine.Now(), n.cfg.LinkOccupancy)
+	arrive := start + n.Latency(src, dst)
+	if deliver != nil {
+		n.engine.At(arrive, deliver)
+	}
+	return arrive
+}
+
+// Messages returns the number of messages sent.
+func (n *Network) Messages() uint64 { return n.msgs.Value }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func newNet(cfg Config) (*sim.Engine, *Network) {
+	e := sim.NewEngine()
+	return e, New(e, cfg, stats.NewSet())
+}
+
+func TestHopsManhattan(t *testing.T) {
+	_, n := newNet(DefaultConfig()) // 4x4
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 1},  // local delivery counts one router
+		{0, 1, 1},  // adjacent
+		{0, 3, 3},  // across a row
+		{0, 12, 3}, // down a column
+		{0, 15, 6}, // corner to corner
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d)=%d want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	_, n := newNet(DefaultConfig())
+	if got := n.Latency(0, 15); got != 18 {
+		t.Fatalf("corner latency=%d, want 18", got)
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	var at sim.Time
+	arrive := n.Send(0, 1, func() { at = e.Now() })
+	e.Run()
+	if at != arrive || at != 3 {
+		t.Fatalf("delivered at %d, arrive=%d", at, arrive)
+	}
+	if n.Messages() != 1 {
+		t.Fatalf("messages=%d", n.Messages())
+	}
+}
+
+func TestInjectionContention(t *testing.T) {
+	e, n := newNet(Config{Width: 2, Height: 1, HopLatency: 5, LinkOccupancy: 2})
+	a1 := n.Send(0, 1, nil)
+	a2 := n.Send(0, 1, nil)
+	// Second injection waits 2 cycles behind the first.
+	if a1 != 5 || a2 != 7 {
+		t.Fatalf("arrivals: %d %d", a1, a2)
+	}
+	e.Run()
+}
+
+func TestDifferentSourcesIndependent(t *testing.T) {
+	_, n := newNet(Config{Width: 2, Height: 1, HopLatency: 5, LinkOccupancy: 2})
+	a1 := n.Send(0, 1, nil)
+	a2 := n.Send(1, 0, nil)
+	if a1 != 5 || a2 != 5 {
+		t.Fatalf("arrivals: %d %d", a1, a2)
+	}
+}
+
+func TestPropertyHopsSymmetric(t *testing.T) {
+	_, n := newNet(DefaultConfig())
+	f := func(a, b uint8) bool {
+		src, dst := int(a)%n.Nodes(), int(b)%n.Nodes()
+		return n.Hops(src, dst) == n.Hops(dst, src) && n.Hops(src, dst) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateConfigClamped(t *testing.T) {
+	_, n := newNet(Config{Width: 0, Height: 0, HopLatency: 1})
+	if n.Nodes() != 1 {
+		t.Fatalf("nodes=%d", n.Nodes())
+	}
+}

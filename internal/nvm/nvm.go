@@ -1,0 +1,163 @@
+// Package nvm models byte-addressable non-volatile memory as the paper
+// configures it (Table I): 8 DDR-like ranks, 360-cycle writes and 240-cycle
+// reads, with lines interleaved across ranks by address. Each rank is a
+// serially occupied resource, so persist bursts queue exactly as they would
+// on a real channel. The package also holds the durable image used by the
+// crash-consistency checker: which version of each line has reached NVM.
+package nvm
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config sets the NVM geometry and timing.
+type Config struct {
+	// Ranks is the number of independent NVM ranks (Table I: 8).
+	Ranks int
+	// WriteLatency and ReadLatency are per-access completion times in
+	// cycles (Table I: 360 / 240).
+	WriteLatency sim.Time
+	ReadLatency  sim.Time
+	// WriteOccupancy and ReadOccupancy are the per-rank bus occupancy per
+	// access: DDR ranks pipeline, so back-to-back accesses to one rank
+	// start this many cycles apart even though each takes the full latency
+	// to complete. Systems that wait for write *completion* (BSP's LLC
+	// exclusion, HW-RP's persist barriers) pay the latency; systems that
+	// only need bandwidth (TSOPER's decoupled AGB egress) pay occupancy.
+	WriteOccupancy sim.Time
+	ReadOccupancy  sim.Time
+}
+
+// DefaultConfig returns the Table I configuration.
+func DefaultConfig() Config {
+	return Config{Ranks: 8, WriteLatency: 360, ReadLatency: 240, WriteOccupancy: 32, ReadOccupancy: 16}
+}
+
+// Memory is the simulated NVM device array.
+type Memory struct {
+	cfg    Config
+	engine *sim.Engine
+	ranks  *sim.Bank
+
+	// durable maps each line to the version currently stored in NVM.
+	// Absent means the initial (pre-run) version.
+	durable map[mem.Line]mem.Version
+
+	writes *stats.Counter
+	reads  *stats.Counter
+}
+
+// New creates an NVM array attached to the engine.
+func New(engine *sim.Engine, cfg Config, set *stats.Set) *Memory {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	return &Memory{
+		cfg:     cfg,
+		engine:  engine,
+		ranks:   sim.NewBank(cfg.Ranks),
+		durable: make(map[mem.Line]mem.Version),
+		writes:  set.Counter("nvm.writes"),
+		reads:   set.Counter("nvm.reads"),
+	}
+}
+
+// RankOf maps a line to its rank; same-address lines always route to the
+// same rank (§II-C: "Same-address cachelines are routed to the same MC").
+func (m *Memory) RankOf(l mem.Line) int {
+	return int(uint64(l) % uint64(m.cfg.Ranks))
+}
+
+// Ranks returns the number of ranks.
+func (m *Memory) Ranks() int { return m.cfg.Ranks }
+
+// Config returns the active configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Write makes version v of line l durable. It claims the line's rank
+// starting at the current cycle and invokes done (which may be nil) when the
+// write completes. It returns the completion time.
+func (m *Memory) Write(l mem.Line, v mem.Version, done func()) sim.Time {
+	m.writes.Inc()
+	occ := m.cfg.WriteOccupancy
+	if occ == 0 {
+		occ = m.cfg.WriteLatency
+	}
+	start := m.ranks.Claim(m.RankOf(l), m.engine.Now(), occ)
+	finish := start + m.cfg.WriteLatency
+	m.engine.At(finish, func() {
+		m.durable[l] = v
+		if done != nil {
+			done()
+		}
+	})
+	return finish
+}
+
+// WriteBuffered is Write, but additionally reports when the rank's
+// write-pending queue accepts the line. For power-backed WPQs that is the
+// durability point — the write is guaranteed to reach the media even across
+// a power failure — so relaxed systems block on accepted, not done.
+func (m *Memory) WriteBuffered(l mem.Line, v mem.Version, accepted, done func()) sim.Time {
+	m.writes.Inc()
+	occ := m.cfg.WriteOccupancy
+	if occ == 0 {
+		occ = m.cfg.WriteLatency
+	}
+	start := m.ranks.Claim(m.RankOf(l), m.engine.Now(), occ)
+	finish := start + m.cfg.WriteLatency
+	if accepted != nil {
+		m.engine.At(start, accepted)
+	}
+	m.engine.At(finish, func() {
+		m.durable[l] = v
+		if done != nil {
+			done()
+		}
+	})
+	return finish
+}
+
+// Read models a line fetch from NVM, returning the completion time.
+func (m *Memory) Read(l mem.Line, done func()) sim.Time {
+	m.reads.Inc()
+	occ := m.cfg.ReadOccupancy
+	if occ == 0 {
+		occ = m.cfg.ReadLatency
+	}
+	start := m.ranks.Claim(m.RankOf(l), m.engine.Now(), occ)
+	finish := start + m.cfg.ReadLatency
+	if done != nil {
+		m.engine.At(finish, done)
+	}
+	return finish
+}
+
+// Durable returns the durable version of line l (the zero Version if the
+// line was never persisted).
+func (m *Memory) Durable(l mem.Line) mem.Version {
+	return m.durable[l]
+}
+
+// DurableImage returns a copy of the full durable state, for crash checking.
+func (m *Memory) DurableImage() map[mem.Line]mem.Version {
+	img := make(map[mem.Line]mem.Version, len(m.durable))
+	for l, v := range m.durable {
+		img[l] = v
+	}
+	return img
+}
+
+// Writes returns the number of line writes issued so far.
+func (m *Memory) Writes() uint64 { return m.writes.Value }
+
+// RankUtilization returns per-rank busy fraction at time now.
+func (m *Memory) RankUtilization(now sim.Time) []float64 {
+	out := make([]float64, m.ranks.Len())
+	for i := range out {
+		out[i] = m.ranks.Unit(i).Utilization(now)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func newMem(cfg Config) (*sim.Engine, *Memory) {
+	e := sim.NewEngine()
+	return e, New(e, cfg, stats.NewSet())
+}
+
+func TestWriteLatency(t *testing.T) {
+	e, m := newMem(DefaultConfig())
+	var doneAt sim.Time
+	finish := m.Write(mem.Line(1), mem.Version{Core: 0, Seq: 1}, func() { doneAt = e.Now() })
+	if finish != 360 {
+		t.Fatalf("finish=%d, want 360", finish)
+	}
+	e.Run()
+	if doneAt != 360 {
+		t.Fatalf("done at %d", doneAt)
+	}
+	if m.Durable(mem.Line(1)) != (mem.Version{Core: 0, Seq: 1}) {
+		t.Fatalf("durable = %v", m.Durable(mem.Line(1)))
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	e, m := newMem(DefaultConfig())
+	finish := m.Read(mem.Line(2), nil)
+	if finish != 240 {
+		t.Fatalf("finish=%d, want 240", finish)
+	}
+	e.Run()
+	if m.Writes() != 0 {
+		t.Fatal("read should not count as write")
+	}
+}
+
+func TestSameRankSerializes(t *testing.T) {
+	e, m := newMem(Config{Ranks: 8, WriteLatency: 100, ReadLatency: 50})
+	// Lines 0 and 8 share rank 0; line 1 uses rank 1.
+	f1 := m.Write(mem.Line(0), mem.Version{Seq: 1}, nil)
+	f2 := m.Write(mem.Line(8), mem.Version{Seq: 2}, nil)
+	f3 := m.Write(mem.Line(1), mem.Version{Seq: 3}, nil)
+	if f1 != 100 || f2 != 200 || f3 != 100 {
+		t.Fatalf("finishes: %d %d %d", f1, f2, f3)
+	}
+	e.Run()
+}
+
+func TestRankOfStable(t *testing.T) {
+	_, m := newMem(DefaultConfig())
+	f := func(l uint64) bool {
+		r := m.RankOf(mem.Line(l))
+		return r >= 0 && r < m.Ranks() && r == m.RankOf(mem.Line(l))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableImageIsCopy(t *testing.T) {
+	e, m := newMem(DefaultConfig())
+	m.Write(mem.Line(5), mem.Version{Core: 1, Seq: 9}, nil)
+	e.Run()
+	img := m.DurableImage()
+	img[mem.Line(5)] = mem.Version{}
+	if m.Durable(mem.Line(5)) != (mem.Version{Core: 1, Seq: 9}) {
+		t.Fatal("DurableImage must be a copy")
+	}
+	if m.Durable(mem.Line(99)) != (mem.Version{}) {
+		t.Fatal("unwritten line must read initial version")
+	}
+}
+
+func TestSameAddressFIFO(t *testing.T) {
+	e, m := newMem(DefaultConfig())
+	l := mem.Line(3)
+	m.Write(l, mem.Version{Seq: 1}, nil)
+	m.Write(l, mem.Version{Seq: 2}, nil)
+	m.Write(l, mem.Version{Seq: 3}, nil)
+	e.Run()
+	if got := m.Durable(l); got != (mem.Version{Seq: 3}) {
+		t.Fatalf("final version %v, want seq 3", got)
+	}
+}
+
+func TestZeroRanksClamped(t *testing.T) {
+	_, m := newMem(Config{Ranks: 0, WriteLatency: 10, ReadLatency: 5})
+	if m.Ranks() != 1 {
+		t.Fatalf("ranks=%d, want clamp to 1", m.Ranks())
+	}
+}
+
+func TestRankUtilization(t *testing.T) {
+	e, m := newMem(Config{Ranks: 2, WriteLatency: 100, ReadLatency: 50})
+	m.Write(mem.Line(0), mem.Version{Seq: 1}, nil)
+	e.Run()
+	u := m.RankUtilization(200)
+	if u[0] != 0.5 || u[1] != 0 {
+		t.Fatalf("utilization=%v", u)
+	}
+}
+
+func TestWriteCounter(t *testing.T) {
+	e, m := newMem(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		m.Write(mem.Line(i), mem.Version{Seq: uint64(i + 1)}, nil)
+	}
+	e.Run()
+	if m.Writes() != 5 {
+		t.Fatalf("writes=%d", m.Writes())
+	}
+}

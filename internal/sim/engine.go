@@ -1,0 +1,160 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally small: a time-ordered event heap, a clock, and
+// helpers for modeling contended resources (ports, banks, links). All
+// simulated components in this repository — cores, cache controllers, the
+// directory, the atomic group buffer, and the NVM ranks — are driven by one
+// Engine. Determinism is guaranteed by breaking time ties with a
+// monotonically increasing sequence number, so two runs with the same inputs
+// produce identical schedules.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is the simulation clock in cycles.
+type Time uint64
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxUint64)
+
+// Event is a closure scheduled to run at a specific cycle.
+type Event func()
+
+type scheduledEvent struct {
+	at    Time
+	seq   uint64
+	fn    Event
+	index int // heap index; -1 once popped or canceled
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct {
+	ev *scheduledEvent
+}
+
+type eventHeap []*scheduledEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Executed counts events dispatched since construction.
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn later in the
+// current cycle, after already-scheduled same-cycle events.
+func (e *Engine) Schedule(delay Time, fn Event) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute cycle t. Scheduling in the past panics: it is
+// always a model bug, never a recoverable condition.
+func (e *Engine) At(t Time, fn Event) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
+	}
+	ev := &scheduledEvent{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a pending event. Canceling an already-run or already-canceled
+// event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.events, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run and RunUntil return after the currently dispatching event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the queue is empty or Stop is called.
+// It returns the final simulation time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil dispatches events with time <= limit. Events scheduled beyond the
+// limit remain queued. The clock is left at the time of the last dispatched
+// event (or at limit if nothing at all was run past it).
+func (e *Engine) RunUntil(limit Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.Executed++
+		next.fn()
+	}
+	return e.now
+}
+
+// Step dispatches exactly one event if any is pending, returning true if an
+// event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.events).(*scheduledEvent)
+	e.now = next.at
+	e.Executed++
+	next.fn()
+	return true
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", e.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("nested schedule times: %v", hits)
+	}
+}
+
+func TestZeroDelayRunsThisCycle(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func() {
+		e.Schedule(0, func() { ran = true })
+		if ran {
+			t.Fatal("zero-delay event ran during scheduling")
+		}
+	})
+	e.Run()
+	if !ran || e.Now() != 5 {
+		t.Fatalf("ran=%v now=%d", ran, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, d := range []Time{3, 6, 9} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(6)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want events at 3 and 6", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(ran) != 3 {
+		t.Fatalf("final ran %v", ran)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(4, func() { ran = true })
+	if !e.Cancel(id) {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second cancel should fail")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var ran []int
+	var ids []EventID
+	for i := 0; i < 5; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Time(i+1), func() { ran = append(ran, i) }))
+	}
+	e.Cancel(ids[2])
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("ran=%v", ran)
+	}
+	for _, v := range ran {
+		if v == 2 {
+			t.Fatal("canceled event 2 ran")
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending=%d, want 7", e.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("step 1: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("step 2: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue returned true")
+	}
+}
+
+// Property: regardless of insertion order, events dispatch in nondecreasing
+// time order and ties dispatch in insertion order.
+func TestPropertyDispatchOrder(t *testing.T) {
+	f := func(delays []uint8) bool {
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, d := range delays {
+			i, at := i, Time(d)
+			e.Schedule(at, func() { got = append(got, rec{at, i}) })
+		}
+		e.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	s1 := r.Claim(100, 10)
+	s2 := r.Claim(100, 10)
+	s3 := r.Claim(105, 10)
+	if s1 != 100 || s2 != 110 || s3 != 120 {
+		t.Fatalf("starts = %d %d %d", s1, s2, s3)
+	}
+	if r.Claims != 3 || r.Busy != 30 {
+		t.Fatalf("claims=%d busy=%d", r.Claims, r.Busy)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	var r Resource
+	r.Claim(10, 5)
+	s := r.Claim(100, 5)
+	if s != 100 {
+		t.Fatalf("start=%d, want 100 (resource was idle)", s)
+	}
+}
+
+func TestBankIndependence(t *testing.T) {
+	b := NewBank(4)
+	s0 := b.Claim(0, 10, 20)
+	s1 := b.Claim(1, 10, 20)
+	if s0 != 10 || s1 != 10 {
+		t.Fatalf("banks not independent: %d %d", s0, s1)
+	}
+	s0b := b.Claim(0, 10, 20)
+	if s0b != 30 {
+		t.Fatalf("same bank did not serialize: %d", s0b)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len=%d", b.Len())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var r Resource
+	r.Claim(0, 50)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("utilization=%f", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization at t=0 should be 0, got %f", u)
+	}
+}
+
+// Property: Resource.Claim never returns a start before the request time and
+// never overlaps the previous occupancy.
+func TestPropertyResourceNoOverlap(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		var r Resource
+		at := Time(0)
+		var lastEnd Time
+		for _, q := range reqs {
+			at += Time(q % 16)
+			occ := Time(q%8) + 1
+			start := r.Claim(at, occ)
+			if start < at || start < lastEnd {
+				return false
+			}
+			lastEnd = start + occ
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+// Resource models a pipelined unit that can start one operation per
+// occupancy period: a cache bank port, a directory slot, an NVM rank bus, or
+// a NoC link. Claim returns the cycle at which a new operation may begin,
+// serializing back-to-back claims. It captures queuing delay without modeling
+// individual queue entries.
+type Resource struct {
+	// nextFree is the first cycle at which the resource can accept work.
+	nextFree Time
+	// Busy accumulates total occupied cycles, for utilization stats.
+	Busy Time
+	// Claims counts operations issued through this resource.
+	Claims uint64
+}
+
+// Claim reserves the resource starting no earlier than at, for occupancy
+// cycles, and returns the actual start time (>= at).
+func (r *Resource) Claim(at, occupancy Time) Time {
+	start := at
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	r.nextFree = start + occupancy
+	r.Busy += occupancy
+	r.Claims++
+	return start
+}
+
+// NextFree returns the first cycle the resource is idle.
+func (r *Resource) NextFree() Time { return r.nextFree }
+
+// Utilization returns busy cycles divided by the elapsed time `now`.
+func (r *Resource) Utilization(now Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(now)
+}
+
+// Bank is a group of independent resources selected by an index, e.g. LLC
+// banks or NVM ranks.
+type Bank struct {
+	units []Resource
+}
+
+// NewBank creates n independent resource units.
+func NewBank(n int) *Bank {
+	return &Bank{units: make([]Resource, n)}
+}
+
+// Claim reserves unit i.
+func (b *Bank) Claim(i int, at, occupancy Time) Time {
+	return b.units[i].Claim(at, occupancy)
+}
+
+// Unit returns unit i for inspection.
+func (b *Bank) Unit(i int) *Resource { return &b.units[i] }
+
+// Len returns the number of units.
+func (b *Bank) Len() int { return len(b.units) }

@@ -1,0 +1,215 @@
+// Package stats collects simulation statistics: named counters,
+// distributions with cumulative histograms, and time series. It backs every
+// figure reproduced from the paper's evaluation (§V): Figure 13's AG-size
+// cumulative histogram, Figure 14's traffic breakdowns, and Figure 15's
+// region-size timelines.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing named count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Dist accumulates a distribution of integer samples, retaining enough to
+// compute mean, percentiles, and cumulative histograms.
+type Dist struct {
+	Name    string
+	samples []uint64
+	sorted  bool
+	sum     uint64
+	max     uint64
+}
+
+// NewDist returns an empty named distribution.
+func NewDist(name string) *Dist { return &Dist{Name: name} }
+
+// Observe records one sample.
+func (d *Dist) Observe(v uint64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (d *Dist) Count() int { return len(d.samples) }
+
+// Sum returns the sum of all samples.
+func (d *Dist) Sum() uint64 { return d.sum }
+
+// Max returns the largest sample (0 if empty).
+func (d *Dist) Max() uint64 { return d.max }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(len(d.samples))
+}
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank; it returns 0 for an empty distribution.
+func (d *Dist) Percentile(p float64) uint64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	rank := int(math.Ceil(p/100*float64(len(d.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(d.samples) {
+		rank = len(d.samples) - 1
+	}
+	return d.samples[rank]
+}
+
+// FracAtMost returns the fraction of samples <= v (the empirical CDF at v).
+func (d *Dist) FracAtMost(v uint64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	// First index with sample > v.
+	i := sort.Search(len(d.samples), func(i int) bool { return d.samples[i] > v })
+	return float64(i) / float64(len(d.samples))
+}
+
+// CumHist returns (bound, cumulative fraction) pairs for the given bounds,
+// i.e. the cumulative histogram the paper plots in Figures 13 and 15.
+func (d *Dist) CumHist(bounds []uint64) []CumBin {
+	out := make([]CumBin, len(bounds))
+	for i, b := range bounds {
+		out[i] = CumBin{Bound: b, Frac: d.FracAtMost(b)}
+	}
+	return out
+}
+
+// CumBin is one point of a cumulative histogram.
+type CumBin struct {
+	Bound uint64
+	Frac  float64
+}
+
+// String renders a compact summary.
+func (d *Dist) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.2f p50=%d p90=%d p99=%d max=%d",
+		d.Name, d.Count(), d.Mean(), d.Percentile(50), d.Percentile(90), d.Percentile(99), d.Max())
+}
+
+// Series is an (x, y) time series, used for Figure 15's size-over-time plots.
+type Series struct {
+	Name string
+	X    []uint64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x uint64, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Downsample returns at most n points, evenly strided, preserving endpoints.
+func (s *Series) Downsample(n int) *Series {
+	out := &Series{Name: s.Name}
+	if s.Len() == 0 || n <= 0 {
+		return out
+	}
+	if s.Len() <= n {
+		out.X = append(out.X, s.X...)
+		out.Y = append(out.Y, s.Y...)
+		return out
+	}
+	stride := float64(s.Len()-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		j := int(math.Round(float64(i) * stride))
+		out.Append(s.X[j], s.Y[j])
+	}
+	return out
+}
+
+// Set is a registry of counters and distributions for one simulation run.
+type Set struct {
+	counters map[string]*Counter
+	dists    map[string]*Dist
+	order    []string
+}
+
+// NewSet returns an empty registry.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]*Counter),
+		dists:    make(map[string]*Dist),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Dist returns (creating if needed) the named distribution.
+func (s *Set) Dist(name string) *Dist {
+	if d, ok := s.dists[name]; ok {
+		return d
+	}
+	d := NewDist(name)
+	s.dists[name] = d
+	s.order = append(s.order, name)
+	return d
+}
+
+// CounterValue returns the value of a counter, 0 if absent.
+func (s *Set) CounterValue(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value
+	}
+	return 0
+}
+
+// String renders every metric in registration order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		if c, ok := s.counters[name]; ok {
+			fmt.Fprintf(&b, "%s = %d\n", c.Name, c.Value)
+		} else if d, ok := s.dists[name]; ok {
+			fmt.Fprintf(&b, "%s\n", d.String())
+		}
+	}
+	return b.String()
+}

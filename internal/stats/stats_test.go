@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("stores")
+	c.Inc()
+	c.Add(9)
+	if s.CounterValue("stores") != 10 {
+		t.Fatalf("value=%d", s.CounterValue("stores"))
+	}
+	if s.CounterValue("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	if s.Counter("stores") != c {
+		t.Fatal("Counter should return the same instance")
+	}
+}
+
+func TestDistBasics(t *testing.T) {
+	d := NewDist("ag")
+	for _, v := range []uint64{1, 2, 3, 4, 100} {
+		d.Observe(v)
+	}
+	if d.Count() != 5 || d.Sum() != 110 || d.Max() != 100 {
+		t.Fatalf("count=%d sum=%d max=%d", d.Count(), d.Sum(), d.Max())
+	}
+	if d.Mean() != 22 {
+		t.Fatalf("mean=%f", d.Mean())
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	d := NewDist("empty")
+	if d.Mean() != 0 || d.Percentile(50) != 0 || d.FracAtMost(10) != 0 {
+		t.Fatal("empty dist should report zeros")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	d := NewDist("p")
+	for i := uint64(1); i <= 100; i++ {
+		d.Observe(i)
+	}
+	if got := d.Percentile(50); got != 50 {
+		t.Fatalf("p50=%d", got)
+	}
+	if got := d.Percentile(90); got != 90 {
+		t.Fatalf("p90=%d", got)
+	}
+	if got := d.Percentile(100); got != 100 {
+		t.Fatalf("p100=%d", got)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0=%d", got)
+	}
+}
+
+func TestFracAtMost(t *testing.T) {
+	d := NewDist("f")
+	for _, v := range []uint64{1, 1, 2, 5, 10} {
+		d.Observe(v)
+	}
+	cases := []struct {
+		v    uint64
+		want float64
+	}{
+		{0, 0}, {1, 0.4}, {2, 0.6}, {4, 0.6}, {5, 0.8}, {10, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := d.FracAtMost(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FracAtMost(%d)=%f want %f", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCumHist(t *testing.T) {
+	d := NewDist("h")
+	for i := uint64(1); i <= 10; i++ {
+		d.Observe(i)
+	}
+	bins := d.CumHist([]uint64{2, 5, 10})
+	want := []float64{0.2, 0.5, 1.0}
+	for i, b := range bins {
+		if math.Abs(b.Frac-want[i]) > 1e-12 {
+			t.Errorf("bin %d: frac=%f want %f", i, b.Frac, want[i])
+		}
+	}
+}
+
+// Property: the CDF is monotone nondecreasing and ends at 1.
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		d := NewDist("q")
+		var maxV uint64
+		for _, v := range vals {
+			d.Observe(uint64(v))
+			if uint64(v) > maxV {
+				maxV = uint64(v)
+			}
+		}
+		prev := -1.0
+		for v := uint64(0); v <= maxV; v++ {
+			f := d.FracAtMost(v)
+			if f < prev {
+				return false
+			}
+			prev = f
+		}
+		return d.FracAtMost(maxV) == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveAfterSortKeepsCorrectness(t *testing.T) {
+	d := NewDist("resort")
+	d.Observe(10)
+	_ = d.Percentile(50) // forces sort
+	d.Observe(1)
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0 after late observe = %d", got)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := &Series{Name: "ts"}
+	for i := uint64(0); i < 1000; i++ {
+		s.Append(i, float64(i))
+	}
+	ds := s.Downsample(10)
+	if ds.Len() != 10 {
+		t.Fatalf("len=%d", ds.Len())
+	}
+	if ds.X[0] != 0 || ds.X[9] != 999 {
+		t.Fatalf("endpoints: %d %d", ds.X[0], ds.X[9])
+	}
+	small := &Series{Name: "s"}
+	small.Append(1, 1)
+	if small.Downsample(10).Len() != 1 {
+		t.Fatal("downsample should not pad short series")
+	}
+	if (&Series{}).Downsample(5).Len() != 0 {
+		t.Fatal("empty downsample")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet()
+	s.Counter("a").Add(3)
+	s.Dist("b").Observe(7)
+	out := s.String()
+	if !strings.Contains(out, "a = 3") || !strings.Contains(out, "b:") {
+		t.Fatalf("set string:\n%s", out)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	d := NewDist("x")
+	d.Observe(5)
+	if !strings.Contains(d.String(), "n=1") {
+		t.Fatalf("dist string: %s", d.String())
+	}
+}

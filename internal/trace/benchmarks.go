@@ -1,0 +1,181 @@
+package trace
+
+// Benchmarks returns the profiles standing in for the PARSEC 3.0 and
+// Splash-3 applications evaluated in the paper (§V, "Benchmarks"). Small-
+// input runs: barnes, cholesky, fft, freqmine, lu_cb, lu_ncb, streamcluster,
+// swaptions, vips. Large-input runs: blackscholes, bodytrack, canneal,
+// dedup, ferret, fluidanimate, ocean_cp, radiosity, radix, raytrace,
+// volrend, water, x264.
+//
+// Each profile is tuned toward the behavior the paper reports for that
+// application rather than toward its literal computation:
+//
+//   - radix and lu_ncb generate the largest persist volume and the most
+//     atomic groups (worst cases for STW in Fig. 11: +392% and +104%);
+//   - ocean_cp alternates compute and store phases with periodic barriers
+//     (Fig. 15) and produces the highest HW-RP persist traffic (Fig. 14);
+//   - dedup keeps persist lists short (~2) while x264 (~4) and bodytrack
+//     (~6) keep them longer (§V-B), controlled here by hot-line contention;
+//   - blackscholes and swaptions have few simultaneous writers, so BSP and
+//     BSP+SLC behave alike on them (Fig. 12).
+func Benchmarks() []Profile {
+	return []Profile{
+		// ---- Splash-3, small inputs ----
+		{
+			Name: "barnes", OpsPerCore: 4000, StoreFrac: 0.30, SharedFrac: 0.35,
+			SharedLines: 512, PrivateLines: 256, HotFrac: 0.25, HotLines: 16,
+			Locality: 0.45, SyncPeriod: 200, CSStores: 2, ComputeMean: 4,
+		},
+		{
+			Name: "cholesky", OpsPerCore: 4000, StoreFrac: 0.28, SharedFrac: 0.30,
+			SharedLines: 768, PrivateLines: 384, HotFrac: 0.20, HotLines: 24,
+			Locality: 0.55, SyncPeriod: 250, CSStores: 1, ComputeMean: 5,
+		},
+		{
+			Name: "fft", OpsPerCore: 4000, StoreFrac: 0.35, SharedFrac: 0.40,
+			SharedLines: 1024, PrivateLines: 256, HotFrac: 0.10, HotLines: 8,
+			Locality: 0.65, SyncPeriod: 400, CSStores: 1, ComputeMean: 3,
+		},
+		{
+			Name: "freqmine", OpsPerCore: 4000, StoreFrac: 0.25, SharedFrac: 0.30,
+			SharedLines: 640, PrivateLines: 512, HotFrac: 0.30, HotLines: 20,
+			Locality: 0.40, SyncPeriod: 180, CSStores: 2, ComputeMean: 5,
+		},
+		{
+			Name: "lu_cb", OpsPerCore: 4000, StoreFrac: 0.38, SharedFrac: 0.35,
+			SharedLines: 896, PrivateLines: 256, HotFrac: 0.15, HotLines: 12,
+			Locality: 0.70, SyncPeriod: 300, CSStores: 1, ComputeMean: 3,
+		},
+		{
+			// Non-contiguous blocks: heavy false sharing and persist volume.
+			Name: "lu_ncb", OpsPerCore: 4000, StoreFrac: 0.45, SharedFrac: 0.55,
+			SharedLines: 1024, PrivateLines: 128, HotFrac: 0.20, HotLines: 24,
+			Locality: 0.30, SyncPeriod: 220, CSStores: 3, ComputeMean: 2,
+			FalseSharing: 0.50,
+		},
+		{
+			Name: "streamcluster", OpsPerCore: 4000, StoreFrac: 0.32, SharedFrac: 0.45,
+			SharedLines: 768, PrivateLines: 192, HotFrac: 0.35, HotLines: 12,
+			Locality: 0.60, SyncPeriod: 150, CSStores: 2, ComputeMean: 3,
+		},
+		{
+			// Few simultaneous writers: almost all private, streaming
+			// through a working set larger than the private cache.
+			Name: "swaptions", OpsPerCore: 4000, StoreFrac: 0.25, SharedFrac: 0.06,
+			SharedLines: 128, PrivateLines: 10240, HotFrac: 0.10, HotLines: 4,
+			Locality: 0.60, SyncPeriod: 1500, CSStores: 1, ComputeMean: 6,
+		},
+		{
+			Name: "vips", OpsPerCore: 4000, StoreFrac: 0.30, SharedFrac: 0.25,
+			SharedLines: 512, PrivateLines: 384, HotFrac: 0.20, HotLines: 12,
+			Locality: 0.55, SyncPeriod: 300, CSStores: 2, ComputeMean: 4,
+		},
+
+		// ---- PARSEC 3.0, large inputs ----
+		{
+			// Few simultaneous writers; streams option chains far larger
+			// than the private cache.
+			Name: "blackscholes", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.22,
+			SharedFrac: 0.05, SharedLines: 128, PrivateLines: 12288, HotFrac: 0.10,
+			HotLines: 4, Locality: 0.70, SyncPeriod: 2000, CSStores: 1, ComputeMean: 6,
+		},
+		{
+			// Long persist lists (~6): strong hot-line write contention.
+			Name: "bodytrack", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.30,
+			SharedFrac: 0.50, SharedLines: 384, PrivateLines: 256, HotFrac: 0.60,
+			HotLines: 6, Locality: 0.35, SyncPeriod: 150, CSStores: 3, ComputeMean: 3,
+		},
+		{
+			Name: "canneal", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.28,
+			SharedFrac: 0.55, SharedLines: 2048, PrivateLines: 128, HotFrac: 0.05,
+			HotLines: 16, Locality: 0.15, SyncPeriod: 400, CSStores: 1, ComputeMean: 2,
+		},
+		{
+			// Short persist lists (~2): little write contention.
+			Name: "dedup", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.33,
+			SharedFrac: 0.30, SharedLines: 1024, PrivateLines: 384, HotFrac: 0.08,
+			HotLines: 32, Locality: 0.50, SyncPeriod: 250, CSStores: 1, ComputeMean: 3,
+		},
+		{
+			Name: "ferret", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.27,
+			SharedFrac: 0.35, SharedLines: 768, PrivateLines: 384, HotFrac: 0.25,
+			HotLines: 16, Locality: 0.45, SyncPeriod: 220, CSStores: 2, ComputeMean: 4,
+		},
+		{
+			Name: "fluidanimate", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.35,
+			SharedFrac: 0.40, SharedLines: 1024, PrivateLines: 256, HotFrac: 0.20,
+			HotLines: 20, Locality: 0.55, SyncPeriod: 180, CSStores: 2, ComputeMean: 3,
+		},
+		{
+			// Periodic grid phases + barriers; highest HW-RP persist traffic.
+			Name: "ocean_cp", LargeInput: true, OpsPerCore: 6000, StoreFrac: 0.40,
+			SharedFrac: 0.50, SharedLines: 512, PrivateLines: 96, HotFrac: 0.15,
+			HotLines: 16, Locality: 0.75, SyncPeriod: 120, CSStores: 1, CSBurst: 10,
+			ComputeMean: 3, PhasePeriod: 600,
+		},
+		{
+			Name: "radiosity", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.30,
+			SharedFrac: 0.45, SharedLines: 896, PrivateLines: 256, HotFrac: 0.30,
+			HotLines: 14, Locality: 0.40, SyncPeriod: 200, CSStores: 2, ComputeMean: 3,
+		},
+		{
+			// Highest persist volume + most AGs: worst case for STW.
+			Name: "radix", LargeInput: true, OpsPerCore: 6000, StoreFrac: 0.55,
+			SharedFrac: 0.65, SharedLines: 2048, PrivateLines: 96, HotFrac: 0.10,
+			HotLines: 32, Locality: 0.20, SyncPeriod: 250, CSStores: 4, ComputeMean: 1,
+			FalseSharing: 0.30,
+		},
+		{
+			Name: "raytrace", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.24,
+			SharedFrac: 0.30, SharedLines: 1024, PrivateLines: 384, HotFrac: 0.20,
+			HotLines: 12, Locality: 0.50, SyncPeriod: 300, CSStores: 1, ComputeMean: 4,
+		},
+		{
+			Name: "volrend", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.26,
+			SharedFrac: 0.35, SharedLines: 640, PrivateLines: 320, HotFrac: 0.30,
+			HotLines: 10, Locality: 0.45, SyncPeriod: 250, CSStores: 2, ComputeMean: 4,
+		},
+		{
+			Name: "water", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.29,
+			SharedFrac: 0.30, SharedLines: 512, PrivateLines: 320, HotFrac: 0.25,
+			HotLines: 12, Locality: 0.50, SyncPeriod: 250, CSStores: 2, ComputeMean: 4,
+		},
+		{
+			// Persist lists ~4: moderate contention.
+			Name: "x264", LargeInput: true, OpsPerCore: 5000, StoreFrac: 0.34,
+			SharedFrac: 0.45, SharedLines: 512, PrivateLines: 256, HotFrac: 0.45,
+			HotLines: 8, Locality: 0.40, SyncPeriod: 150, CSStores: 2, ComputeMean: 3,
+		},
+	}
+}
+
+// ByName returns the named benchmark profile, or false if unknown.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists all benchmark names in figure order.
+func Names() []string {
+	bs := Benchmarks()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// Scale returns a copy of p with OpsPerCore multiplied by f (minimum 64),
+// used by tests and benches to run abbreviated workloads.
+func (p Profile) Scale(f float64) Profile {
+	q := p
+	q.OpsPerCore = int(float64(p.OpsPerCore) * f)
+	if q.OpsPerCore < 64 {
+		q.OpsPerCore = 64
+	}
+	return q
+}

@@ -1,0 +1,267 @@
+// Package trace generates deterministic synthetic workloads that stand in
+// for the PARSEC 3.0 and Splash-3 benchmarks the paper evaluates (§V).
+//
+// The original suites are external binaries driven through a Sniper
+// front-end; the front-end's only role is to feed per-core memory-operation
+// streams into the simulated hierarchy. We therefore model each named
+// benchmark as a parameterized stream generator (a Profile) whose knobs are
+// exactly the properties the paper's results depend on: store fraction,
+// shared-data fraction and skew, working-set sizes, synchronization
+// frequency, critical-section store bursts, compute density, and phase
+// behavior. The profiles are tuned so the qualitative structure of
+// Figures 11-15 reproduces (e.g. radix and lu_ncb stress stop-the-world
+// persistency; ocean_cp has periodic sync phases and the highest relaxed-
+// persistency write amplification; dedup builds short persist lists while
+// bodytrack builds long ones).
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark name as it appears in the paper's figures.
+	Name string
+	// LargeInput marks the benchmarks the paper runs with large inputs.
+	LargeInput bool
+
+	// OpsPerCore is the number of trace operations generated per core.
+	OpsPerCore int
+	// StoreFrac is the fraction of memory operations that are stores.
+	StoreFrac float64
+	// SharedFrac is the fraction of accesses that target the shared region.
+	SharedFrac float64
+	// SharedLines and PrivateLines size the two regions in cachelines.
+	SharedLines  int
+	PrivateLines int
+	// HotFrac concentrates this fraction of shared accesses onto HotLines
+	// lines, creating the contended lines that grow sharing lists.
+	HotFrac  float64
+	HotLines int
+	// Locality is the probability that an access reuses the previous line
+	// (spatial/temporal streaming inside a core).
+	Locality float64
+	// SyncPeriod is the mean number of memory ops between synchronization
+	// operations (0 disables sync). HW-RP uses these to delimit SFRs.
+	SyncPeriod int
+	// CSStores is the number of stores issued inside each critical section
+	// (immediately after a sync), modeling lock-protected shared updates.
+	CSStores int
+	// CSBurst is how many back-to-back critical sections fire at each sync
+	// point (default 1). Fine-grained locking (e.g. ocean's per-cell
+	// updates) issues many tiny CSes per region, which is what makes over
+	// 90% of HW-RP's SFRs single-store (§V-D).
+	CSBurst int
+	// ComputeMean is the mean length of compute bursts between memory ops.
+	ComputeMean int
+	// PhasePeriod, when nonzero, alternates compute-heavy and store-heavy
+	// phases of this many ops (ocean-style periodic behavior).
+	PhasePeriod int
+	// FalseSharing makes distinct cores write distinct words of the same
+	// line with this probability per shared store.
+	FalseSharing float64
+}
+
+// Workload is the generated trace: one op stream per core.
+type Workload struct {
+	Profile Profile
+	Cores   [][]mem.Op
+}
+
+// Regions of the synthetic address space. Shared lines start at SharedBase;
+// each core's private region starts at PrivateBase + core*PrivateStride.
+const (
+	SharedBase    mem.Addr = 0x1000_0000
+	PrivateBase   mem.Addr = 0x8000_0000
+	PrivateStride mem.Addr = 0x0100_0000
+)
+
+// Generate produces the workload for nCores cores with the given seed.
+// The same (profile, nCores, seed) always yields the identical trace.
+func Generate(p Profile, nCores int, seed int64) *Workload {
+	w := &Workload{Profile: p, Cores: make([][]mem.Op, nCores)}
+	for c := 0; c < nCores; c++ {
+		w.Cores[c] = genCore(p, c, nCores, seed)
+	}
+	return w
+}
+
+func genCore(p Profile, core, nCores int, seed int64) []mem.Op {
+	rng := rand.New(rand.NewSource(seed*7919 + int64(core)*104729 + 1))
+	ops := make([]mem.Op, 0, p.OpsPerCore+p.OpsPerCore/8)
+
+	privBase := PrivateBase + mem.Addr(core)*PrivateStride
+	var prevLine mem.Line
+	havePrev := false
+	sinceSync := 0
+	csLeft := 0
+	burstLeft := 0
+	syncID := uint32(0)
+
+	storePhase := true // in phase mode, whether current phase is store-heavy
+
+	for len(ops) < p.OpsPerCore {
+		n := len(ops)
+		if p.PhasePeriod > 0 && n%p.PhasePeriod == 0 {
+			storePhase = !storePhase
+		}
+
+		// Synchronization. A critical section is bracketed by two sync
+		// operations (acquire and release): under SFR persistency each CS
+		// is its own synchronization-free region, which is why the paper
+		// observes that over 90% of HW-RP's SFRs contain a single store
+		// (§V-D) while TSOPER's atomic groups coalesce across them.
+		if csLeft > 0 {
+			csLeft--
+			ops = append(ops, mem.Op{Kind: mem.OpStore, Addr: csAddr(p, core, rng)})
+			if csLeft == 0 {
+				syncID++
+				ops = append(ops, mem.Op{Kind: mem.OpSync, Arg: syncID}) // release
+				burstLeft--
+				if burstLeft > 0 {
+					// The next critical section of the burst acquires
+					// immediately (fine-grained per-element locking).
+					syncID++
+					ops = append(ops, mem.Op{Kind: mem.OpSync, Arg: syncID})
+					csLeft = p.CSStores
+				}
+			}
+			continue
+		}
+		if p.SyncPeriod > 0 {
+			sinceSync++
+			if sinceSync >= p.SyncPeriod+rng.Intn(p.SyncPeriod/2+1)-p.SyncPeriod/4 {
+				sinceSync = 0
+				syncID++
+				ops = append(ops, mem.Op{Kind: mem.OpSync, Arg: syncID}) // acquire
+				csLeft = p.CSStores
+				burstLeft = p.CSBurst
+				if burstLeft < 1 {
+					burstLeft = 1
+				}
+				continue
+			}
+		}
+
+		// Compute burst. Real PARSEC/Splash regions of interest are
+		// compute-dominated: memory operations are a minority of dynamic
+		// instructions, so each generated compute op stands for a sizable
+		// burst of non-memory work.
+		if p.ComputeMean > 0 && rng.Float64() < 0.35 {
+			burst := 1 + rng.Intn(p.ComputeMean*12)
+			if p.PhasePeriod > 0 && !storePhase {
+				burst *= 3
+			}
+			ops = append(ops, mem.Op{Kind: mem.OpCompute, Arg: uint32(burst)})
+			continue
+		}
+
+		// Pick line.
+		var line mem.Line
+		shared := rng.Float64() < p.SharedFrac
+		switch {
+		case havePrev && rng.Float64() < p.Locality:
+			line = prevLine
+			if rng.Float64() < 0.5 {
+				line++ // streaming to the next line
+			}
+		case shared:
+			if p.HotLines > 0 && rng.Float64() < p.HotFrac {
+				line = mem.LineOf(SharedBase) + mem.Line(rng.Intn(p.HotLines))
+			} else {
+				line = mem.LineOf(SharedBase) + mem.Line(rng.Intn(max(p.SharedLines, 1)))
+			}
+		default:
+			line = mem.LineOf(privBase) + mem.Line(rng.Intn(max(p.PrivateLines, 1)))
+		}
+		prevLine, havePrev = line, true
+
+		// Word offset; false sharing gives each core its own word of a line.
+		off := mem.Addr(rng.Intn(mem.LineSize/8)) * 8
+		if shared && rng.Float64() < p.FalseSharing {
+			off = mem.Addr(core%8) * 8
+		}
+		addr := line.Base() + off
+
+		isStore := rng.Float64() < p.StoreFrac
+		if p.PhasePeriod > 0 {
+			if storePhase {
+				isStore = rng.Float64() < minF(p.StoreFrac*2, 0.9)
+			} else {
+				isStore = rng.Float64() < p.StoreFrac*0.2
+			}
+		}
+		if isStore {
+			ops = append(ops, mem.Op{Kind: mem.OpStore, Addr: addr})
+		} else {
+			ops = append(ops, mem.Op{Kind: mem.OpLoad, Addr: addr})
+		}
+	}
+	return ops[:p.OpsPerCore]
+}
+
+// csAddr picks the shared variable a critical section updates: a word in
+// one of the hot contended lines (or the general shared region if the
+// profile has no hot set).
+func csAddr(p Profile, core int, rng *rand.Rand) mem.Addr {
+	var line mem.Line
+	if p.HotLines > 0 {
+		line = mem.LineOf(SharedBase) + mem.Line(rng.Intn(p.HotLines))
+	} else {
+		line = mem.LineOf(SharedBase) + mem.Line(rng.Intn(max(p.SharedLines, 1)))
+	}
+	off := mem.Addr(rng.Intn(mem.LineSize/8)) * 8
+	if rng.Float64() < p.FalseSharing {
+		off = mem.Addr(core%8) * 8
+	}
+	return line.Base() + off
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes a generated workload (used by tests and examples).
+type Stats struct {
+	Ops, Loads, Stores, Syncs, Computes int
+	SharedStores                        int
+}
+
+// Summarize computes aggregate statistics over all cores.
+func (w *Workload) Summarize() Stats {
+	var s Stats
+	sharedLo := mem.LineOf(SharedBase)
+	sharedHi := sharedLo + mem.Line(w.Profile.SharedLines) + 8
+	for _, ops := range w.Cores {
+		for _, op := range ops {
+			s.Ops++
+			switch op.Kind {
+			case mem.OpLoad:
+				s.Loads++
+			case mem.OpStore:
+				s.Stores++
+				if l := mem.LineOf(op.Addr); l >= sharedLo && l < sharedHi {
+					s.SharedStores++
+				}
+			case mem.OpSync:
+				s.Syncs++
+			case mem.OpCompute:
+				s.Computes++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestDeterminism(t *testing.T) {
+	p, _ := ByName("fft")
+	w1 := Generate(p, 4, 42)
+	w2 := Generate(p, 4, 42)
+	if !reflect.DeepEqual(w1.Cores, w2.Cores) {
+		t.Fatal("same (profile, cores, seed) must generate identical traces")
+	}
+	w3 := Generate(p, 4, 43)
+	if reflect.DeepEqual(w1.Cores, w3.Cores) {
+		t.Fatal("different seeds should generate different traces")
+	}
+}
+
+func TestOpsPerCoreExact(t *testing.T) {
+	for _, p := range Benchmarks() {
+		w := Generate(p.Scale(0.1), 2, 1)
+		for c, ops := range w.Cores {
+			if len(ops) != p.Scale(0.1).OpsPerCore {
+				t.Errorf("%s core %d: %d ops, want %d", p.Name, c, len(ops), p.Scale(0.1).OpsPerCore)
+			}
+		}
+	}
+}
+
+func TestStoreFractionRoughlyHonored(t *testing.T) {
+	p := Profile{
+		Name: "synthetic", OpsPerCore: 20000, StoreFrac: 0.4, SharedFrac: 0.3,
+		SharedLines: 256, PrivateLines: 256, Locality: 0.3,
+	}
+	w := Generate(p, 1, 7)
+	s := w.Summarize()
+	frac := float64(s.Stores) / float64(s.Loads+s.Stores)
+	if math.Abs(frac-0.4) > 0.05 {
+		t.Fatalf("store fraction %.3f, want ~0.40", frac)
+	}
+}
+
+func TestSyncPresentWhenConfigured(t *testing.T) {
+	p, _ := ByName("ocean_cp")
+	w := Generate(p, 2, 3)
+	s := w.Summarize()
+	if s.Syncs == 0 {
+		t.Fatal("ocean_cp should contain sync ops")
+	}
+	q, _ := ByName("blackscholes")
+	q.SyncPeriod = 0
+	w2 := Generate(q, 2, 3)
+	if w2.Summarize().Syncs != 0 {
+		t.Fatal("SyncPeriod=0 must disable sync ops")
+	}
+}
+
+func TestAddressRegions(t *testing.T) {
+	p, _ := ByName("radix")
+	w := Generate(p, 4, 11)
+	for c, ops := range w.Cores {
+		for _, op := range ops {
+			if op.Kind != mem.OpLoad && op.Kind != mem.OpStore {
+				continue
+			}
+			l := mem.LineOf(op.Addr)
+			sharedLo := mem.LineOf(SharedBase)
+			// Streaming locality can run a little past each region.
+			sharedHi := sharedLo + mem.Line(p.SharedLines) + 64
+			privLo := mem.LineOf(PrivateBase + mem.Addr(c)*PrivateStride)
+			privHi := privLo + mem.Line(p.PrivateLines) + 64
+			inShared := l >= sharedLo && l < sharedHi
+			inPriv := l >= privLo && l < privHi
+			if !inShared && !inPriv {
+				t.Fatalf("core %d accesses %v outside both regions", c, l)
+			}
+		}
+	}
+}
+
+func TestPrivateRegionsDisjoint(t *testing.T) {
+	p := Profile{Name: "p", OpsPerCore: 2000, StoreFrac: 0.5, SharedFrac: 0,
+		PrivateLines: 100, Locality: 0}
+	w := Generate(p, 8, 5)
+	seen := map[mem.Line]int{}
+	for c, ops := range w.Cores {
+		for _, op := range ops {
+			if op.Kind != mem.OpStore && op.Kind != mem.OpLoad {
+				continue
+			}
+			l := mem.LineOf(op.Addr)
+			if prev, ok := seen[l]; ok && prev != c {
+				t.Fatalf("line %v accessed by cores %d and %d in private-only workload", l, prev, c)
+			}
+			seen[l] = c
+		}
+	}
+}
+
+func TestBenchmarkRoster(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 22 {
+		t.Fatalf("expected 22 benchmark profiles, got %d", len(bs))
+	}
+	names := map[string]bool{}
+	var nLarge int
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		if b.LargeInput {
+			nLarge++
+		}
+		if b.OpsPerCore <= 0 || b.StoreFrac <= 0 || b.StoreFrac >= 1 {
+			t.Fatalf("%s: implausible profile %+v", b.Name, b)
+		}
+	}
+	if nLarge != 13 {
+		t.Fatalf("expected 13 large-input benchmarks, got %d", nLarge)
+	}
+	for _, want := range []string{"radix", "ocean_cp", "lu_ncb", "dedup", "bodytrack", "x264"} {
+		if !names[want] {
+			t.Errorf("missing paper benchmark %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("radix"); !ok {
+		t.Fatal("radix should exist")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("nonesuch should not exist")
+	}
+	if len(Names()) != 22 {
+		t.Fatalf("Names() = %d entries", len(Names()))
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ByName("fft")
+	if got := p.Scale(0.5).OpsPerCore; got != p.OpsPerCore/2 {
+		t.Fatalf("scale 0.5: %d", got)
+	}
+	if got := p.Scale(0).OpsPerCore; got != 64 {
+		t.Fatalf("scale floor: %d", got)
+	}
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	p, _ := ByName("barnes")
+	w := Generate(p.Scale(0.2), 3, 9)
+	s := w.Summarize()
+	if s.Ops != s.Loads+s.Stores+s.Syncs+s.Computes {
+		t.Fatalf("summary does not add up: %+v", s)
+	}
+	if s.Stores == 0 || s.Loads == 0 {
+		t.Fatalf("degenerate workload: %+v", s)
+	}
+}
+
+// Property: generation is total and bounded for arbitrary small profiles.
+func TestPropertyGenerateTotal(t *testing.T) {
+	f := func(storeFrac, sharedFrac, locality uint8, shared, private uint8) bool {
+		p := Profile{
+			Name:         "prop",
+			OpsPerCore:   200,
+			StoreFrac:    float64(storeFrac%100) / 100,
+			SharedFrac:   float64(sharedFrac%100) / 100,
+			Locality:     float64(locality%90) / 100,
+			SharedLines:  int(shared)%64 + 1,
+			PrivateLines: int(private)%64 + 1,
+			SyncPeriod:   50, CSStores: 2, ComputeMean: 2,
+		}
+		w := Generate(p, 2, 13)
+		return len(w.Cores) == 2 && len(w.Cores[0]) == 200 && len(w.Cores[1]) == 200
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package tsoper is the public API of the TSOPER reproduction: an
+// architectural simulator for hardware strict TSO persistency as proposed
+// in "TSOPER: Efficient Coherence-Based Strict Persistency" (HPCA 2021).
+//
+// The simulator models an eight-core CMP with TSO store buffers, private
+// caches running an SCI-style sharing-list coherence protocol (SLC), a
+// banked shared LLC, an Atomic Group Buffer (AGB) in the persistent domain,
+// a mesh NoC, and NVM ranks. Seven persistency systems are available, from
+// the non-persistent SLC baseline through relaxed (HW-RP) and
+// epoch-through-LLC (BSP and stepping stones) designs to stop-the-world and
+// full TSOPER strict persistency.
+//
+// Quick start:
+//
+//	profile, _ := tsoper.Benchmark("radix")
+//	res, err := tsoper.Run(profile, tsoper.TSOPER, tsoper.RunOptions{})
+//	fmt.Println(res)
+//
+// Crash-consistency testing:
+//
+//	cs, err := tsoper.Crash(profile, tsoper.TSOPER, 25_000, tsoper.RunOptions{})
+//	err = tsoper.Check(cs) // nil: the recovered image is a TSO-consistent cut
+package tsoper
+
+import (
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// System selects the persistency system under evaluation.
+type System = machine.SystemKind
+
+// The systems compared in the paper's evaluation (§V).
+const (
+	// Baseline is SLC coherence with no persistency support.
+	Baseline = machine.Baseline
+	// HWRP is hardware relaxed persistency over synchronization-free regions.
+	HWRP = machine.HWRP
+	// BSP is Buffered Strict Persistency (epochs through the LLC).
+	BSP = machine.BSP
+	// BSPSLC is BSP with sharing-list coherence (no L1 exclusion).
+	BSPSLC = machine.BSPSLC
+	// BSPSLCAGB is BSP+SLC persisting through an idealized unbounded AGB.
+	BSPSLCAGB = machine.BSPSLCAGB
+	// STW is stop-the-world strict TSO persistency.
+	STW = machine.STW
+	// TSOPER is the paper's full proposal.
+	TSOPER = machine.TSOPER
+)
+
+// Config is the full machine configuration (Table I geometry and timing).
+type Config = machine.Config
+
+// Results summarizes a completed simulation.
+type Results = machine.Results
+
+// CrashState is the recovered durable state after an injected crash.
+type CrashState = machine.CrashState
+
+// Profile parameterizes a synthetic workload.
+type Profile = trace.Profile
+
+// Workload is a generated per-core operation trace.
+type Workload = trace.Workload
+
+// Systems lists every available system in figure order.
+func Systems() []System { return machine.Systems() }
+
+// TableI returns the paper's evaluated configuration for a system.
+func TableI(system System) Config { return machine.TableI(system) }
+
+// Benchmarks returns the 22 synthetic profiles standing in for the paper's
+// PARSEC 3.0 and Splash-3 roster.
+func Benchmarks() []Profile { return trace.Benchmarks() }
+
+// Benchmark looks up one benchmark profile by name.
+func Benchmark(name string) (Profile, bool) { return trace.ByName(name) }
+
+// Generate builds the deterministic workload for a profile.
+func Generate(p Profile, cores int, seed int64) *Workload {
+	return trace.Generate(p, cores, seed)
+}
+
+// RunOptions tunes a single simulation run.
+type RunOptions struct {
+	// Scale multiplies the profile's OpsPerCore (0 or 1 = full size).
+	Scale float64
+	// Seed drives workload generation (default 42).
+	Seed int64
+	// Config overrides the Table I configuration when non-nil.
+	Config *Config
+}
+
+func (o RunOptions) config(system System) Config {
+	if o.Config != nil {
+		return *o.Config
+	}
+	return TableI(system)
+}
+
+func (o RunOptions) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+func (o RunOptions) scale(p Profile) Profile {
+	if o.Scale > 0 && o.Scale != 1 {
+		return p.Scale(o.Scale)
+	}
+	return p
+}
+
+// Run simulates one benchmark under one system to completion (including
+// the end-of-run persist flush) and returns the results.
+func Run(p Profile, system System, o RunOptions) (*Results, error) {
+	cfg := o.config(system)
+	cfg.System = system
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %w", err)
+	}
+	w := trace.Generate(o.scale(p), cfg.Cores, o.seed())
+	return m.Run(w), nil
+}
+
+// Crash simulates until the given cycle, then injects a power failure and
+// returns the recovered durable state.
+func Crash(p Profile, system System, at uint64, o RunOptions) (*CrashState, error) {
+	cfg := o.config(system)
+	cfg.System = system
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %w", err)
+	}
+	w := trace.Generate(o.scale(p), cfg.Cores, o.seed())
+	return m.RunWithCrash(w, sim.Time(at)), nil
+}
+
+// Check validates that a crash state's recovered image is a TSO-consistent
+// cut: atomic groups recovered all-or-nothing, persist order prefix-closed
+// per core and under persist-before dependencies, per-line FIFO respected.
+// It returns nil when the state is consistent.
+func Check(cs *CrashState) error { return checker.Check(cs) }

@@ -1,0 +1,101 @@
+package tsoper
+
+import (
+	"testing"
+)
+
+func TestRunFacade(t *testing.T) {
+	p, ok := Benchmark("dedup")
+	if !ok {
+		t.Fatal("dedup missing")
+	}
+	r, err := Run(p, TSOPER, RunOptions{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Stores == 0 {
+		t.Fatalf("degenerate run: %v", r)
+	}
+}
+
+func TestRunCustomConfig(t *testing.T) {
+	p, _ := Benchmark("fft")
+	cfg := TableI(TSOPER)
+	cfg.AGLimit = 16
+	r, err := Run(p, TSOPER, RunOptions{Scale: 0.05, Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AGSizes.Max() > 16 {
+		t.Fatalf("custom AG limit ignored: max %d", r.AGSizes.Max())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	p, _ := Benchmark("fft")
+	cfg := TableI(TSOPER)
+	cfg.Cores = -1
+	if _, err := Run(p, TSOPER, RunOptions{Config: &cfg}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCrashAndCheck(t *testing.T) {
+	p, _ := Benchmark("radix")
+	for _, at := range []uint64{2000, 8000, 20000} {
+		cs, err := Crash(p, TSOPER, at, RunOptions{Scale: 0.1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(cs); err != nil {
+			t.Fatalf("crash at %d: %v", at, err)
+		}
+	}
+}
+
+func TestCheckRejectsRelaxed(t *testing.T) {
+	p, _ := Benchmark("radix")
+	cs, err := Crash(p, HWRP, 5000, RunOptions{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(cs); err == nil {
+		t.Fatal("HW-RP crash state must not be certifiable as strict TSO")
+	}
+}
+
+func TestRoster(t *testing.T) {
+	if len(Benchmarks()) != 22 {
+		t.Fatalf("roster: %d", len(Benchmarks()))
+	}
+	if len(Systems()) != 7 {
+		t.Fatalf("systems: %d", len(Systems()))
+	}
+	if _, ok := Benchmark("unknown"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := Benchmark("water")
+	w1 := Generate(p, 4, 9)
+	w2 := Generate(p, 4, 9)
+	if len(w1.Cores) != 4 || len(w1.Cores[0]) != len(w2.Cores[0]) {
+		t.Fatal("generation mismatch")
+	}
+}
+
+func TestDefaultSeedApplied(t *testing.T) {
+	p, _ := Benchmark("vips")
+	r1, err := Run(p, Baseline, RunOptions{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p, Baseline, RunOptions{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles {
+		t.Fatal("default seed should be 42")
+	}
+}
