@@ -4,76 +4,204 @@
 // prefix-closed per core and under persist-before dependencies, per-line
 // FIFO).
 //
-// Usage:
+// Three modes:
 //
 //	tsoper-crash -bench radix -system tsoper -crashes 50 -scale 0.3
+//	    sweep one benchmark x system cell, printing every crash point
+//	tsoper-crash -campaign smoke -parallel 4 -json smoke.json
+//	    the CI campaign: adversarial workloads x {tsoper, stw},
+//	    event-targeted crash points, parallel workers
+//	tsoper-crash -campaign mutation
+//	    checker mutation testing: every injected persistency fault must
+//	    be rejected with exactly the rule it is engineered to trip
+//
+// Exit status: 0 clean, 1 violations or surviving mutants, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/core"
-	"repro/tsoper"
+	"repro/internal/crashmc"
+	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
-	bench := flag.String("bench", "radix", "benchmark name")
-	system := flag.String("system", "tsoper", "strict system: tsoper or stw")
-	crashes := flag.Int("crashes", 40, "number of crash points")
-	step := flag.Uint64("step", 1500, "cycles between crash points")
-	first := flag.Uint64("first", 500, "first crash cycle")
-	scale := flag.Float64("scale", 0.3, "workload scale factor")
+	bench := flag.String("bench", "radix", "comma-separated benchmark names")
+	system := flag.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
+	crashes := flag.Int("crashes", 40, "crash points per benchmark x system tuple (> 0)")
+	step := flag.Uint64("step", 1500, "cycles between uniform crash points (> 0)")
+	first := flag.Uint64("first", 500, "first uniform crash cycle (> 0)")
+	scale := flag.Float64("scale", 0.3, "workload scale factor (> 0)")
 	seed := flag.Int64("seed", 42, "workload seed")
+	strategy := flag.String("strategy", "uniform", "crash-point strategy: events, uniform, random")
+	campaign := flag.String("campaign", "", "predefined campaign: smoke or mutation (overrides -bench/-system/-strategy)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write the campaign report to this path as JSON")
+	shrink := flag.Bool("shrink", false, "minimize each failing crash point before reporting it")
 	flag.Parse()
 
-	p, ok := tsoper.Benchmark(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
-		os.Exit(1)
+	if *crashes <= 0 {
+		usageErr("-crashes must be positive, got %d", *crashes)
 	}
-	var kind tsoper.System
-	switch *system {
-	case "tsoper":
-		kind = tsoper.TSOPER
-	case "stw":
-		kind = tsoper.STW
-	default:
-		fmt.Fprintf(os.Stderr, "crash checking requires a strict system (tsoper or stw), got %q\n", *system)
-		os.Exit(1)
+	if *step == 0 {
+		usageErr("-step must be positive")
+	}
+	if *first == 0 {
+		usageErr("-first must be positive")
+	}
+	if *scale <= 0 {
+		usageErr("-scale must be positive, got %g", *scale)
+	}
+	strat, ok := crashmc.ParseStrategy(*strategy)
+	if !ok {
+		usageErr("unknown strategy %q (want events, uniform, or random)", *strategy)
 	}
 
-	opts := tsoper.RunOptions{Scale: *scale, Seed: *seed}
-	failures := 0
-	partial := 0
-	for i := 0; i < *crashes; i++ {
-		at := *first + uint64(i)*(*step)
-		cs, err := tsoper.Crash(p, kind, at, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	var report *crashmc.Report
+	var err error
+	switch *campaign {
+	case "":
+		report, err = runSweep(*bench, *system, *crashes, *first, *step, *scale, *seed, strat, *parallel, *shrink)
+	case "smoke":
+		crashesSet := false
+		flag.Visit(func(f *flag.Flag) { crashesSet = crashesSet || f.Name == "crashes" })
+		points := 50 // x 2 adversaries x 2 systems = 200 injections
+		if crashesSet {
+			points = *crashes
+		}
+		report, err = crashmc.Run(crashmc.Spec{
+			Name:       "smoke",
+			Benchmarks: crashmc.Adversaries()[:2],
+			Systems:    []machine.SystemKind{machine.TSOPER, machine.STW},
+			Seed:       *seed,
+			Points:     points,
+			Strategy:   crashmc.StrategyEvents,
+			Parallel:   *parallel,
+			Shrink:     *shrink,
+		})
+		if report != nil {
+			fmt.Println(report.Summary())
+		}
+	case "mutation":
+		report, err = runMutation(*seed, *crashes)
+	default:
+		usageErr("unknown campaign %q (want smoke or mutation)", *campaign)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if report == nil {
 			os.Exit(1)
 		}
-		durable := 0
-		for _, g := range cs.Groups {
-			if g.State() >= core.Durable {
-				durable++
-			}
-		}
-		if durable > 0 && durable < len(cs.Groups) {
-			partial++
-		}
-		status := "consistent"
-		if err := tsoper.Check(cs); err != nil {
-			status = err.Error()
-			failures++
-		}
-		fmt.Printf("crash @%8d: %3d/%3d groups durable, %5d lines recovered — %s\n",
-			at, durable, len(cs.Groups), len(cs.Image), status)
 	}
-	fmt.Printf("\n%d crashes, %d partially-durable states exercised, %d violations\n",
-		*crashes, partial, failures)
-	if failures > 0 {
+
+	if *jsonPath != "" {
+		if werr := report.WriteJSONFile(*jsonPath); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+	}
+	for _, inj := range report.Violations {
+		fmt.Fprintf(os.Stderr, "VIOLATION %s/%s @%d: %s\n", inj.Benchmark, inj.System, inj.At, inj.Violation)
+		if inj.Shrunk != nil {
+			fmt.Fprintf(os.Stderr, "  shrunk: %s\n", inj.Shrunk)
+		}
+	}
+	for _, k := range report.Kills {
+		status := "killed"
+		if !k.Killed {
+			status = "SURVIVED"
+		}
+		fmt.Printf("mutant %-16s -> rule %-15s %s (applied at %d of %d points)\n",
+			k.Fault, k.Expected, status, k.Applied, k.Tried)
+	}
+	if !report.Clean() || err != nil {
 		os.Exit(1)
 	}
+}
+
+// runSweep is the legacy single-cell mode, generalized to comma-separated
+// benchmark/system lists, with the per-crash-point output lines preserved.
+func runSweep(benches, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink bool) (*crashmc.Report, error) {
+	var profiles []trace.Profile
+	for _, name := range strings.Split(benches, ",") {
+		p, ok := trace.ByName(strings.TrimSpace(name))
+		if !ok {
+			if p, ok = crashmc.Adversary(strings.TrimSpace(name)); !ok {
+				usageErr("unknown benchmark %q", name)
+			}
+		}
+		profiles = append(profiles, p)
+	}
+	var kinds []machine.SystemKind
+	for _, name := range strings.Split(systems, ",") {
+		switch strings.TrimSpace(name) {
+		case "tsoper":
+			kinds = append(kinds, machine.TSOPER)
+		case "stw":
+			kinds = append(kinds, machine.STW)
+		default:
+			usageErr("crash checking requires a strict system (tsoper or stw), got %q", name)
+		}
+	}
+	report, err := crashmc.Run(crashmc.Spec{
+		Name:       "sweep",
+		Benchmarks: profiles,
+		Systems:    kinds,
+		Scale:      scale,
+		Seed:       seed,
+		Points:     crashes,
+		Strategy:   strat,
+		First:      first,
+		Step:       step,
+		Parallel:   parallel,
+		Shrink:     shrink,
+		Detail:     true,
+	})
+	if err != nil {
+		return report, err
+	}
+	for _, inj := range report.Details {
+		status := "consistent"
+		if inj.Violation != "" {
+			status = inj.Violation
+		}
+		fmt.Printf("%s/%s crash @%8d: %3d/%3d groups durable — %s\n",
+			inj.Benchmark, inj.System, inj.At, inj.Durable, inj.Groups, status)
+	}
+	fmt.Printf("\n%s\n", report.Summary())
+	return report, nil
+}
+
+// runMutation proves every injected persistency fault is killed, on both
+// strict systems, using event-harvested crash points walked newest-first.
+func runMutation(seed int64, budget int) (*crashmc.Report, error) {
+	report := &crashmc.Report{Name: "mutation", Seed: seed, Scale: 1, Strategy: crashmc.StrategyEvents.String()}
+	var firstErr error
+	for _, kind := range []machine.SystemKind{machine.TSOPER, machine.STW} {
+		p := crashmc.Adversaries()[0]
+		cfg := machine.TableI(kind)
+		points, horizon := crashmc.Harvest(p, cfg, seed, budget)
+		reversed := make([]uint64, 0, len(points)+1)
+		reversed = append(reversed, horizon)
+		for i := len(points) - 1; i >= 0; i-- {
+			reversed = append(reversed, points[i])
+		}
+		kills, err := crashmc.Mutate(p, kind, cfg, seed, reversed)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		report.Kills = append(report.Kills, kills...)
+		report.Injections += len(reversed) * len(machine.Faults())
+	}
+	return report, firstErr
 }

@@ -1,7 +1,6 @@
 package checker
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -131,37 +130,6 @@ func TestCheckerDetectsCorruptions(t *testing.T) {
 			t.Fatalf("wrong version not detected: %v", err)
 		}
 	})
-}
-
-// Crash-point fuzz: random small configurations, workloads, and crash
-// cycles across both strict systems — every recovered state must check.
-func TestFuzzCrashPoints(t *testing.T) {
-	rng := rand.New(rand.NewSource(55))
-	for trial := 0; trial < 16; trial++ {
-		kind := machine.TSOPER
-		if trial%3 == 0 {
-			kind = machine.STW
-		}
-		cfg := machine.TableI(kind)
-		cfg.Cores = 2 + rng.Intn(7)
-		cfg.AGB.LinesPerSlice = 40 + rng.Intn(120)
-		if cfg.AGLimit > cfg.AGB.LinesPerSlice {
-			cfg.AGLimit = cfg.AGB.LinesPerSlice
-		}
-		p := crashProfile()
-		p.OpsPerCore = 250 + rng.Intn(250)
-		at := sim.Time(1000 + rng.Intn(60000))
-
-		m, err := machine.New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		w := trace.Generate(p, cfg.Cores, int64(trial)*3+1)
-		cs := m.RunWithCrash(w, at)
-		if err := Check(cs); err != nil {
-			t.Fatalf("trial %d (%v) crash at %d: %v", trial, kind, at, err)
-		}
-	}
 }
 
 func TestViolationError(t *testing.T) {

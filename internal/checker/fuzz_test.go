@@ -1,0 +1,57 @@
+package checker
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FuzzCrashConsistency is the crash-point fuzz target: arbitrary workload
+// knobs, machine shapes, crash cycles, and seeds across both strict systems
+// — every recovered state must pass the TSO-consistent-cut checker.
+//
+// Under plain `go test` only the seed corpus runs (deterministic replay);
+// `go test -fuzz=FuzzCrashConsistency` explores further.
+func FuzzCrashConsistency(f *testing.F) {
+	// Seed corpus spanning both systems, core counts, AGB sizes, and crash
+	// cycles from the warm-up prefix to past the drain horizon.
+	f.Add(uint8(0), uint8(6), uint16(300), uint8(128), uint16(48), uint8(60), uint32(20000), int64(1))
+	f.Add(uint8(1), uint8(2), uint16(250), uint8(40), uint16(8), uint8(0), uint32(500), int64(2))
+	f.Add(uint8(0), uint8(8), uint16(450), uint8(220), uint16(120), uint8(110), uint32(60000), int64(3))
+	f.Add(uint8(1), uint8(4), uint16(350), uint8(90), uint16(32), uint8(30), uint32(7000), int64(4))
+	f.Add(uint8(0), uint8(3), uint16(200), uint8(255), uint16(64), uint8(90), uint32(2500), int64(5))
+	f.Add(uint8(1), uint8(7), uint16(400), uint8(160), uint16(16), uint8(50), uint32(35000), int64(6))
+	f.Add(uint8(0), uint8(5), uint16(300), uint8(70), uint16(96), uint8(119), uint32(90000), int64(7))
+	f.Add(uint8(1), uint8(6), uint16(280), uint8(110), uint16(24), uint8(10), uint32(15000), int64(8))
+
+	f.Fuzz(func(t *testing.T, sys, cores uint8, ops uint16, storeB uint8,
+		sharedLines uint16, agbLines uint8, at uint32, seed int64) {
+		kind := machine.TSOPER
+		if sys%2 == 1 {
+			kind = machine.STW
+		}
+		cfg := machine.TableI(kind)
+		cfg.Cores = 2 + int(cores)%7
+		cfg.AGB.LinesPerSlice = 40 + int(agbLines)%120
+		if cfg.AGLimit > cfg.AGB.LinesPerSlice {
+			cfg.AGLimit = cfg.AGB.LinesPerSlice
+		}
+		p := crashProfile()
+		p.OpsPerCore = 150 + int(ops)%350
+		p.StoreFrac = 0.2 + float64(storeB)/256*0.6
+		p.SharedLines = 8 + int(sharedLines)%120
+		crash := sim.Time(500 + uint64(at)%90000)
+
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := trace.Generate(p, cfg.Cores, seed)
+		cs := m.RunWithCrash(w, crash)
+		if err := Check(cs); err != nil {
+			t.Fatalf("%v crash at %d (seed %d): %v", kind, crash, seed, err)
+		}
+	})
+}

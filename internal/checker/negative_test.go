@@ -1,0 +1,207 @@
+package checker
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Hand-built crash states violating each checker rule in isolation. The
+// positive paths are covered by the campaign/fuzz tests; these negative
+// controls prove every rule actually rejects, with the matching
+// Violation.Rule — the table the mutation campaign in internal/crashmc
+// re-derives end to end through the machine.
+
+// handGroup builds one group on tr with the given dirty lines, then forces
+// the lifecycle state.
+func handGroup(tr *core.Tracker, lines map[mem.Line]mem.Version, st core.State) *core.Group {
+	g := tr.Open()
+	for l, v := range lines {
+		g.AddStore(l, v, true)
+	}
+	if st != core.Open {
+		g.Freeze(core.FreezeDrain)
+		g.InjectState(st)
+	}
+	return g
+}
+
+func v(c int, s uint64) mem.Version { return mem.Version{Core: c, Seq: s} }
+
+const (
+	lA mem.Line = 0x100
+	lB mem.Line = 0x101
+	lC mem.Line = 0x102
+)
+
+func TestCheckerRejectsEachRule(t *testing.T) {
+	cases := []struct {
+		name string
+		rule string // "" = must pass
+		csFn func() *machine.CrashState
+	}{
+		{
+			// Positive control: a complete durable pair, fully recovered.
+			name: "consistent", rule: "",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g1 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1), lB: v(0, 2)}, core.Durable)
+				g2 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 3)}, core.Durable)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g1, g2},
+					DurableOrder: []*core.Group{g1, g2},
+					Image:        map[mem.Line]mem.Version{lA: v(0, 3), lB: v(0, 2)},
+					LineOrder: map[mem.Line][]mem.Version{
+						lA: {v(0, 1), v(0, 3)}, lB: {v(0, 2)},
+					},
+				}
+			},
+		},
+		{
+			// Rule 1, atomicity: one line of a durable group missing from
+			// the image — a torn (partially persisted) group.
+			name: "atomicity-torn-group", rule: "atomicity",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1), lB: v(0, 2)}, core.Durable)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g},
+					DurableOrder: []*core.Group{g},
+					Image:        map[mem.Line]mem.Version{lA: v(0, 1)}, // lB torn off
+					LineOrder:    map[mem.Line][]mem.Version{lA: {v(0, 1)}, lB: {v(0, 2)}},
+				}
+			},
+		},
+		{
+			// Rule 2, per-core prefix: the younger group of core 0 is
+			// durable while the older one is not.
+			name: "core-prefix-skip", rule: "core-prefix",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g1 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1)}, core.Frozen)
+				g2 := handGroup(tr, map[mem.Line]mem.Version{lB: v(0, 2)}, core.Durable)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g1, g2},
+					DurableOrder: []*core.Group{g2},
+					Image:        map[mem.Line]mem.Version{lB: v(0, 2)},
+					LineOrder:    map[mem.Line][]mem.Version{lA: {v(0, 1)}, lB: {v(0, 2)}},
+				}
+			},
+		},
+		{
+			// Rule 3, persist-before closure: core 1's durable group
+			// depends (read-from) on core 0's group, which is not durable.
+			name: "persist-before-skip", rule: "persist-before",
+			csFn: func() *machine.CrashState {
+				ids := core.NewIDSource()
+				g := handGroup(core.NewTracker(0, ids), map[mem.Line]mem.Version{lA: v(0, 1)}, core.Frozen)
+				h := handGroup(core.NewTracker(1, ids), map[mem.Line]mem.Version{lB: v(1, 1)}, core.Durable)
+				h.DepIDs = append(h.DepIDs, g.ID)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g, h},
+					DurableOrder: []*core.Group{h},
+					Image:        map[mem.Line]mem.Version{lB: v(1, 1)},
+					LineOrder:    map[mem.Line][]mem.Version{lA: {v(0, 1)}, lB: {v(1, 1)}},
+				}
+			},
+		},
+		{
+			// Rule 4, per-line FIFO (shadowing side): two durable groups
+			// wrote lA; the recovered version is the older one, so the
+			// newest durable write was shadowed during replay.
+			name: "fifo-shadowed-version", rule: "atomicity",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g1 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1)}, core.Durable)
+				g2 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 2)}, core.Durable)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g1, g2},
+					DurableOrder: []*core.Group{g1, g2},
+					Image:        map[mem.Line]mem.Version{lA: v(0, 1)}, // old version recovered
+					LineOrder:    map[mem.Line][]mem.Version{lA: {v(0, 1), v(0, 2)}},
+				}
+			},
+		},
+		{
+			// Rule 4, per-line FIFO (leak side): the recovered image holds
+			// a version only a non-durable group wrote.
+			name: "fifo-leaked-version", rule: "leak",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g1 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1)}, core.Durable)
+				g2 := handGroup(tr, map[mem.Line]mem.Version{lC: v(0, 2)}, core.Frozen)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g1, g2},
+					DurableOrder: []*core.Group{g1},
+					Image:        map[mem.Line]mem.Version{lA: v(0, 1), lC: v(0, 2)},
+					LineOrder:    map[mem.Line][]mem.Version{lA: {v(0, 1)}, lC: {v(0, 2)}},
+				}
+			},
+		},
+		{
+			// Bookkeeping guard: the durable order lists a group that never
+			// became durable.
+			name: "durability-order-alien", rule: "durability-order",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g1 := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1)}, core.Durable)
+				g2 := handGroup(tr, map[mem.Line]mem.Version{lB: v(0, 2)}, core.Frozen)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g1, g2},
+					DurableOrder: []*core.Group{g1, g2},
+					Image:        map[mem.Line]mem.Version{lA: v(0, 1), lB: v(0, 2)},
+					LineOrder:    map[mem.Line][]mem.Version{lA: {v(0, 1)}, lB: {v(0, 2)}},
+				}
+			},
+		},
+		{
+			// Serialization guard: the recovered version never appeared in
+			// the line's directory-serialized coherence order.
+			name: "coherence-order-phantom", rule: "coherence-order",
+			csFn: func() *machine.CrashState {
+				tr := core.NewTracker(0, core.NewIDSource())
+				g := handGroup(tr, map[mem.Line]mem.Version{lA: v(0, 1)}, core.Durable)
+				return &machine.CrashState{
+					System:       machine.TSOPER,
+					Groups:       []*core.Group{g},
+					DurableOrder: []*core.Group{g},
+					Image:        map[mem.Line]mem.Version{lA: v(0, 1)},
+					LineOrder:    map[mem.Line][]mem.Version{lA: {}},
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := Check(tc.csFn())
+			if tc.rule == "" {
+				if err != nil {
+					t.Fatalf("consistent state rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("violating state accepted (want rule %q)", tc.rule)
+			}
+			var viol *Violation
+			if !errors.As(err, &viol) {
+				t.Fatalf("non-Violation error: %v", err)
+			}
+			if viol.Rule != tc.rule {
+				t.Fatalf("rule = %q, want %q (%v)", viol.Rule, tc.rule, err)
+			}
+		})
+	}
+}

@@ -338,3 +338,10 @@ func (g *Group) Retire() {
 	}
 	g.state = Retired
 }
+
+// InjectState forcibly overwrites the lifecycle state, bypassing every
+// transition invariant and side effect (tracker queues, dependency
+// satisfaction, drain notification). It exists solely so checker mutation
+// testing can fabricate persistency-violating crash states; the simulator
+// itself never calls it.
+func (g *Group) InjectState(s State) { g.state = s }

@@ -1,0 +1,71 @@
+package crashmc
+
+import (
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Adversaries returns workload schedules engineered to stress the
+// persistency machinery far harder than the benchmark roster does. Each
+// profile maximizes one class of freeze/drain churn, so crash points fall
+// into the narrow windows where durability frontiers move:
+//
+//   - adv_hotline: a handful of fiercely contended lines with false
+//     sharing — remote-read/write freezes dominate and persist-before
+//     chains cross cores constantly.
+//   - adv_evictstorm: streaming stores through a working set far larger
+//     than the private cache — eviction freezes and eviction-buffer
+//     pressure dominate.
+//   - adv_agpressure: long unsynchronized store runs over a private
+//     region — groups grow until the AG size limit freezes them, so the
+//     AGB sees maximal groups back to back.
+//   - adv_depchain: shared read-write mixing with read inclusion — long
+//     cross-core dependency chains gate the drain order.
+func Adversaries() []trace.Profile {
+	return []trace.Profile{
+		{
+			Name: "adv_hotline", OpsPerCore: 600, StoreFrac: 0.6, SharedFrac: 0.9,
+			SharedLines: 16, PrivateLines: 16, HotFrac: 0.9, HotLines: 2,
+			Locality: 0.1, SyncPeriod: 80, CSStores: 3, CSBurst: 2,
+			FalseSharing: 0.6,
+		},
+		{
+			Name: "adv_evictstorm", OpsPerCore: 700, StoreFrac: 0.7, SharedFrac: 0.1,
+			SharedLines: 32, PrivateLines: 4096, HotFrac: 0.0, HotLines: 0,
+			Locality: 0.85, SyncPeriod: 0,
+		},
+		{
+			Name: "adv_agpressure", OpsPerCore: 600, StoreFrac: 0.9, SharedFrac: 0.05,
+			SharedLines: 16, PrivateLines: 256, HotFrac: 0.0, HotLines: 0,
+			Locality: 0.3, SyncPeriod: 0,
+		},
+		{
+			Name: "adv_depchain", OpsPerCore: 600, StoreFrac: 0.45, SharedFrac: 0.8,
+			SharedLines: 24, PrivateLines: 32, HotFrac: 0.5, HotLines: 4,
+			Locality: 0.2, SyncPeriod: 60, CSStores: 2, CSBurst: 3,
+		},
+	}
+}
+
+// Adversary returns the named adversarial profile.
+func Adversary(name string) (trace.Profile, bool) {
+	for _, p := range Adversaries() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return trace.Profile{}, false
+}
+
+// PressureConfig returns the Table I configuration squeezed until the
+// buffering machinery is under constant pressure: a tiny AGB (so
+// reservation stalls and retire-order recycling are exercised), a matching
+// small AG size limit, and two-entry eviction buffers (so evictions park
+// and drain continually).
+func PressureConfig(kind machine.SystemKind) machine.Config {
+	cfg := machine.TableI(kind)
+	cfg.AGB.LinesPerSlice = 24
+	cfg.AGLimit = 16
+	cfg.EvictBufEntries = 2
+	return cfg
+}

@@ -1,0 +1,299 @@
+package crashmc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Strategy selects how a campaign chooses its crash points.
+type Strategy uint8
+
+const (
+	// StrategyEvents harvests the persistency-transition cycles of an
+	// instrumented run (plus their successors) and tops up with a seeded
+	// random sweep when the harvest is smaller than the point budget.
+	StrategyEvents Strategy = iota
+	// StrategyUniform spaces crash points evenly (the legacy sweep).
+	StrategyUniform
+	// StrategyRandom draws crash points uniformly at random over the
+	// run's full horizon, seeded per campaign.
+	StrategyRandom
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyEvents:
+		return "events"
+	case StrategyUniform:
+		return "uniform"
+	case StrategyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy resolves a strategy by name.
+func ParseStrategy(name string) (Strategy, bool) {
+	for _, s := range []Strategy{StrategyEvents, StrategyUniform, StrategyRandom} {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return StrategyEvents, false
+}
+
+// Spec configures one campaign.
+type Spec struct {
+	// Name labels the JSON artifact.
+	Name string
+	// Benchmarks and Systems form the tuple grid. Systems must be strict
+	// (STW or TSOPER) — the checker refuses anything else.
+	Benchmarks []trace.Profile
+	Systems    []machine.SystemKind
+	// Scale multiplies each profile's OpsPerCore (<= 0 means 1.0).
+	Scale float64
+	// Seed drives workload generation and random sweeps.
+	Seed int64
+	// Points is the crash-point budget per benchmark x system tuple.
+	Points int
+	// Strategy picks the crash points; First/Step parameterize
+	// StrategyUniform (defaults 500/1500).
+	Strategy    Strategy
+	First, Step uint64
+	// Parallel is the worker count (<= 0 means GOMAXPROCS).
+	Parallel int
+	// Fault, when not FaultNone, injects the corruption into every
+	// recovered state (mutation campaigns).
+	Fault machine.CrashFault
+	// Shrink minimizes each failing case before reporting it.
+	Shrink bool
+	// Detail retains every injection (not just the violating ones) in the
+	// report, for per-crash-point output and richer artifacts.
+	Detail bool
+	// Config overrides the per-system machine configuration (nil: Table I).
+	Config func(machine.SystemKind) machine.Config
+}
+
+func (s Spec) scale() float64 {
+	if s.Scale <= 0 {
+		return 1.0
+	}
+	return s.Scale
+}
+
+func (s Spec) config(kind machine.SystemKind) machine.Config {
+	if s.Config != nil {
+		return s.Config(kind)
+	}
+	return machine.TableI(kind)
+}
+
+func (s Spec) workers() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tuple is one benchmark x system cell with its resolved crash points.
+type tuple struct {
+	bench  trace.Profile // already scaled
+	system machine.SystemKind
+	cfg    machine.Config
+	points []uint64
+}
+
+// Run executes the campaign: resolves crash points per tuple (instrumented
+// harvest runs execute in parallel too), fans the injections out over the
+// worker pool, and aggregates the artifact. Simulations are fully
+// deterministic, so the report is identical for identical specs regardless
+// of worker count.
+func Run(spec Spec) (*Report, error) {
+	if len(spec.Benchmarks) == 0 || len(spec.Systems) == 0 {
+		return nil, errors.New("crashmc: campaign needs at least one benchmark and one system")
+	}
+	if spec.Points <= 0 {
+		return nil, errors.New("crashmc: campaign needs a positive crash-point budget")
+	}
+	for _, k := range spec.Systems {
+		if k != machine.STW && k != machine.TSOPER {
+			return nil, fmt.Errorf("crashmc: %v does not claim strict TSO persistency", k)
+		}
+	}
+
+	tuples := make([]*tuple, 0, len(spec.Benchmarks)*len(spec.Systems))
+	for _, b := range spec.Benchmarks {
+		for _, k := range spec.Systems {
+			tuples = append(tuples, &tuple{bench: b.Scale(spec.scale()), system: k, cfg: spec.config(k)})
+		}
+	}
+	runParallel(len(tuples), spec.workers(), func(i int) {
+		tuples[i].points = spec.resolvePoints(tuples[i], int64(i))
+	})
+
+	type job struct {
+		tuple *tuple
+		at    uint64
+	}
+	var jobs []job
+	for _, tp := range tuples {
+		for _, at := range tp.points {
+			jobs = append(jobs, job{tp, at})
+		}
+	}
+	injections := make([]Injection, len(jobs))
+	runParallel(len(jobs), spec.workers(), func(i int) {
+		injections[i] = spec.runOne(jobs[i].tuple, jobs[i].at)
+	})
+
+	return spec.assemble(tuples, injections), nil
+}
+
+// resolvePoints materializes the tuple's crash points under the spec's
+// strategy. idx decorrelates the random streams of different tuples.
+func (spec Spec) resolvePoints(tp *tuple, idx int64) []uint64 {
+	first, step := spec.First, spec.Step
+	if first == 0 {
+		first = 500
+	}
+	if step == 0 {
+		step = 1500
+	}
+	switch spec.Strategy {
+	case StrategyUniform:
+		return UniformPoints(first, step, spec.Points)
+	case StrategyRandom:
+		_, horizon := Harvest(tp.bench, tp.cfg, spec.Seed, 1)
+		return RandomPoints(horizon, spec.Points, spec.Seed+idx*7919)
+	default: // StrategyEvents
+		points, horizon := Harvest(tp.bench, tp.cfg, spec.Seed, spec.Points)
+		if missing := spec.Points - len(points); missing > 0 {
+			points = append(points, RandomPoints(horizon, missing, spec.Seed+idx*7919)...)
+		}
+		return points
+	}
+}
+
+// runOne performs a single crash injection and checks the recovered state.
+func (spec Spec) runOne(tp *tuple, at uint64) Injection {
+	cfg := tp.cfg
+	cfg.CrashFault = spec.Fault
+	m, err := machine.New(cfg)
+	if err != nil {
+		panic("crashmc: " + err.Error())
+	}
+	w := trace.Generate(tp.bench, cfg.Cores, spec.Seed)
+	cs := m.RunWithCrash(w, sim.Time(at))
+
+	inj := Injection{
+		Benchmark: tp.bench.Name,
+		System:    tp.system.String(),
+		Seed:      spec.Seed,
+		At:        at,
+		Groups:    len(cs.Groups),
+	}
+	for _, g := range cs.Groups {
+		if g.State() >= core.Durable {
+			inj.Durable++
+		}
+	}
+	inj.Partial = inj.Durable > 0 && inj.Durable < len(cs.Groups)
+	if spec.Fault != machine.FaultNone {
+		inj.Fault = spec.Fault.String()
+		inj.FaultApplied = cs.FaultApplied
+	}
+	if err := checker.Check(cs); err != nil {
+		inj.Violation = err.Error()
+		var v *checker.Violation
+		if errors.As(err, &v) {
+			inj.Rule = v.Rule
+		}
+		if spec.Shrink {
+			f := Failure{
+				Profile:          tp.bench,
+				System:           tp.system.String(),
+				Cores:            cfg.Cores,
+				Seed:             spec.Seed,
+				At:               at,
+				Fault:            spec.Fault.String(),
+				Rule:             inj.Rule,
+				AGBLinesPerSlice: cfg.AGB.LinesPerSlice,
+				AGLimit:          cfg.AGLimit,
+				EvictBufEntries:  cfg.EvictBufEntries,
+			}
+			shrunk := Shrink(f)
+			inj.Shrunk = &shrunk
+		}
+	}
+	return inj
+}
+
+func (spec Spec) assemble(tuples []*tuple, injections []Injection) *Report {
+	r := &Report{
+		Name:     spec.Name,
+		Seed:     spec.Seed,
+		Scale:    spec.scale(),
+		Strategy: spec.Strategy.String(),
+	}
+	byTuple := map[string]*TupleSummary{}
+	for _, tp := range tuples {
+		ts := &TupleSummary{Benchmark: tp.bench.Name, System: tp.system.String(), Points: len(tp.points)}
+		byTuple[ts.Benchmark+"/"+ts.System] = ts
+		r.Tuples = append(r.Tuples, ts)
+	}
+	if spec.Detail {
+		r.Details = injections
+	}
+	for _, inj := range injections {
+		r.Injections++
+		r.DurableGroups += inj.Durable
+		ts := byTuple[inj.Benchmark+"/"+inj.System]
+		if inj.Partial {
+			r.PartialStates++
+			ts.Partial++
+		}
+		if inj.Violation != "" {
+			r.Violations = append(r.Violations, inj)
+			ts.Violations++
+		}
+	}
+	return r
+}
+
+// runParallel executes fn(0..n-1) over a pool of workers.
+func runParallel(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -1,0 +1,171 @@
+package crashmc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func smokeSpec() Spec {
+	return Spec{
+		Name:       "smoke",
+		Benchmarks: Adversaries()[:2],
+		Systems:    []machine.SystemKind{machine.TSOPER, machine.STW},
+		Seed:       42,
+		Points:     50,
+		Strategy:   StrategyEvents,
+		Parallel:   4,
+	}
+}
+
+// The acceptance smoke campaign: >= 200 crash points across TSOPER and STW,
+// event-targeted, executed by the parallel driver — every recovered image
+// must be a TSO-consistent cut, and the campaign must actually exercise
+// partially durable frontiers (not just trivially empty or complete ones).
+func TestSmokeCampaignParallelClean(t *testing.T) {
+	report, err := Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Injections < 200 {
+		t.Fatalf("smoke campaign ran %d injections, want >= 200", report.Injections)
+	}
+	if len(report.Violations) > 0 {
+		t.Fatalf("violations found:\n%s", report.Violations[0].Violation)
+	}
+	if report.PartialStates == 0 {
+		t.Fatal("campaign never caught the machine mid-persist — crash points too weak")
+	}
+	if report.DurableGroups == 0 {
+		t.Fatal("campaign never saw a durable group")
+	}
+	if !report.Clean() {
+		t.Fatal("clean report misreported")
+	}
+}
+
+// Adversarial workloads under the pressure configuration (tiny AGB, tiny
+// AG limit, two-entry eviction buffers) must still always recover to
+// consistent cuts.
+func TestPressureCampaignClean(t *testing.T) {
+	spec := Spec{
+		Name:       "pressure",
+		Benchmarks: Adversaries()[2:],
+		Systems:    []machine.SystemKind{machine.TSOPER},
+		Seed:       7,
+		Points:     30,
+		Strategy:   StrategyEvents,
+		Parallel:   4,
+		Config:     PressureConfig,
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) > 0 {
+		t.Fatalf("violations under pressure config:\n%s", report.Violations[0].Violation)
+	}
+	if report.PartialStates == 0 {
+		t.Fatal("pressure campaign never hit a partial state")
+	}
+}
+
+func TestRandomStrategyClean(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "random"
+	spec.Benchmarks = Adversaries()[:1]
+	spec.Strategy = StrategyRandom
+	spec.Points = 25
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Injections != 50 || len(report.Violations) > 0 {
+		t.Fatalf("random campaign: %s", report.Summary())
+	}
+}
+
+func TestHarvestFindsEventCycles(t *testing.T) {
+	p := Adversaries()[0]
+	points, horizon := Harvest(p, machine.TableI(machine.TSOPER), 42, 40)
+	if len(points) == 0 {
+		t.Fatal("instrumented run harvested no event cycles")
+	}
+	if len(points) > 40 {
+		t.Fatalf("budget ignored: %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i] <= points[i-1] {
+			t.Fatalf("points not strictly increasing at %d", i)
+		}
+	}
+	if horizon == 0 || points[len(points)-1] > horizon {
+		t.Fatalf("horizon %d inconsistent with last point %d", horizon, points[len(points)-1])
+	}
+}
+
+func TestPointGenerators(t *testing.T) {
+	a := RandomPoints(10000, 16, 3)
+	b := RandomPoints(10000, 16, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random sweep not deterministic per seed")
+		}
+		if a[i] == 0 || a[i] > 10000 {
+			t.Fatalf("point %d out of range", a[i])
+		}
+	}
+	if c := RandomPoints(10000, 16, 4); len(c) == len(a) {
+		same := true
+		for i := range a {
+			same = same && a[i] == c[i]
+		}
+		if same {
+			t.Fatal("different seeds produced identical sweeps")
+		}
+	}
+	u := UniformPoints(500, 1500, 3)
+	if u[0] != 500 || u[1] != 2000 || u[2] != 3500 {
+		t.Fatalf("uniform points wrong: %v", u)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	spec := smokeSpec()
+	spec.Systems = []machine.SystemKind{machine.Baseline}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("non-strict system accepted")
+	}
+	spec = smokeSpec()
+	spec.Points = 0
+	if _, err := Run(spec); err == nil {
+		t.Fatal("zero point budget accepted")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	spec := smokeSpec()
+	spec.Benchmarks = Adversaries()[:1]
+	spec.Systems = []machine.SystemKind{machine.TSOPER}
+	spec.Points = 5
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Injections != report.Injections || back.Name != report.Name {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

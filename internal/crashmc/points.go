@@ -1,0 +1,70 @@
+package crashmc
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Harvest runs one fully instrumented simulation of the workload and
+// returns (a) the interesting crash cycles — every persistency-transition
+// cycle plus its immediate successor, deduplicated and sorted — and (b) the
+// horizon, the cycle at which the end-of-run drain completed (random sweeps
+// draw from [1, horizon]). When more than budget cycles are harvested they
+// are thinned by an even stride so coverage stays spread across the run
+// (budget <= 0 keeps everything).
+func Harvest(p trace.Profile, cfg machine.Config, seed int64, budget int) ([]uint64, uint64) {
+	seen := map[uint64]bool{}
+	cfg.Probe = func(e machine.Event) {
+		seen[uint64(e.At)] = true
+		seen[uint64(e.At)+1] = true
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		panic("crashmc: " + err.Error())
+	}
+	w := trace.Generate(p, cfg.Cores, seed)
+	res := m.Run(w)
+
+	points := make([]uint64, 0, len(seen))
+	for at := range seen {
+		if at > 0 {
+			points = append(points, at)
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	if budget > 0 && len(points) > budget {
+		thinned := make([]uint64, 0, budget)
+		for i := 0; i < budget; i++ {
+			thinned = append(thinned, points[i*len(points)/budget])
+		}
+		points = thinned
+	}
+	return points, uint64(res.DrainCycles)
+}
+
+// RandomPoints returns n seeded random crash cycles in [1, horizon],
+// sorted. The same (horizon, n, seed) always yields the same sweep.
+func RandomPoints(horizon uint64, n int, seed int64) []uint64 {
+	if horizon < 2 {
+		horizon = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	points := make([]uint64, n)
+	for i := range points {
+		points[i] = 1 + uint64(rng.Int63n(int64(horizon)))
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	return points
+}
+
+// UniformPoints returns n evenly spaced crash cycles starting at first.
+func UniformPoints(first, step uint64, n int) []uint64 {
+	points := make([]uint64, n)
+	for i := range points {
+		points[i] = first + uint64(i)*step
+	}
+	return points
+}

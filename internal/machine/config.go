@@ -134,6 +134,16 @@ type Config struct {
 	// protocol. nil persists everything (the paper's evaluated mode).
 	PersistFilter func(l mem.Line) bool
 
+	// Probe, when non-nil, observes every persistency transition (group
+	// freeze, AGB ingress/egress, persist-token hand-off, eviction-buffer
+	// drain). Crash campaigns harvest the event cycles as targeted crash
+	// points.
+	Probe func(Event)
+
+	// CrashFault, when not FaultNone, deliberately corrupts the recovered
+	// state RunWithCrash returns — checker mutation testing only.
+	CrashFault CrashFault
+
 	NoC noc.Config
 	NVM nvm.Config
 	AGB agb.Config

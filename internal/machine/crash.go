@@ -28,6 +28,11 @@ type CrashState struct {
 	// StoresIssued is the per-core count of stores that left each store
 	// buffer before the crash.
 	StoresIssued []uint64
+	// Fault is the corruption injected into this state (FaultNone for a
+	// genuine recovery); FaultApplied reports whether the state offered a
+	// target for it.
+	Fault        CrashFault
+	FaultApplied bool
 }
 
 // RunWithCrash executes the workload until the crash cycle (or natural
@@ -65,6 +70,10 @@ func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
 		for l, v := range g.DirtyLines() {
 			cs.Image[l] = v
 		}
+	}
+	if m.cfg.CrashFault != FaultNone {
+		cs.Fault = m.cfg.CrashFault
+		cs.FaultApplied = InjectFault(cs, m.cfg.CrashFault)
 	}
 	return cs
 }

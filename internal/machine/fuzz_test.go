@@ -1,80 +1,95 @@
 package machine
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/trace"
 )
 
-// Randomized robustness: random small workload profiles and random machine
+// pct maps a fuzzed byte onto [0, 1).
+func pct(b uint8) float64 { return float64(b) / 256 }
+
+// FuzzMachineInvariants is the native fuzz form of the old hand-rolled
+// randomized robustness loop: arbitrary small workload profiles and machine
 // configurations across every system must complete without deadlock, and
 // the strict systems must always leave a complete, ordered durable image
 // and an acyclic persist-before graph.
-func TestFuzzConfigurationsAndWorkloads(t *testing.T) {
-	rng := rand.New(rand.NewSource(77))
-	for trial := 0; trial < 24; trial++ {
+//
+// Under plain `go test` only the seed corpus below runs (deterministic
+// replay); `go test -fuzz=FuzzMachineInvariants` explores further.
+func FuzzMachineInvariants(f *testing.F) {
+	// Seed corpus: one entry per system kind plus contended/eviction-heavy
+	// shapes, standing in for the 24 trials of the old loop.
+	f.Add(uint8(0), uint8(4), uint16(200), uint8(90), uint8(120), uint16(64), uint16(64), uint8(80), uint8(4), uint8(100), uint16(120), uint8(2), uint8(2), uint8(40), uint8(24), uint8(4), uint8(80), int64(1))
+	f.Add(uint8(1), uint8(8), uint16(300), uint8(200), uint8(220), uint16(16), uint16(16), uint8(230), uint8(2), uint8(30), uint16(60), uint8(3), uint8(4), uint8(120), uint8(8), uint8(2), uint8(30), int64(2))
+	f.Add(uint8(2), uint8(2), uint16(150), uint8(40), uint8(10), uint16(200), uint16(200), uint8(10), uint8(11), uint8(200), uint16(280), uint8(1), uint8(1), uint8(0), uint8(50), uint8(15), uint8(150), int64(3))
+	f.Add(uint8(3), uint8(6), uint16(250), uint8(130), uint8(90), uint16(100), uint16(30), uint8(120), uint8(6), uint8(60), uint16(200), uint8(2), uint8(3), uint8(90), uint8(30), uint8(8), uint8(100), int64(4))
+	f.Add(uint8(4), uint8(3), uint16(350), uint8(255), uint8(180), uint16(40), uint16(120), uint8(180), uint8(1), uint8(0), uint16(90), uint8(3), uint8(2), uint8(255), uint8(16), uint8(6), uint8(60), int64(5))
+	f.Add(uint8(2), uint8(7), uint16(400), uint8(170), uint8(255), uint16(8), uint16(8), uint8(255), uint8(2), uint8(128), uint16(40), uint8(3), uint8(4), uint8(128), uint8(4), uint8(2), uint8(0), int64(6))
+
+	f.Fuzz(func(t *testing.T, sys, cores uint8, ops uint16, storeB, sharedB uint8,
+		sharedLines, privateLines uint16, hotB, hotLines, localB uint8, syncPeriod uint16,
+		csStores, csBurst, fsB, sbEntries, evEntries, agbLines uint8, seed int64) {
 		p := trace.Profile{
 			Name:         "fuzz",
-			OpsPerCore:   150 + rng.Intn(250),
-			StoreFrac:    0.15 + rng.Float64()*0.5,
-			SharedFrac:   rng.Float64() * 0.8,
-			SharedLines:  8 + rng.Intn(256),
-			PrivateLines: 8 + rng.Intn(256),
-			HotFrac:      rng.Float64() * 0.7,
-			HotLines:     1 + rng.Intn(12),
-			Locality:     rng.Float64() * 0.8,
-			SyncPeriod:   40 + rng.Intn(300),
-			CSStores:     1 + rng.Intn(3),
-			CSBurst:      1 + rng.Intn(4),
-			ComputeMean:  rng.Intn(5),
-			FalseSharing: rng.Float64() * 0.5,
+			OpsPerCore:   150 + int(ops)%251,
+			StoreFrac:    0.15 + pct(storeB)*0.5,
+			SharedFrac:   pct(sharedB) * 0.8,
+			SharedLines:  8 + int(sharedLines)%256,
+			PrivateLines: 8 + int(privateLines)%256,
+			HotFrac:      pct(hotB) * 0.7,
+			HotLines:     1 + int(hotLines)%12,
+			Locality:     pct(localB) * 0.8,
+			SyncPeriod:   40 + int(syncPeriod)%300,
+			CSStores:     1 + int(csStores)%3,
+			CSBurst:      1 + int(csBurst)%4,
+			ComputeMean:  int(uint64(seed) % 5),
+			FalseSharing: pct(fsB) * 0.5,
 		}
-		kind := Systems()[rng.Intn(len(Systems()))]
+		kind := Systems()[int(sys)%len(Systems())]
 		cfg := TableI(kind)
-		cfg.Cores = 2 + rng.Intn(7)
-		cfg.StoreBufferEntries = 2 + rng.Intn(56)
-		cfg.EvictBufEntries = 2 + rng.Intn(16)
+		cfg.Cores = 2 + int(cores)%7
+		cfg.StoreBufferEntries = 2 + int(sbEntries)%56
+		cfg.EvictBufEntries = 2 + int(evEntries)%16
 		if kind != BSPSLCAGB {
-			cfg.AGB.LinesPerSlice = 20 + rng.Intn(160)
+			cfg.AGB.LinesPerSlice = 20 + int(agbLines)%160
 		}
 		if cfg.AGLimit > cfg.AGB.LinesPerSlice {
 			cfg.AGLimit = cfg.AGB.LinesPerSlice
 		}
-		cfg.BSPEpochStores = 20 + rng.Intn(2000)
+		cfg.BSPEpochStores = 20 + int(ops)%2000
 
 		m, err := New(cfg)
 		if err != nil {
-			t.Fatalf("trial %d (%v): %v", trial, kind, err)
+			t.Fatalf("%v: %v", kind, err)
 		}
-		w := trace.Generate(p, cfg.Cores, int64(trial))
+		w := trace.Generate(p, cfg.Cores, seed)
 		r := m.Run(w) // panics on deadlock
 
 		if r.Stores == 0 {
-			t.Fatalf("trial %d (%v): no stores ran", trial, kind)
+			t.Fatalf("%v: no stores ran", kind)
 		}
 		if kind == STW || kind == TSOPER {
 			for line, order := range r.LineOrder {
 				if got := r.Durable[line]; got != order[len(order)-1] {
-					t.Fatalf("trial %d (%v): line %v durable %v want %v",
-						trial, kind, line, got, order[len(order)-1])
+					t.Fatalf("%v: line %v durable %v want %v", kind, line, got, order[len(order)-1])
 				}
 			}
 			for _, g := range r.Groups {
 				if g.State() != core.Retired {
-					t.Fatalf("trial %d (%v): group %v not retired", trial, kind, g)
+					t.Fatalf("%v: group %v not retired", kind, g)
 				}
 				if g.Size() > cfg.AGLimit {
-					t.Fatalf("trial %d (%v): group %v over limit %d", trial, kind, g, cfg.AGLimit)
+					t.Fatalf("%v: group %v over limit %d", kind, g, cfg.AGLimit)
 				}
 			}
 			if err := core.CheckAcyclic(r.Groups); err != nil {
-				t.Fatalf("trial %d (%v): %v", trial, kind, err)
+				t.Fatalf("%v: %v", kind, err)
 			}
 		}
-	}
+	})
 }
 
 // Crash-point fuzzing lives in internal/checker (which can import this
-// package); see checker.TestFuzzCrashPoints.
+// package); see checker.FuzzCrashConsistency.

@@ -339,6 +339,7 @@ func (m *Machine) evbufWait(cacheID int, fn func()) {
 
 // evbufReleased wakes eviction-buffer waiters for cacheID.
 func (m *Machine) evbufReleased(cacheID int) {
+	m.emit(Event{Kind: EvEvictDrain, Core: cacheID})
 	ws := m.evbufWaiters[cacheID]
 	if len(ws) == 0 {
 		return

@@ -182,6 +182,7 @@ func (s *tsoperSys) freeze(g *core.Group, reason core.FreezeReason) {
 		s.agSize.observe(uint64(g.Size()))
 		s.m.timeline.Append(uint64(s.m.engine.Now()), float64(g.Size()))
 	}
+	s.m.emit(Event{Kind: EvFreeze, Core: g.Core, Group: g.ID, Reason: reason})
 	if s.stw {
 		s.stallRefs++
 	}
@@ -208,11 +209,13 @@ func (s *tsoperSys) nodeCleared(n *slc.Node) {
 // startDrain buffers a drainable group into the AGB (§IV-B phase two).
 func (s *tsoperSys) startDrain(g *core.Group) {
 	g.StartDrain()
+	s.m.emit(Event{Kind: EvDrainStart, Core: g.Core, Group: g.ID})
 	req := agb.Request{
 		ID:    g.ID,
 		Lines: g.DirtyLines(),
 		OnLineBuffered: func(l mem.Line) {
 			s.m.persistWrites.Inc()
+			s.m.emit(Event{Kind: EvLineBuffered, Core: g.Core, Group: g.ID, Line: l})
 			// "The LLC is constantly updated with the newest-epoch version
 			// of a cacheline while simultaneously enqueueing the same
 			// version in the AGB" (§II-B) — each persisted line is also a
@@ -244,11 +247,13 @@ func (s *tsoperSys) startDrain(g *core.Group) {
 		OnDurable: func() {
 			g.MarkDurable()
 			s.m.durableOrder = append(s.m.durableOrder, g)
+			s.m.emit(Event{Kind: EvDurable, Core: g.Core, Group: g.ID})
 			s.liveCount--
 			s.checkDrainDone()
 		},
 		OnRetired: func() {
 			g.Retire()
+			s.m.emit(Event{Kind: EvRetired, Core: g.Core, Group: g.ID})
 			if s.stw {
 				// The stop-the-world strawman takes no durability credit
 				// from persist buffering: the world restarts only when the
