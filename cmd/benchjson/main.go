@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document mapping benchmark name to its measurements, for machine-readable
+// regression tracking (CI writes results/bench.json on every push).
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -o results/bench.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok, test
+// logs) are ignored. When a benchmark appears more than once (e.g. from
+// -count), the minimum ns/op wins.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+}
+
+// parse extracts benchmark result lines. The format is:
+//
+//	BenchmarkName-8   	     100	  11083907 ns/op	  513 B/op	   13 allocs/op
+func parse(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], procSuffix(fields[0]))
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+					seen = true
+				}
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := results[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			results[name] = res
+		}
+	}
+	return results, sc.Err()
+}
+
+// procSuffix returns the trailing "-N" GOMAXPROCS marker, or "".
+func procSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}

@@ -6,15 +6,20 @@
 //
 //	tsoper-experiments -exp all -scale 0.5
 //	tsoper-experiments -exp fig11,fig13 -bench radix,ocean_cp
+//	tsoper-experiments -exp fig11 -workers 4 -artifacts results
 //
 // Experiments: tableI, protocol, fig11, fig12, fig13, fig14, fig15, lists,
 // agbsweep, evict, agborg, epochs, all.
+//
+// -artifacts DIR additionally writes each experiment's text output to
+// DIR/<exp>.txt so figure data lands in versionable files.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -27,11 +32,19 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 22)")
 	serial := flag.Bool("serial", false, "disable parallel simulation")
+	workers := flag.Int("workers", 0, "simulation worker count (0 = auto: GOMAXPROCS, or 1 with -serial)")
+	artifacts := flag.String("artifacts", "", "also write each experiment's output to this directory")
 	flag.Parse()
 
-	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial}
+	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial, Workers: *workers}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	known := map[string]func(harness.Options) string{
@@ -71,5 +84,12 @@ func main() {
 		start := time.Now()
 		out := known[e](o)
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e, time.Since(start).Seconds(), out)
+		if *artifacts != "" {
+			path := filepath.Join(*artifacts, e+".txt")
+			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 }

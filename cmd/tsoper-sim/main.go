@@ -4,6 +4,12 @@
 // Usage:
 //
 //	tsoper-sim -bench radix -system tsoper -scale 0.5 -seed 42 [-stats]
+//	tsoper-sim -bench radix -trace-out radix.json -metrics-out radix-metrics.json
+//	tsoper-sim -metrics-diff old-metrics.json new-metrics.json
+//
+// -trace-out writes a Perfetto-compatible timeline (open it in
+// ui.perfetto.dev); -metrics-out writes the unified metrics snapshot;
+// -metrics-diff compares two snapshots without running anything.
 //
 // Systems: baseline, hw-rp, bsp, bsp+slc, bsp+slc+agb, stw, tsoper.
 // Benchmarks: the 22 PARSEC 3.0 / Splash-3 stand-ins (see -list).
@@ -12,9 +18,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/machine"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/tsoper"
 )
@@ -28,7 +36,22 @@ func main() {
 	full := flag.Bool("stats", false, "dump the full metric registry")
 	saveTrace := flag.String("save-trace", "", "write the generated workload trace to this file")
 	loadTrace := flag.String("load-trace", "", "replay a workload trace from this file instead of generating")
+	traceOut := flag.String("trace-out", "", "write a Perfetto timeline trace (JSON) to this file")
+	metricsOut := flag.String("metrics-out", "", "write the unified metrics snapshot (JSON) to this file")
+	metricsDiff := flag.Bool("metrics-diff", false, "diff two metrics snapshots given as positional args, then exit")
 	flag.Parse()
+
+	if *metricsDiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: tsoper-sim -metrics-diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := diffMetrics(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")
@@ -64,10 +87,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	// A -trace-out flag attaches a recording telemetry bus to the machine.
+	var sink *telemetry.TraceSink
+	var cfgOverride *tsoper.Config
+	if *traceOut != "" {
+		sink = telemetry.NewTraceSink()
+		cfg := tsoper.TableI(kind)
+		cfg.Telemetry = telemetry.NewBus(sink)
+		cfgOverride = &cfg
+	}
+
 	var r *tsoper.Results
 	var err error
 	if *loadTrace != "" {
-		r, err = runSavedTrace(*loadTrace, kind)
+		r, err = runSavedTrace(*loadTrace, kind, cfgOverride)
 	} else {
 		if *saveTrace != "" {
 			if err := saveWorkload(p, *scale, *seed, *saveTrace); err != nil {
@@ -75,11 +108,25 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		r, err = tsoper.Run(p, kind, tsoper.RunOptions{Scale: *scale, Seed: *seed})
+		r, err = tsoper.Run(p, kind, tsoper.RunOptions{Scale: *scale, Seed: *seed, Config: cfgOverride})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if sink != nil {
+		if err := writeFile(*traceOut, sink.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open in ui.perfetto.dev)\n", sink.Len(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, r.Snapshot().WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %s\n", *metricsOut)
 	}
 	fmt.Println(r)
 	fmt.Printf("  execution cycles     %d\n", r.Cycles)
@@ -114,7 +161,7 @@ func saveWorkload(p tsoper.Profile, scale float64, seed int64, path string) erro
 }
 
 // runSavedTrace replays a stored workload under the chosen system.
-func runSavedTrace(path string, kind tsoper.System) (*tsoper.Results, error) {
+func runSavedTrace(path string, kind tsoper.System, override *tsoper.Config) (*tsoper.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -125,10 +172,49 @@ func runSavedTrace(path string, kind tsoper.System) (*tsoper.Results, error) {
 		return nil, err
 	}
 	cfg := machine.TableI(kind)
+	if override != nil {
+		cfg = *override
+	}
 	cfg.Cores = len(w.Cores)
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return m.Run(w), nil
+}
+
+// writeFile creates path and streams render into it.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// diffMetrics prints the differences between two metrics snapshots.
+func diffMetrics(oldPath, newPath string) error {
+	read := func(path string) (*telemetry.Snapshot, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return telemetry.ReadSnapshot(f)
+	}
+	oldS, err := read(oldPath)
+	if err != nil {
+		return err
+	}
+	newS, err := read(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s -> %s/%s\n", oldS.System, oldS.Benchmark, newS.System, newS.Benchmark)
+	fmt.Print(telemetry.FormatDiff(oldS.Diff(newS)))
+	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/nvm"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config sets the buffer geometry and timing.
@@ -100,6 +101,44 @@ type Buffer struct {
 	stalls    *stats.Counter
 	occupancy *stats.Dist
 	groupSize *stats.Dist
+
+	// tel is nil unless Instrument attached a telemetry bus.
+	tel *agbTel
+}
+
+// agbTel renders the buffer on the timeline: an occupancy counter track
+// (the Fig. 15 AGB-occupancy-vs-drain view), a waiting-reservations counter,
+// and instants for allocation, reservation stalls, supergroup egress, and
+// retirement — all scoped by group ID so they correlate with the per-core
+// AG lifecycle spans.
+type agbTel struct {
+	bus       *telemetry.Bus
+	occupancy telemetry.Track
+	waiting   telemetry.Track
+}
+
+// Instrument attaches a telemetry bus; a nil or sinkless bus is a no-op.
+func (b *Buffer) Instrument(bus *telemetry.Bus) {
+	if !bus.Enabled() {
+		return
+	}
+	b.tel = &agbTel{
+		bus:       bus,
+		occupancy: bus.Track("agb", "occupancy"),
+		waiting:   bus.Track("agb", "waiting"),
+	}
+}
+
+// sample refreshes both counter tracks at the current cycle.
+func (t *agbTel) sample(b *Buffer) {
+	now := telemetry.Ticks(b.engine.Now())
+	t.bus.Count(t.occupancy, "agb.occupancy_lines", now, int64(b.used()))
+	t.bus.Count(t.waiting, "agb.waiting_reservations", now, int64(len(b.waiting)))
+}
+
+// mark drops a group-scoped instant on the occupancy track.
+func (t *agbTel) mark(b *Buffer, name string, group uint64) {
+	t.bus.Instant(t.occupancy, name, telemetry.Ticks(b.engine.Now()), group, 0)
 }
 
 // New creates a buffer draining into the given NVM.
@@ -156,6 +195,9 @@ func (b *Buffer) Persist(req Request) error {
 	b.groupSize.Observe(uint64(len(req.Lines)))
 	rec := &groupRec{req: req, need: need, size: len(req.Lines)}
 	b.waiting = append(b.waiting, rec)
+	if b.tel != nil {
+		b.tel.sample(b)
+	}
 	b.tryAllocate()
 	return nil
 }
@@ -168,6 +210,9 @@ func (b *Buffer) tryAllocate() {
 		rec := b.waiting[0]
 		if !b.fits(rec.need) {
 			b.stalls.Inc()
+			if b.tel != nil {
+				b.tel.mark(b, "reservation-stall", rec.req.ID)
+			}
 			return
 		}
 		b.waiting = b.waiting[1:]
@@ -190,6 +235,10 @@ func (b *Buffer) allocate(rec *groupRec) {
 	}
 	b.queue = append(b.queue, rec)
 	b.occupancy.Observe(uint64(b.used()))
+	if b.tel != nil {
+		b.tel.mark(b, "allocate", rec.req.ID)
+		b.tel.sample(b)
+	}
 
 	allocDelay := sim.Time(0)
 	if b.cfg.Slices > 1 {
@@ -250,6 +299,9 @@ func (b *Buffer) advanceFrontier() {
 // egress writes a durable group's lines to NVM. Order across unique lines
 // is free; same-address order holds per rank by construction.
 func (b *Buffer) egress(rec *groupRec) {
+	if b.tel != nil {
+		b.tel.mark(b, "supergroup-egress", rec.req.ID)
+	}
 	if rec.size == 0 {
 		b.retire(rec)
 		return
@@ -275,6 +327,10 @@ func (b *Buffer) retire(rec *groupRec) {
 		b.queue = b.queue[1:]
 		for s, n := range head.need {
 			b.free[s] += n
+		}
+		if b.tel != nil {
+			b.tel.mark(b, "retire", head.req.ID)
+			b.tel.sample(b)
 		}
 		if head.req.OnRetired != nil {
 			head.req.OnRetired()
@@ -333,6 +389,9 @@ func (b *Buffer) InFlight() int { return len(b.queue) }
 
 // Stalls returns the reservation-stall count.
 func (b *Buffer) Stalls() uint64 { return b.stalls.Value }
+
+// Ports exposes the per-slice ingress ports for utilization snapshots.
+func (b *Buffer) Ports() *sim.Bank { return b.ports }
 
 type lineVer struct {
 	line mem.Line

@@ -3,6 +3,7 @@ package slc
 import (
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Directory owns the sharing lists for every line that has ever been cached.
@@ -18,6 +19,36 @@ type Directory struct {
 	// the two averages the paper contrasts in §V-B (~2 vs ~4).
 	coherenceLen *stats.Dist
 	persistLen   *stats.Dist
+
+	// tel is nil unless Instrument attached a telemetry bus.
+	tel *dirTel
+}
+
+// dirTel renders protocol activity on the timeline: persist-token hand-offs
+// and invalidation-walk steps as instants, and the two §V-B list-length
+// series as counter tracks. The directory has no clock of its own, so the
+// machine supplies `now` when instrumenting.
+type dirTel struct {
+	bus    *telemetry.Bus
+	now    func() telemetry.Ticks
+	events telemetry.Track
+	colen  telemetry.Track
+	pelen  telemetry.Track
+}
+
+// Instrument attaches a telemetry bus with a clock source; a nil or
+// sinkless bus is a no-op. Lists created afterwards emit through it.
+func (d *Directory) Instrument(bus *telemetry.Bus, now func() telemetry.Ticks) {
+	if !bus.Enabled() {
+		return
+	}
+	d.tel = &dirTel{
+		bus:    bus,
+		now:    now,
+		events: bus.Track("slc", "protocol"),
+		colen:  bus.Track("slc", "coherence list"),
+		pelen:  bus.Track("slc", "persist list"),
+	}
 }
 
 // NewDirectory creates an empty directory.
@@ -34,6 +65,7 @@ func (d *Directory) List(l mem.Line) *List {
 	lst, ok := d.lists[l]
 	if !ok {
 		lst = NewList(l)
+		lst.tel = d.tel
 		d.lists[l] = lst
 	}
 	return lst
@@ -49,8 +81,14 @@ func (d *Directory) Sample(l mem.Line) {
 	if lst == nil || lst.Len() == 0 {
 		return
 	}
-	d.coherenceLen.Observe(uint64(len(lst.ValidNodes())))
-	d.persistLen.Observe(uint64(lst.Len()))
+	co, pe := uint64(len(lst.ValidNodes())), uint64(lst.Len())
+	d.coherenceLen.Observe(co)
+	d.persistLen.Observe(pe)
+	if d.tel != nil {
+		now := d.tel.now()
+		d.tel.bus.Count(d.tel.colen, "slc.coherence_list_len", now, int64(co))
+		d.tel.bus.Count(d.tel.pelen, "slc.persist_list_len", now, int64(pe))
+	}
 }
 
 // Lengths returns (mean coherence-list length, mean persist-list length).

@@ -84,6 +84,10 @@ type List struct {
 
 	// byCache enforces one node per cache.
 	byCache map[int]*Node
+
+	// tel is inherited from the owning Directory (nil when uninstrumented
+	// or when the list was built standalone, e.g. in unit tests).
+	tel *dirTel
 }
 
 // NewList creates an empty sharing list for a line.
@@ -145,6 +149,10 @@ func (l *List) linkHead(n *Node) {
 // sweeps: clean invalid nodes in the clear region disappear immediately.
 func (l *List) Invalidate(n *Node) Update {
 	n.Valid = false
+	if l.tel != nil {
+		// One serial step of an invalidation walk (§IV: one hop per copy).
+		l.tel.bus.Instant(l.tel.events, "invalidate", l.tel.now(), uint64(n.Cache), uint64(l.Line))
+	}
 	return l.sweep()
 }
 
@@ -171,6 +179,10 @@ func (l *List) MarkPersisted(n *Node) Update {
 		panic(fmt.Sprintf("slc: MarkPersisted out of order for %v (cache %d)", l.Line, n.Cache))
 	}
 	n.Dirty = false
+	if l.tel != nil {
+		// The persist token passes head-ward off this node (§IV-B).
+		l.tel.bus.Instant(l.tel.events, "token-pass", l.tel.now(), uint64(n.Cache), uint64(l.Line))
+	}
 	var up Update
 	if !n.Valid {
 		l.unlink(n)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // CacheState is a line's state at one cache controller.
@@ -122,6 +123,38 @@ type System struct {
 	Messages        uint64
 	Transitions     uint64
 	TransitionKinds map[string]uint64
+
+	// tel is nil unless Instrument attached a telemetry bus.
+	tel *fsmTel
+}
+
+// fsmTel renders protocol traffic at message granularity: one timeline row
+// per cache controller plus one for the home controller, with an instant
+// per message send (named by message kind) and per state transition.
+type fsmTel struct {
+	bus    *telemetry.Bus
+	caches []telemetry.Track
+	home   telemetry.Track
+}
+
+// Instrument attaches a telemetry bus; a nil or sinkless bus is a no-op.
+func (s *System) Instrument(bus *telemetry.Bus) {
+	if !bus.Enabled() {
+		return
+	}
+	t := &fsmTel{bus: bus, home: bus.Track("slcfsm", "home")}
+	for i := 0; i < s.n; i++ {
+		t.caches = append(t.caches, bus.Track("slcfsm", fmt.Sprintf("cache %d", i)))
+	}
+	s.tel = t
+}
+
+// track maps a protocol node address to its timeline row.
+func (t *fsmTel) track(id int) telemetry.Track {
+	if id == HomeID {
+		return t.home
+	}
+	return t.caches[id]
 }
 
 // New creates a protocol instance with n caches. Cache i sits at mesh node
@@ -170,6 +203,10 @@ func (s *System) nodeOf(id int) int {
 // send routes a protocol message over the mesh.
 func (s *System) send(m Msg) {
 	s.Messages++
+	if s.tel != nil {
+		s.tel.bus.Instant(s.tel.track(m.Src), m.Kind.String(),
+			telemetry.Ticks(s.engine.Now()), uint64(m.Line), uint64(s.nodeOf(m.Dst)))
+	}
 	s.net.Send(s.nodeOf(m.Src), s.nodeOf(m.Dst), func() { s.deliver(m) })
 }
 
@@ -184,8 +221,10 @@ func (s *System) deliver(m Msg) {
 func (s *System) transition(c int, l mem.Line, from CacheState, ev string) {
 	s.Transitions++
 	s.TransitionKinds[fmt.Sprintf("%s/%s", from, ev)]++
-	_ = c
-	_ = l
+	if s.tel != nil {
+		s.tel.bus.Instant(s.tel.track(c), ev,
+			telemetry.Ticks(s.engine.Now()), uint64(l), uint64(from))
+	}
 }
 
 // ---------------- public operations ----------------

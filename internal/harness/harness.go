@@ -27,6 +27,9 @@ type Options struct {
 	Benchmarks []string
 	// Parallel runs benchmark×system simulations concurrently.
 	Parallel bool
+	// Workers caps the simulation worker count when positive; it overrides
+	// Parallel (Workers 1 forces serial, Workers n runs n-wide).
+	Workers int
 }
 
 // DefaultOptions returns full-scale, deterministic, parallel options.
@@ -93,6 +96,9 @@ func RunMatrix(benches []trace.Profile, systems []machine.SystemKind, o Options)
 	workers := 1
 	if o.Parallel {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > 0 {
+		workers = o.Workers
 	}
 	var wg sync.WaitGroup
 	ch := make(chan int)

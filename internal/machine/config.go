@@ -15,6 +15,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/nvm"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // SystemKind selects the persistency system under evaluation.
@@ -134,10 +135,17 @@ type Config struct {
 	// protocol. nil persists everything (the paper's evaluated mode).
 	PersistFilter func(l mem.Line) bool
 
+	// Telemetry, when non-nil and carrying a sink, receives the machine's
+	// full instrumentation stream: atomic-group lifecycle spans per core,
+	// coherence/persistency instants, AGB and eviction-buffer occupancy
+	// counters, NVM queue depths, and NoC message spans. Track handles are
+	// machine-local, so give each machine a freshly constructed bus.
+	Telemetry *telemetry.Bus
+
 	// Probe, when non-nil, observes every persistency transition (group
 	// freeze, AGB ingress/egress, persist-token hand-off, eviction-buffer
 	// drain). Crash campaigns harvest the event cycles as targeted crash
-	// points.
+	// points. Internally the probe is a sink on the telemetry bus.
 	Probe func(Event)
 
 	// CrashFault, when not FaultNone, deliberately corrupts the recovered

@@ -56,6 +56,9 @@ type Machine struct {
 	durableOrder []*core.Group
 	timeline     *stats.Series
 
+	// tel is nil unless a telemetry sink (bus or probe) is attached.
+	tel *machineTel
+
 	running   int
 	execDone  sim.Time
 	drainDone sim.Time
@@ -94,6 +97,7 @@ func New(cfg Config) (*Machine, error) {
 		current:   make(map[mem.Line]mem.Version),
 		timeline:  &stats.Series{Name: "region_size"},
 	}
+	m.initTelemetry()
 	m.net = noc.New(m.engine, cfg.NoC, m.set)
 	m.memory = nvm.New(m.engine, cfg.NVM, m.set)
 	m.buffer = agb.New(m.engine, m.memory, cfg.AGB, m.set)
@@ -115,6 +119,7 @@ func New(cfg Config) (*Machine, error) {
 		})
 	}
 	m.evbufWaiters = make([][]func(), cfg.Cores)
+	m.instrumentComponents()
 	m.sys = newSystem(m)
 	return m, nil
 }
@@ -177,6 +182,7 @@ func (m *Machine) results(w *trace.Workload) *Results {
 		Durable:            m.memory.DurableImage(),
 		LineOrder:          m.lineOrder,
 		Set:                m.set,
+		Resources:          m.collectResources(m.drainDone),
 	}
 	for _, pc := range m.priv {
 		if pc.evbuf.MaxOccupancy > r.EvictBufMax {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // EventKind classifies the persistency-machinery events a Probe observes.
@@ -70,12 +71,22 @@ func (e Event) String() string {
 	return fmt.Sprintf("@%d %s core=%d ag=%d", e.At, e.Kind, e.Core, e.Group)
 }
 
-// emit forwards an event to the configured probe, stamping the current
-// cycle. It is a no-op (and free of allocation) without a probe.
+// emit publishes a persistency transition on the telemetry bus as an
+// instant on the owning core's track, stamped with the current cycle. The
+// configured Probe (if any) receives it through the probeSink adapter —
+// see telemetry.go. It is a no-op (and free of allocation) when no sink is
+// attached.
 func (m *Machine) emit(e Event) {
-	if m.cfg.Probe == nil {
+	if m.tel == nil {
 		return
 	}
-	e.At = m.engine.Now()
-	m.cfg.Probe(e)
+	var aux uint64
+	switch e.Kind {
+	case EvLineBuffered:
+		aux = uint64(e.Line)
+	case EvFreeze:
+		aux = uint64(e.Reason)
+	}
+	m.tel.bus.Instant(m.tel.coreTrack[e.Core], e.Kind.String(),
+		telemetry.Ticks(m.engine.Now()), e.Group, aux)
 }

@@ -311,6 +311,7 @@ func (m *Machine) insertFrame(cacheID int, line mem.Line, node *slc.Node, then f
 				m.evbufWait(cacheID, func() { m.insertFrame(cacheID, line, node, then) })
 				return
 			}
+			m.evbufSample(cacheID)
 			pc.arr.Remove(v.Line)
 			if vnode.Dirty && vnode.Valid {
 				// Exposing a dirty line to the LLC: writeback + the
@@ -340,6 +341,7 @@ func (m *Machine) evbufWait(cacheID int, fn func()) {
 // evbufReleased wakes eviction-buffer waiters for cacheID.
 func (m *Machine) evbufReleased(cacheID int) {
 	m.emit(Event{Kind: EvEvictDrain, Core: cacheID})
+	m.evbufSample(cacheID)
 	ws := m.evbufWaiters[cacheID]
 	if len(ws) == 0 {
 		return

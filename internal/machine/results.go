@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Results summarizes one simulation run.
@@ -66,6 +67,21 @@ type Results struct {
 
 	// Set is the full raw metric registry.
 	Set *stats.Set
+
+	// Resources snapshots every contended sim.Resource (LLC banks, NoC
+	// ports, NVM ranks, AGB slices) at the end-of-run horizon.
+	Resources map[string]telemetry.ResourceSnapshot
+}
+
+// Snapshot renders the results as a unified, deterministic metrics document
+// (every registry counter and distribution plus resource utilization).
+func (r *Results) Snapshot() *telemetry.Snapshot {
+	s := telemetry.NewSnapshot(r.System.String(), r.Benchmark,
+		uint64(r.Cycles), uint64(r.DrainCycles), r.Set)
+	for name, rs := range r.Resources {
+		s.Resources[name] = rs
+	}
+	return s
 }
 
 func (r *Results) String() string {

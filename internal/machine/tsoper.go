@@ -53,6 +53,7 @@ func newTSOPERSys(m *Machine) *tsoperSys {
 			s.groups[g.ID] = g
 			s.m.journal = append(s.m.journal, g)
 			s.liveCount++
+			s.m.agBegin(g, agPhaseOpen)
 		}
 		tr.OnDrainable = s.startDrain
 		s.trackers = append(s.trackers, tr)
@@ -183,6 +184,8 @@ func (s *tsoperSys) freeze(g *core.Group, reason core.FreezeReason) {
 		s.m.timeline.Append(uint64(s.m.engine.Now()), float64(g.Size()))
 	}
 	s.m.emit(Event{Kind: EvFreeze, Core: g.Core, Group: g.ID, Reason: reason})
+	s.m.agEnd(g, agPhaseOpen)
+	s.m.agBegin(g, agPhaseFrozen)
 	if s.stw {
 		s.stallRefs++
 	}
@@ -210,6 +213,8 @@ func (s *tsoperSys) nodeCleared(n *slc.Node) {
 func (s *tsoperSys) startDrain(g *core.Group) {
 	g.StartDrain()
 	s.m.emit(Event{Kind: EvDrainStart, Core: g.Core, Group: g.ID})
+	s.m.agEnd(g, agPhaseFrozen)
+	s.m.agBegin(g, agPhaseDraining)
 	req := agb.Request{
 		ID:    g.ID,
 		Lines: g.DirtyLines(),
@@ -248,12 +253,15 @@ func (s *tsoperSys) startDrain(g *core.Group) {
 			g.MarkDurable()
 			s.m.durableOrder = append(s.m.durableOrder, g)
 			s.m.emit(Event{Kind: EvDurable, Core: g.Core, Group: g.ID})
+			s.m.agEnd(g, agPhaseDraining)
+			s.m.agBegin(g, agPhaseDurable)
 			s.liveCount--
 			s.checkDrainDone()
 		},
 		OnRetired: func() {
 			g.Retire()
 			s.m.emit(Event{Kind: EvRetired, Core: g.Core, Group: g.ID})
+			s.m.agEnd(g, agPhaseDurable)
 			if s.stw {
 				// The stop-the-world strawman takes no durability credit
 				// from persist buffering: the world restarts only when the

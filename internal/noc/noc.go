@@ -6,8 +6,11 @@
 package noc
 
 import (
+	"fmt"
+
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config describes the mesh.
@@ -37,6 +40,30 @@ type Network struct {
 
 	msgs *stats.Counter
 	hops *stats.Counter
+
+	// tel is nil unless Instrument attached a telemetry bus.
+	tel *nocTel
+}
+
+// nocTel holds the pre-registered telemetry tracks: one timeline row per
+// mesh node, carrying a complete span per injected message (link occupancy
+// plus traversal) and an "inject-wait" span when the injection port was
+// contended.
+type nocTel struct {
+	bus  *telemetry.Bus
+	node []telemetry.Track
+}
+
+// Instrument attaches a telemetry bus; a nil or sinkless bus is a no-op.
+func (n *Network) Instrument(bus *telemetry.Bus) {
+	if !bus.Enabled() {
+		return
+	}
+	t := &nocTel{bus: bus}
+	for i := 0; i < n.Nodes(); i++ {
+		t.node = append(t.node, bus.Track("noc", fmt.Sprintf("node %d", i)))
+	}
+	n.tel = t
 }
 
 // New creates a network on the engine.
@@ -81,13 +108,26 @@ func (n *Network) Latency(src, dst int) sim.Time {
 func (n *Network) Send(src, dst int, deliver func()) sim.Time {
 	n.msgs.Inc()
 	n.hops.Add(uint64(n.Hops(src, dst)))
-	start := n.ports.Claim(src, n.engine.Now(), n.cfg.LinkOccupancy)
+	now := n.engine.Now()
+	start := n.ports.Claim(src, now, n.cfg.LinkOccupancy)
 	arrive := start + n.Latency(src, dst)
+	if n.tel != nil {
+		if start > now {
+			// Injection port contention: the message queued at the source.
+			n.tel.bus.Span(n.tel.node[src], "inject-wait",
+				telemetry.Ticks(now), telemetry.Ticks(start-now), 0)
+		}
+		n.tel.bus.Span(n.tel.node[src], "msg",
+			telemetry.Ticks(start), telemetry.Ticks(arrive-start), uint64(dst))
+	}
 	if deliver != nil {
 		n.engine.At(arrive, deliver)
 	}
 	return arrive
 }
+
+// Ports exposes the per-node injection ports for utilization snapshots.
+func (n *Network) Ports() *sim.Bank { return n.ports }
 
 // Messages returns the number of messages sent.
 func (n *Network) Messages() uint64 { return n.msgs.Value }

@@ -7,9 +7,12 @@
 package nvm
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config sets the NVM geometry and timing.
@@ -47,6 +50,46 @@ type Memory struct {
 
 	writes *stats.Counter
 	reads  *stats.Counter
+
+	// tel is nil unless Instrument attached a telemetry bus.
+	tel *nvmTel
+}
+
+// nvmTel holds one timeline row per rank: a complete span per access
+// (issue to media completion) and a queue-depth counter sampling the
+// number of in-flight accesses — the drain-vs-occupancy view of OBS 2/4.
+type nvmTel struct {
+	bus       *telemetry.Bus
+	rank      []telemetry.Track
+	depthName []string
+	depth     []int
+}
+
+// Instrument attaches a telemetry bus; a nil or sinkless bus is a no-op.
+func (m *Memory) Instrument(bus *telemetry.Bus) {
+	if !bus.Enabled() {
+		return
+	}
+	t := &nvmTel{bus: bus, depth: make([]int, m.cfg.Ranks)}
+	for i := 0; i < m.cfg.Ranks; i++ {
+		t.rank = append(t.rank, bus.Track("nvm", fmt.Sprintf("rank %d", i)))
+		t.depthName = append(t.depthName, fmt.Sprintf("nvm.rank%d.queue_depth", i))
+	}
+	m.tel = t
+}
+
+// issued records an access entering rank r's queue at now, spanning
+// start..finish on the media.
+func (t *nvmTel) issued(r int, name string, now, start, finish sim.Time) {
+	t.depth[r]++
+	t.bus.Count(t.rank[r], t.depthName[r], telemetry.Ticks(now), int64(t.depth[r]))
+	t.bus.Span(t.rank[r], name, telemetry.Ticks(start), telemetry.Ticks(finish-start), 0)
+}
+
+// completed records the access leaving the queue at now.
+func (t *nvmTel) completed(r int, now sim.Time) {
+	t.depth[r]--
+	t.bus.Count(t.rank[r], t.depthName[r], telemetry.Ticks(now), int64(t.depth[r]))
 }
 
 // New creates an NVM array attached to the engine.
@@ -80,20 +123,7 @@ func (m *Memory) Config() Config { return m.cfg }
 // starting at the current cycle and invokes done (which may be nil) when the
 // write completes. It returns the completion time.
 func (m *Memory) Write(l mem.Line, v mem.Version, done func()) sim.Time {
-	m.writes.Inc()
-	occ := m.cfg.WriteOccupancy
-	if occ == 0 {
-		occ = m.cfg.WriteLatency
-	}
-	start := m.ranks.Claim(m.RankOf(l), m.engine.Now(), occ)
-	finish := start + m.cfg.WriteLatency
-	m.engine.At(finish, func() {
-		m.durable[l] = v
-		if done != nil {
-			done()
-		}
-	})
-	return finish
+	return m.WriteBuffered(l, v, nil, done)
 }
 
 // WriteBuffered is Write, but additionally reports when the rank's
@@ -106,13 +136,20 @@ func (m *Memory) WriteBuffered(l mem.Line, v mem.Version, accepted, done func())
 	if occ == 0 {
 		occ = m.cfg.WriteLatency
 	}
-	start := m.ranks.Claim(m.RankOf(l), m.engine.Now(), occ)
+	rank := m.RankOf(l)
+	start := m.ranks.Claim(rank, m.engine.Now(), occ)
 	finish := start + m.cfg.WriteLatency
+	if m.tel != nil {
+		m.tel.issued(rank, "write", m.engine.Now(), start, finish)
+	}
 	if accepted != nil {
 		m.engine.At(start, accepted)
 	}
 	m.engine.At(finish, func() {
 		m.durable[l] = v
+		if m.tel != nil {
+			m.tel.completed(rank, finish)
+		}
 		if done != nil {
 			done()
 		}
@@ -127,8 +164,13 @@ func (m *Memory) Read(l mem.Line, done func()) sim.Time {
 	if occ == 0 {
 		occ = m.cfg.ReadLatency
 	}
-	start := m.ranks.Claim(m.RankOf(l), m.engine.Now(), occ)
+	rank := m.RankOf(l)
+	start := m.ranks.Claim(rank, m.engine.Now(), occ)
 	finish := start + m.cfg.ReadLatency
+	if m.tel != nil {
+		m.tel.issued(rank, "read", m.engine.Now(), start, finish)
+		m.engine.At(finish, func() { m.tel.completed(rank, finish) })
+	}
 	if done != nil {
 		m.engine.At(finish, done)
 	}
@@ -152,6 +194,9 @@ func (m *Memory) DurableImage() map[mem.Line]mem.Version {
 
 // Writes returns the number of line writes issued so far.
 func (m *Memory) Writes() uint64 { return m.writes.Value }
+
+// RankPorts exposes the per-rank bus resources for utilization snapshots.
+func (m *Memory) RankPorts() *sim.Bank { return m.ranks }
 
 // RankUtilization returns per-rank busy fraction at time now.
 func (m *Memory) RankUtilization(now sim.Time) []float64 {

@@ -30,12 +30,27 @@ func (r *Resource) Claim(at, occupancy Time) Time {
 // NextFree returns the first cycle the resource is idle.
 func (r *Resource) NextFree() Time { return r.nextFree }
 
-// Utilization returns busy cycles divided by the elapsed time `now`.
+// Utilization returns busy cycles divided by the elapsed time `now`,
+// counting only occupancy that falls inside [0, now): a claim whose
+// occupancy extends past the query horizon contributes only the portion
+// already elapsed. Without the clamp a saturated resource quizzed mid-claim
+// reported utilization above 1.0. Claimed periods are disjoint and the last
+// one ends at nextFree, so the busy time beyond `now` is at most
+// nextFree - now; subtracting that (floored at zero) restores the invariant
+// Utilization <= 1.
 func (r *Resource) Utilization(now Time) float64 {
 	if now == 0 {
 		return 0
 	}
-	return float64(r.Busy) / float64(now)
+	busy := r.Busy
+	if r.nextFree > now {
+		over := r.nextFree - now
+		if over >= busy {
+			return 0
+		}
+		busy -= over
+	}
+	return float64(busy) / float64(now)
 }
 
 // Bank is a group of independent resources selected by an index, e.g. LLC

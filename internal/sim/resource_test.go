@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResourceClaimSerializesBackToBack(t *testing.T) {
+	var r Resource
+	// Three claims arriving at the same cycle must pipeline back-to-back.
+	if got := r.Claim(10, 4); got != 10 {
+		t.Fatalf("first claim starts at %d, want 10", got)
+	}
+	if got := r.Claim(10, 4); got != 14 {
+		t.Fatalf("second claim starts at %d, want 14", got)
+	}
+	if got := r.Claim(10, 4); got != 18 {
+		t.Fatalf("third claim starts at %d, want 18", got)
+	}
+	if r.NextFree() != 22 {
+		t.Fatalf("nextFree %d, want 22", r.NextFree())
+	}
+	if r.Claims != 3 || r.Busy != 12 {
+		t.Fatalf("claims=%d busy=%d, want 3/12", r.Claims, r.Busy)
+	}
+}
+
+func TestResourceClaimAfterIdleGap(t *testing.T) {
+	var r Resource
+	r.Claim(0, 5)
+	// A claim arriving after the resource went idle starts immediately: the
+	// idle gap is not accumulated as busy time.
+	if got := r.Claim(100, 5); got != 100 {
+		t.Fatalf("post-gap claim starts at %d, want 100", got)
+	}
+	if r.Busy != 10 {
+		t.Fatalf("busy %d, want 10 (gap must not count)", r.Busy)
+	}
+}
+
+func TestResourceZeroOccupancyClaim(t *testing.T) {
+	var r Resource
+	r.Claim(5, 0)
+	if r.NextFree() != 5 || r.Busy != 0 {
+		t.Fatalf("zero-occupancy claim moved nextFree=%d busy=%d", r.NextFree(), r.Busy)
+	}
+	if got := r.Claim(5, 3); got != 5 {
+		t.Fatalf("claim after zero-occupancy starts at %d, want 5", got)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	var r Resource
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("empty resource at t=0: %v", u)
+	}
+	if u := r.Utilization(100); u != 0 {
+		t.Fatalf("idle resource: %v", u)
+	}
+	r.Claim(0, 50)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("half-busy: %v, want 0.5", u)
+	}
+	if u := r.Utilization(50); u != 1.0 {
+		t.Fatalf("exactly saturated: %v, want 1.0", u)
+	}
+}
+
+// A saturated resource queried mid-claim must clamp to <= 1.0 — the bug the
+// clamp in Utilization fixes: Busy counts whole occupancies at claim time,
+// including the part that lies beyond the query horizon.
+func TestUtilizationClampsMidClaim(t *testing.T) {
+	var r Resource
+	// Back-to-back claims pile up far past the horizon.
+	for i := 0; i < 10; i++ {
+		r.Claim(0, 100) // nextFree ends at 1000
+	}
+	for _, now := range []Time{1, 10, 500, 999, 1000} {
+		u := r.Utilization(now)
+		if u > 1.0 {
+			t.Fatalf("Utilization(%d) = %v > 1.0", now, u)
+		}
+		if math.Abs(u-1.0) > 1e-12 {
+			t.Fatalf("Utilization(%d) = %v, want 1.0 (fully busy up to horizon)", now, u)
+		}
+	}
+	// Past the backlog the denominator grows: utilization decays below 1.
+	if u := r.Utilization(2000); u != 0.5 {
+		t.Fatalf("Utilization(2000) = %v, want 0.5", u)
+	}
+}
+
+// A query horizon inside the very first claim must not go negative or panic
+// (over >= busy edge).
+func TestUtilizationHorizonBeforeFirstClaimEnds(t *testing.T) {
+	var r Resource
+	r.Claim(50, 100) // busy 50..150
+	// At now=10 nothing has elapsed of the claim, and over (140) >= busy
+	// (100): utilization floors at 0 rather than underflowing.
+	if u := r.Utilization(10); u != 0 {
+		t.Fatalf("Utilization(10) = %v, want 0", u)
+	}
+	// Midway through the claim only the elapsed part counts.
+	if u := r.Utilization(100); u != 0.5 {
+		t.Fatalf("Utilization(100) = %v, want 0.5 (50 busy of 100 elapsed)", u)
+	}
+}
+
+func TestBankUnitsIndependent(t *testing.T) {
+	b := NewBank(4)
+	if b.Len() != 4 {
+		t.Fatalf("len %d", b.Len())
+	}
+	// Saturate unit 0; unit 1 must be unaffected.
+	b.Claim(0, 0, 100)
+	if got := b.Claim(0, 0, 100); got != 100 {
+		t.Fatalf("unit 0 second claim at %d, want 100", got)
+	}
+	if got := b.Claim(1, 0, 100); got != 0 {
+		t.Fatalf("unit 1 first claim at %d, want 0 (independent)", got)
+	}
+	if b.Unit(2).Claims != 0 || b.Unit(3).Claims != 0 {
+		t.Fatal("untouched units accumulated claims")
+	}
+	if b.Unit(0).Claims != 2 || b.Unit(1).Claims != 1 {
+		t.Fatalf("per-unit claim counts wrong: %d/%d", b.Unit(0).Claims, b.Unit(1).Claims)
+	}
+}

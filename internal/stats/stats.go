@@ -193,6 +193,28 @@ func (s *Set) Dist(name string) *Dist {
 	return d
 }
 
+// Counters returns every counter in registration order.
+func (s *Set) Counters() []*Counter {
+	out := make([]*Counter, 0, len(s.counters))
+	for _, name := range s.order {
+		if c, ok := s.counters[name]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Dists returns every distribution in registration order.
+func (s *Set) Dists() []*Dist {
+	out := make([]*Dist, 0, len(s.dists))
+	for _, name := range s.order {
+		if d, ok := s.dists[name]; ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // CounterValue returns the value of a counter, 0 if absent.
 func (s *Set) CounterValue(name string) uint64 {
 	if c, ok := s.counters[name]; ok {

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceSink records the full event stream of one simulation and renders it
+// as Chrome trace-event JSON, the legacy format ui.perfetto.dev (and
+// chrome://tracing) opens directly. The rendering maps the bus model onto
+// the timeline UI as:
+//
+//   - one process per component (the TrackInfo.Process string),
+//   - one thread track per row within it (core, rank, node, slice),
+//   - async begin/end pairs ("b"/"e", correlated by Scope) for spans that
+//     may overlap, synchronous "B"/"E" otherwise,
+//   - "X" complete slices for NVM writes / NoC messages,
+//   - "i" instants and "C" counter tracks.
+//
+// One simulation cycle is rendered as one microsecond: Perfetto has no
+// native cycle unit and integer microseconds keep the JSON exact.
+type TraceSink struct {
+	tracks []TrackInfo
+	events []Event
+}
+
+// NewTraceSink returns an empty recorder.
+func NewTraceSink() *TraceSink { return &TraceSink{} }
+
+// DefineTrack implements Sink.
+func (s *TraceSink) DefineTrack(t Track, info TrackInfo) {
+	for int(t) >= len(s.tracks) {
+		s.tracks = append(s.tracks, TrackInfo{})
+	}
+	s.tracks[t] = info
+}
+
+// Emit implements Sink.
+func (s *TraceSink) Emit(e Event) { s.events = append(s.events, e) }
+
+// Len returns the number of recorded events.
+func (s *TraceSink) Len() int { return len(s.events) }
+
+// Events returns the recorded stream (emission order).
+func (s *TraceSink) Events() []Event { return s.events }
+
+// Tracks returns the registered track table, indexed by Track handle.
+func (s *TraceSink) Tracks() []TrackInfo { return s.tracks }
+
+// chromeEvent is one trace-event object. Field order fixes the serialized
+// layout; json.Marshal handles escaping.
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON renders the recorded trace. Output is deterministic for a
+// deterministic simulation: processes and threads are numbered in first
+// registration order and events stream in emission order.
+func (s *TraceSink) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	// Assign pids per process and tids per track, in registration order.
+	pidOf := map[string]int{}
+	var procs []string
+	tid := make([]int, len(s.tracks))
+	pid := make([]int, len(s.tracks))
+	nextTid := map[string]int{}
+	for i, info := range s.tracks {
+		p, ok := pidOf[info.Process]
+		if !ok {
+			p = len(procs) + 1
+			pidOf[info.Process] = p
+			procs = append(procs, info.Process)
+		}
+		pid[i] = p
+		nextTid[info.Process]++
+		tid[i] = nextTid[info.Process]
+	}
+
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(buf)
+		return err
+	}
+
+	// Metadata: process and thread names, processes sorted for a stable UI.
+	for i, p := range procs {
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": p}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "process_sort_index", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"sort_index": i}}); err != nil {
+			return err
+		}
+	}
+	for i, info := range s.tracks {
+		if info.Process == "" && info.Thread == "" {
+			continue
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: pid[i], Tid: tid[i],
+			Args: map[string]any{"name": info.Thread}}); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range s.events {
+		t := int(e.Track)
+		if t >= len(s.tracks) {
+			t = 0
+		}
+		ce := chromeEvent{Name: e.Name, Ph: "", Ts: uint64(e.At), Pid: pid[t], Tid: tid[t]}
+		switch e.Type {
+		case SpanBegin, SpanEnd:
+			if e.Scope != 0 {
+				// Async span: correlated by (cat, id) so overlapping
+				// lifecycles on one track render as separate slices.
+				if e.Type == SpanBegin {
+					ce.Ph = "b"
+				} else {
+					ce.Ph = "e"
+				}
+				ce.Cat = s.tracks[t].Process
+				ce.ID = fmt.Sprintf("0x%x", e.Scope)
+			} else {
+				if e.Type == SpanBegin {
+					ce.Ph = "B"
+				} else {
+					ce.Ph = "E"
+				}
+			}
+		case Complete:
+			ce.Ph = "X"
+			d := uint64(e.Dur)
+			ce.Dur = &d
+			if e.Scope != 0 {
+				ce.Args = map[string]any{"scope": e.Scope}
+			}
+		case Instant:
+			ce.Ph = "i"
+			ce.S = "t"
+			args := map[string]any{}
+			if e.Scope != 0 {
+				args["scope"] = e.Scope
+			}
+			if e.Aux != 0 {
+				args["aux"] = e.Aux
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+		case Counter:
+			ce.Ph = "C"
+			ce.Args = map[string]any{"value": e.Value}
+		default:
+			continue
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Summary returns per-(process, name) event counts, sorted — a quick
+// text digest of what a trace contains, used by tests and the CLI.
+func (s *TraceSink) Summary() []string {
+	counts := map[string]int{}
+	for _, e := range s.events {
+		proc := "unattributed"
+		if int(e.Track) < len(s.tracks) {
+			proc = s.tracks[e.Track].Process
+		}
+		counts[proc+"/"+e.Name]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = fmt.Sprintf("%s ×%d", k, counts[k])
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses WriteJSON output back into generic trace events.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestTraceSinkWriteJSON(t *testing.T) {
+	sink := NewTraceSink()
+	bus := NewBus(sink)
+	cores := bus.Track("cores", "core 0")
+	agb := bus.Track("agb", "occupancy")
+	nvmT := bus.Track("nvm", "rank 0")
+
+	bus.Begin(cores, "ag:open", 10, 5)
+	bus.End(cores, "ag:open", 20, 5)
+	bus.Instant(cores, "freeze", 20, 5, 2)
+	bus.Count(agb, "agb.occupancy_lines", 25, 40)
+	bus.Span(nvmT, "write", 30, 360, 0)
+	bus.Begin(cores, "sync", 40, 0)
+	bus.End(cores, "sync", 45, 0)
+
+	var buf bytes.Buffer
+	if err := sink.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	phases := map[string]int{}
+	names := map[string]bool{}
+	for _, e := range events {
+		phases[e["ph"].(string)]++
+		if n, ok := e["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, ph := range []string{"M", "b", "e", "i", "C", "X", "B", "E"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q phase events in output (phases: %v)", ph, phases)
+		}
+	}
+	for _, n := range []string{"process_name", "thread_name", "ag:open", "freeze", "agb.occupancy_lines", "write"} {
+		if !names[n] {
+			t.Errorf("missing event name %q", n)
+		}
+	}
+
+	// Distinct processes get distinct pids; threads number within process.
+	pids := map[string]float64{}
+	for _, e := range events {
+		if e["name"] == "process_name" {
+			pids[e["args"].(map[string]any)["name"].(string)] = e["pid"].(float64)
+		}
+	}
+	if len(pids) != 4 { // unattributed + cores + agb + nvm
+		t.Fatalf("expected 4 processes, got %v", pids)
+	}
+	if pids["cores"] == pids["agb"] || pids["agb"] == pids["nvm"] {
+		t.Fatalf("processes share a pid: %v", pids)
+	}
+
+	// Async pair correlated by id.
+	var bID, eID string
+	for _, e := range events {
+		if e["ph"] == "b" {
+			bID = e["id"].(string)
+		}
+		if e["ph"] == "e" {
+			eID = e["id"].(string)
+		}
+	}
+	if bID == "" || bID != eID {
+		t.Fatalf("async begin/end ids differ: %q vs %q", bID, eID)
+	}
+}
+
+func TestTraceSinkDeterministic(t *testing.T) {
+	render := func() []byte {
+		sink := NewTraceSink()
+		bus := NewBus(sink)
+		a := bus.Track("cores", "core 0")
+		b := bus.Track("nvm", "rank 1")
+		for i := 0; i < 50; i++ {
+			bus.Instant(a, "freeze", Ticks(i), uint64(i), 0)
+			bus.Count(b, "depth", Ticks(i), int64(i%4))
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("identical emission streams rendered different bytes")
+	}
+}
+
+func TestTraceSinkSummary(t *testing.T) {
+	sink := NewTraceSink()
+	bus := NewBus(sink)
+	tr := bus.Track("cores", "core 0")
+	bus.Instant(tr, "freeze", 1, 0, 0)
+	bus.Instant(tr, "freeze", 2, 0, 0)
+	bus.Count(tr, "depth", 3, 1)
+	sum := strings.Join(sink.Summary(), "\n")
+	if !strings.Contains(sum, "cores/freeze ×2") || !strings.Contains(sum, "cores/depth ×1") {
+		t.Fatalf("summary wrong:\n%s", sum)
+	}
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Snapshot is one run's unified metrics document: every counter and
+// distribution of the machine's stats.Set registry plus the utilization and
+// claim counts of every sim.Resource across all components, in one
+// deterministic JSON object. Two same-seed runs of the deterministic
+// simulator produce byte-identical snapshots, so snapshots diff cleanly
+// across commits — the artifact every perf PR compares before/after.
+type Snapshot struct {
+	System    string `json:"system"`
+	Benchmark string `json:"benchmark"`
+	// Cycles is execution time; DrainCycles includes the end-of-run flush.
+	Cycles      uint64 `json:"cycles"`
+	DrainCycles uint64 `json:"drain_cycles"`
+
+	Counters  map[string]uint64           `json:"counters"`
+	Dists     map[string]DistSnapshot     `json:"dists"`
+	Resources map[string]ResourceSnapshot `json:"resources"`
+}
+
+// DistSnapshot summarizes one stats.Dist.
+type DistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+}
+
+// ResourceSnapshot summarizes one sim.Resource at the snapshot horizon.
+type ResourceSnapshot struct {
+	Claims      uint64  `json:"claims"`
+	BusyCycles  uint64  `json:"busy_cycles"`
+	Utilization float64 `json:"utilization"`
+}
+
+// SnapshotDist converts a distribution.
+func SnapshotDist(d *stats.Dist) DistSnapshot {
+	return DistSnapshot{
+		Count: uint64(d.Count()),
+		Sum:   d.Sum(),
+		Max:   d.Max(),
+		Mean:  d.Mean(),
+		P50:   d.Percentile(50),
+		P90:   d.Percentile(90),
+		P99:   d.Percentile(99),
+	}
+}
+
+// SnapshotResource converts a resource, evaluated at horizon now.
+func SnapshotResource(r *sim.Resource, now sim.Time) ResourceSnapshot {
+	return ResourceSnapshot{
+		Claims:      r.Claims,
+		BusyCycles:  uint64(r.Busy),
+		Utilization: r.Utilization(now),
+	}
+}
+
+// SnapshotBank converts every unit of a bank under names
+// "<prefix><index>", merging into dst.
+func SnapshotBank(dst map[string]ResourceSnapshot, prefix string, b *sim.Bank, now sim.Time) {
+	for i := 0; i < b.Len(); i++ {
+		dst[fmt.Sprintf("%s%d", prefix, i)] = SnapshotResource(b.Unit(i), now)
+	}
+}
+
+// NewSnapshot captures a stats registry. Resources start empty; callers add
+// them with SnapshotBank / SnapshotResource.
+func NewSnapshot(system, benchmark string, cycles, drainCycles uint64, set *stats.Set) *Snapshot {
+	s := &Snapshot{
+		System:      system,
+		Benchmark:   benchmark,
+		Cycles:      cycles,
+		DrainCycles: drainCycles,
+		Counters:    make(map[string]uint64),
+		Dists:       make(map[string]DistSnapshot),
+		Resources:   make(map[string]ResourceSnapshot),
+	}
+	for _, c := range set.Counters() {
+		s.Counters[c.Name] = c.Value
+	}
+	for _, d := range set.Dists() {
+		s.Dists[d.Name] = SnapshotDist(d)
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json serializes
+// map keys sorted, so the bytes depend only on the metric values.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// DiffEntry is one metric that differs between two snapshots.
+type DiffEntry struct {
+	Name     string
+	Old, New float64
+	// Missing marks metrics present in only one snapshot ("old" or "new").
+	Missing string
+}
+
+// Delta returns New - Old.
+func (d DiffEntry) Delta() float64 { return d.New - d.Old }
+
+// Ratio returns New/Old (infinity-free: 0 when Old is 0 and New is not).
+func (d DiffEntry) Ratio() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return d.New / d.Old
+}
+
+func (d DiffEntry) String() string {
+	switch d.Missing {
+	case "old":
+		return fmt.Sprintf("%-40s (only in new) %.6g", d.Name, d.New)
+	case "new":
+		return fmt.Sprintf("%-40s (only in old) %.6g", d.Name, d.Old)
+	}
+	if d.Old != 0 {
+		return fmt.Sprintf("%-40s %.6g -> %.6g (%+.2f%%)", d.Name, d.Old, d.New, (d.Ratio()-1)*100)
+	}
+	return fmt.Sprintf("%-40s %.6g -> %.6g", d.Name, d.Old, d.New)
+}
+
+// Diff compares two snapshots and returns every differing metric, sorted by
+// name: top-level cycle counts, counters, dist means, and resource
+// utilizations. Identical metrics are omitted, so an empty result means the
+// runs were metrically indistinguishable.
+func (s *Snapshot) Diff(other *Snapshot) []DiffEntry {
+	var out []DiffEntry
+	add := func(name string, oldV, newV float64, oldOK, newOK bool) {
+		switch {
+		case oldOK && !newOK:
+			out = append(out, DiffEntry{Name: name, Old: oldV, Missing: "new"})
+		case !oldOK && newOK:
+			out = append(out, DiffEntry{Name: name, New: newV, Missing: "old"})
+		case oldV != newV:
+			out = append(out, DiffEntry{Name: name, Old: oldV, New: newV})
+		}
+	}
+
+	add("cycles", float64(s.Cycles), float64(other.Cycles), true, true)
+	add("drain_cycles", float64(s.DrainCycles), float64(other.DrainCycles), true, true)
+
+	for _, name := range unionKeys(s.Counters, other.Counters) {
+		a, aok := s.Counters[name]
+		b, bok := other.Counters[name]
+		add("counter."+name, float64(a), float64(b), aok, bok)
+	}
+	for _, name := range unionKeys(s.Dists, other.Dists) {
+		a, aok := s.Dists[name]
+		b, bok := other.Dists[name]
+		add("dist."+name+".count", float64(a.Count), float64(b.Count), aok, bok)
+		if aok && bok {
+			add("dist."+name+".mean", a.Mean, b.Mean, true, true)
+			add("dist."+name+".max", float64(a.Max), float64(b.Max), true, true)
+		}
+	}
+	for _, name := range unionKeys(s.Resources, other.Resources) {
+		a, aok := s.Resources[name]
+		b, bok := other.Resources[name]
+		add("resource."+name+".claims", float64(a.Claims), float64(b.Claims), aok, bok)
+		if aok && bok {
+			add("resource."+name+".utilization", a.Utilization, b.Utilization, true, true)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FormatDiff renders a diff listing, one metric per line; "identical" when
+// nothing differs.
+func FormatDiff(entries []DiffEntry) string {
+	if len(entries) == 0 {
+		return "identical\n"
+	}
+	var b []byte
+	for _, e := range entries {
+		b = append(b, e.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+func unionKeys[V any](a, b map[string]V) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

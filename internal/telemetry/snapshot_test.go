@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func sampleSet() *stats.Set {
+	set := stats.NewSet()
+	set.Counter("ops.loads").Add(100)
+	set.Counter("ops.stores").Add(40)
+	d := set.Dist("ag.size")
+	for _, v := range []uint64{1, 2, 3, 4, 10} {
+		d.Observe(v)
+	}
+	return set
+}
+
+func sampleSnapshot() *Snapshot {
+	s := NewSnapshot("tsoper", "radix", 1000, 1500, sampleSet())
+	bank := sim.NewBank(2)
+	bank.Claim(0, 0, 100)
+	bank.Claim(1, 0, 50)
+	SnapshotBank(s.Resources, "nvm.rank", bank, 1000)
+	return s
+}
+
+func TestSnapshotCapture(t *testing.T) {
+	s := sampleSnapshot()
+	if s.Counters["ops.loads"] != 100 || s.Counters["ops.stores"] != 40 {
+		t.Fatalf("counters wrong: %v", s.Counters)
+	}
+	d := s.Dists["ag.size"]
+	if d.Count != 5 || d.Sum != 20 || d.Max != 10 || d.Mean != 4 {
+		t.Fatalf("dist wrong: %+v", d)
+	}
+	r := s.Resources["nvm.rank0"]
+	if r.Claims != 1 || r.BusyCycles != 100 || r.Utilization != 0.1 {
+		t.Fatalf("resource wrong: %+v", r)
+	}
+}
+
+func TestSnapshotJSONDeterministicRoundTrip(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sampleSnapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sampleSnapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical snapshots serialized differently")
+	}
+	got, err := ReadSnapshot(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != "tsoper" || got.Counters["ops.loads"] != 100 ||
+		got.Resources["nvm.rank1"].Claims != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	a := sampleSnapshot()
+	b := sampleSnapshot()
+	if d := a.Diff(b); len(d) != 0 {
+		t.Fatalf("identical snapshots diff: %v", d)
+	}
+
+	b.Cycles = 1100
+	b.Counters["ops.loads"] = 120
+	delete(b.Counters, "ops.stores")
+	b.Counters["ops.flushes"] = 7
+	r := b.Resources["nvm.rank0"]
+	r.Utilization = 0.2
+	b.Resources["nvm.rank0"] = r
+
+	diff := a.Diff(b)
+	byName := map[string]DiffEntry{}
+	for _, e := range diff {
+		byName[e.Name] = e
+	}
+	if e := byName["cycles"]; e.Old != 1000 || e.New != 1100 {
+		t.Fatalf("cycles entry wrong: %+v", e)
+	}
+	if e := byName["counter.ops.loads"]; e.Delta() != 20 {
+		t.Fatalf("loads delta wrong: %+v", e)
+	}
+	if e := byName["counter.ops.stores"]; e.Missing != "new" {
+		t.Fatalf("removed counter not flagged: %+v", e)
+	}
+	if e := byName["counter.ops.flushes"]; e.Missing != "old" {
+		t.Fatalf("added counter not flagged: %+v", e)
+	}
+	if _, ok := byName["resource.nvm.rank0.utilization"]; !ok {
+		t.Fatal("resource utilization change not reported")
+	}
+	// Sorted by name.
+	for i := 1; i < len(diff); i++ {
+		if diff[i-1].Name > diff[i].Name {
+			t.Fatalf("diff not sorted: %q after %q", diff[i].Name, diff[i-1].Name)
+		}
+	}
+
+	text := FormatDiff(diff)
+	if !strings.Contains(text, "cycles") || !strings.Contains(text, "+20%") == strings.Contains(text, "nonsense") {
+		t.Fatalf("diff text suspicious:\n%s", text)
+	}
+	if FormatDiff(nil) != "identical\n" {
+		t.Fatal("empty diff should render as identical")
+	}
+}
