@@ -1,0 +1,164 @@
+// Command tsoper-faults runs runtime fault-injection resilience campaigns:
+// seeded fault schedules (faulty NVM ranks, a lossy NoC, degraded AGB
+// slices) against the strict persistency systems, asserting that every
+// injected fault is retried to success or degraded around, that the stall
+// watchdog stays silent, and that the crash-consistency checker accepts
+// every recovered state — including states cut mid-recovery.
+//
+// Modes:
+//
+//	tsoper-faults -bench radix -system tsoper -schedule storm -points 10
+//	    one cell per listed benchmark x system x schedule
+//	tsoper-faults -campaign smoke -parallel 4 -json faults.json
+//	    the CI campaign: adversarial workloads x tsoper x every preset
+//	    schedule, with a benchjson-compatible horizon artifact via
+//	    -bench-json
+//
+// Exit status: 0 clean, 1 stalls/lost persists/violations, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/crashmc"
+	"repro/internal/faultplan"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	bench := flag.String("bench", "radix", "comma-separated benchmark names")
+	system := flag.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
+	schedule := flag.String("schedule", "", "comma-separated fault schedules (default: every preset)")
+	points := flag.Int("points", 10, "crash points per benchmark x system x schedule cell (> 0)")
+	scale := flag.Float64("scale", 0.3, "workload scale factor (> 0)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	campaign := flag.String("campaign", "", "predefined campaign: smoke (overrides -bench/-system/-schedule)")
+	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write the campaign report to this path as JSON")
+	benchJSON := flag.String("bench-json", "", "write benchjson-compatible cycle horizons to this path")
+	flag.Parse()
+
+	if *points <= 0 {
+		usageErr("-points must be positive, got %d", *points)
+	}
+	if *scale <= 0 {
+		usageErr("-scale must be positive, got %g", *scale)
+	}
+
+	var spec crashmc.ResilienceSpec
+	switch *campaign {
+	case "":
+		spec = crashmc.ResilienceSpec{
+			Name:       "sweep",
+			Benchmarks: parseBenches(*bench),
+			Systems:    parseSystems(*system),
+			Schedules:  parseSchedules(*schedule),
+			Scale:      *scale,
+			Seed:       *seed,
+			Points:     *points,
+			Parallel:   *parallel,
+		}
+	case "smoke":
+		spec = crashmc.ResilienceSpec{
+			Name:       "smoke",
+			Benchmarks: crashmc.Adversaries()[:2],
+			Systems:    []machine.SystemKind{machine.TSOPER},
+			Schedules:  faultplan.Presets(),
+			Scale:      *scale,
+			Seed:       *seed,
+			Points:     *points,
+			Parallel:   *parallel,
+		}
+	default:
+		usageErr("unknown campaign %q (want smoke)", *campaign)
+	}
+
+	report, err := crashmc.RunResilience(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	for _, c := range report.Cells {
+		fmt.Printf("%s/%s under %-14s %8d -> %8d cycles (%+.1f%%), %4d faults, %d points (%d partial): %s\n",
+			c.Benchmark, c.System, c.Schedule, c.BaselineCycles, c.FaultedCycles, c.OverheadPct,
+			c.Counts.Injected(), c.Points, c.Partial, c.Counts)
+		for _, inc := range c.Incidents {
+			fmt.Fprintf(os.Stderr, "INCIDENT %s/%s/%s @%d [%s]: %s\n",
+				inc.Benchmark, inc.System, inc.Schedule, inc.At, inc.Kind, inc.Detail)
+		}
+	}
+	fmt.Printf("\n%s\n", report.Summary())
+
+	if *jsonPath != "" {
+		if werr := report.WriteJSONFile(*jsonPath); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+	}
+	if *benchJSON != "" {
+		if werr := report.WriteBenchJSONFile(*benchJSON); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+	}
+	if !report.Clean() {
+		os.Exit(1)
+	}
+}
+
+func parseBenches(names string) []trace.Profile {
+	var profiles []trace.Profile
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		p, ok := trace.ByName(name)
+		if !ok {
+			if p, ok = crashmc.Adversary(name); !ok {
+				usageErr("unknown benchmark %q", name)
+			}
+		}
+		profiles = append(profiles, p)
+	}
+	return profiles
+}
+
+func parseSystems(names string) []machine.SystemKind {
+	var kinds []machine.SystemKind
+	for _, name := range strings.Split(names, ",") {
+		switch strings.TrimSpace(name) {
+		case "tsoper":
+			kinds = append(kinds, machine.TSOPER)
+		case "stw":
+			kinds = append(kinds, machine.STW)
+		default:
+			usageErr("resilience checking requires a strict system (tsoper or stw), got %q", name)
+		}
+	}
+	return kinds
+}
+
+func parseSchedules(names string) []faultplan.Spec {
+	if strings.TrimSpace(names) == "" {
+		return nil // RunResilience defaults to every preset
+	}
+	var specs []faultplan.Spec
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		sch, ok := faultplan.Preset(name)
+		if !ok {
+			usageErr("unknown fault schedule %q (presets: %s)", name, strings.Join(faultplan.PresetNames(), ", "))
+		}
+		specs = append(specs, sch)
+	}
+	return specs
+}

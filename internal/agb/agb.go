@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faultplan"
 	"repro/internal/mem"
 	"repro/internal/nvm"
 	"repro/internal/sim"
@@ -80,6 +81,9 @@ type groupRec struct {
 	durable  bool
 	written  int
 	retired  bool
+	// place overrides the home slice per line when the arbiter rerouted the
+	// reservation around offline slices (fault plans only; nil otherwise).
+	place map[mem.Line]int
 }
 
 // Buffer is the atomic group buffer (centralized or distributed).
@@ -104,6 +108,13 @@ type Buffer struct {
 
 	// tel is nil unless Instrument attached a telemetry bus.
 	tel *agbTel
+	// flt is nil unless AttachFaults attached a fault plan; offline tracks
+	// per-slice outages (allocated only alongside flt); outageEvs are the
+	// scheduled outage toggles, cancellable once the run's work is done. The
+	// plan-free allocation and ingress paths pay one branch each.
+	flt       *faultplan.Plan
+	offline   []bool
+	outageEvs []sim.EventID
 }
 
 // agbTel renders the buffer on the timeline: an occupancy counter track
@@ -177,6 +188,119 @@ func (b *Buffer) sliceOf(l mem.Line) int {
 	return int(uint64(l) % uint64(b.cfg.Slices))
 }
 
+// AttachFaults attaches a runtime fault-injection plan and schedules its
+// slice-outage windows. An offline slice keeps draining the groups already
+// reserved in it (the SRAM is battery-backed; buffered lines are safe) but
+// accepts no new reservations: the arbiter reroutes waiting groups across
+// the surviving slices. Rerouting happens at allocation time, so allocation
+// order — and with it the durability frontier and dependency order — is
+// untouched, and same-address FIFO still holds because NVM rank routing
+// (RankOf) is independent of which slice buffered the line.
+func (b *Buffer) AttachFaults(p *faultplan.Plan) {
+	b.flt = p
+	b.offline = make([]bool, b.cfg.Slices)
+	for _, o := range p.AGBOutages() {
+		o := o
+		if o.Unit < 0 || o.Unit >= b.cfg.Slices || o.To <= o.From {
+			continue
+		}
+		b.outageEvs = append(b.outageEvs,
+			b.engine.At(sim.Time(o.From), func() { b.SetSliceOffline(o.Unit, true) }),
+			b.engine.At(sim.Time(o.To), func() { b.SetSliceOffline(o.Unit, false) }))
+	}
+}
+
+// CancelOutages cancels the scheduled outage toggles still pending. The
+// machine calls this once the end-of-run flush completes: slice outages
+// only affect new reservations, so past that point the toggles would do
+// nothing but keep the event queue (and the clock) running.
+func (b *Buffer) CancelOutages() {
+	for _, id := range b.outageEvs {
+		b.engine.Cancel(id)
+	}
+	b.outageEvs = nil
+}
+
+// SetSliceOffline takes a slice out of (or back into) reservation service.
+// No-op without an attached fault plan.
+func (b *Buffer) SetSliceOffline(s int, off bool) {
+	if b.flt == nil || s < 0 || s >= b.cfg.Slices || b.offline[s] == off {
+		return
+	}
+	b.offline[s] = off
+	b.flt.AGBOffline(uint64(b.engine.Now()), s, off)
+	// Either direction can unblock the waiting head: recovery restores
+	// capacity, an outage changes the head's routing.
+	b.tryAllocate()
+}
+
+// SliceOffline reports whether slice s is currently out of service.
+func (b *Buffer) SliceOffline(s int) bool {
+	return b.flt != nil && s >= 0 && s < b.cfg.Slices && b.offline[s]
+}
+
+// routeLine is sliceOf with outage awareness: lines homed on an offline
+// slice spread deterministically (by address) across the online slices. If
+// every slice is offline the home mapping stands — degenerate, but it keeps
+// the buffer live and the outage windows bounded.
+func (b *Buffer) routeLine(l mem.Line) int {
+	home := b.sliceOf(l)
+	if !b.offline[home] {
+		return home
+	}
+	online := 0
+	for _, off := range b.offline {
+		if !off {
+			online++
+		}
+	}
+	if online == 0 {
+		return home
+	}
+	k := int(uint64(l) % uint64(online))
+	for s, off := range b.offline {
+		if off {
+			continue
+		}
+		if k == 0 {
+			return s
+		}
+		k--
+	}
+	return home
+}
+
+// reroute recomputes a waiting reservation's slice placement against the
+// current outage state. Called on the waiting head each allocation pass, so
+// the placement frozen into rec.need/rec.place at allocation time matches
+// the outage state the arbiter saw.
+func (b *Buffer) reroute(rec *groupRec) {
+	for s := range rec.need {
+		rec.need[s] = 0
+	}
+	rec.place = nil
+	for l := range rec.req.Lines {
+		s := b.routeLine(l)
+		rec.need[s]++
+		if s != b.sliceOf(l) {
+			if rec.place == nil {
+				rec.place = make(map[mem.Line]int)
+			}
+			rec.place[l] = s
+		}
+	}
+}
+
+// placeOf returns the slice a line was placed in at allocation time.
+func (b *Buffer) placeOf(rec *groupRec, l mem.Line) int {
+	if rec.place != nil {
+		if s, ok := rec.place[l]; ok {
+			return s
+		}
+	}
+	return b.sliceOf(l)
+}
+
 // Persist enqueues an atomic group. Groups must be enqueued in dependency
 // order (the drain gating in internal/core guarantees this); the buffer
 // preserves that order in allocation, durability, and same-slice egress.
@@ -208,6 +332,9 @@ func (b *Buffer) Persist(req Request) error {
 func (b *Buffer) tryAllocate() {
 	for len(b.waiting) > 0 {
 		rec := b.waiting[0]
+		if b.flt != nil {
+			b.reroute(rec)
+		}
 		if !b.fits(rec.need) {
 			b.stalls.Inc()
 			if b.tel != nil {
@@ -239,6 +366,14 @@ func (b *Buffer) allocate(rec *groupRec) {
 		b.tel.mark(b, "allocate", rec.req.ID)
 		b.tel.sample(b)
 	}
+	if b.flt != nil && rec.place != nil {
+		now := uint64(b.engine.Now())
+		for _, lv := range sortedLines(rec.req.Lines) {
+			if s, ok := rec.place[lv.line]; ok {
+				b.flt.AGBRedirect(now, uint64(lv.line), b.sliceOf(lv.line), s)
+			}
+		}
+	}
 
 	allocDelay := sim.Time(0)
 	if b.cfg.Slices > 1 {
@@ -262,7 +397,14 @@ func (b *Buffer) ingress(rec *groupRec) {
 	}
 	for _, lv := range sortedLines(rec.req.Lines) {
 		lv := lv
-		s := b.sliceOf(lv.line)
+		s := b.placeOf(rec, lv.line)
+		if b.flt != nil {
+			if d := b.flt.AGBStall(uint64(b.engine.Now()), s); d > 0 {
+				// A stalled ingress port holds the transfer (and everything
+				// queued behind it on this slice) for the stall window.
+				b.ports.Claim(s, b.engine.Now(), sim.Time(d))
+			}
+		}
 		start := b.ports.Claim(s, b.engine.Now(), b.cfg.TransferLatency)
 		b.engine.At(start+b.cfg.TransferLatency, func() {
 			b.contents[lv.line] = append(b.contents[lv.line], lv.ver)

@@ -1,0 +1,234 @@
+package agb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultplan"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// attach compiles a spec onto a fresh buffer so slice-outage toggles are
+// scheduled on the engine before the workload starts.
+func attach(b *Buffer, spec faultplan.Spec) *faultplan.Plan {
+	p := faultplan.New(spec)
+	b.AttachFaults(p)
+	return p
+}
+
+func TestOfflineSliceRedirectsReservations(t *testing.T) {
+	e, m, b := setup(Config{Slices: 2, LinesPerSlice: 8, TransferLatency: 1, ArbiterLatency: 1})
+	p := attach(b, faultplan.Spec{})
+	b.SetSliceOffline(0, true)
+	if !b.SliceOffline(0) || b.SliceOffline(1) {
+		t.Fatal("offline state wrong")
+	}
+	// Lines 0 and 2 are homed on slice 0; the reservation must land on 1.
+	if err := b.Persist(Request{ID: 1, Lines: lines(0, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if free := b.cfg.LinesPerSlice - b.free[1]; free != 2 {
+		t.Fatalf("slice 1 holds %d lines, want 2 (redirected)", free)
+	}
+	if b.free[0] != b.cfg.LinesPerSlice {
+		t.Fatal("offline slice must not take new reservations")
+	}
+	e.Run()
+	if m.Durable(mem.Line(0)).IsInitial() || m.Durable(mem.Line(2)).IsInitial() {
+		t.Fatal("redirected lines must still reach NVM")
+	}
+	if c := p.Counts(); c.AGBRedirects != 2 || c.AGBOfflines != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+func TestOutageWindowToggles(t *testing.T) {
+	e, _, b := setup(Config{Slices: 2, LinesPerSlice: 8, TransferLatency: 1})
+	attach(b, faultplan.Spec{AGB: faultplan.AGBSpec{
+		Outages: []faultplan.Outage{{Unit: 0, From: 100, To: 200}},
+	}})
+	e.RunUntil(150)
+	if !b.SliceOffline(0) {
+		t.Fatal("slice 0 must be offline inside the window")
+	}
+	e.RunUntil(250)
+	if b.SliceOffline(0) {
+		t.Fatal("slice 0 must recover at the window end")
+	}
+}
+
+func TestCancelOutages(t *testing.T) {
+	e, _, b := setup(Config{Slices: 2, LinesPerSlice: 8, TransferLatency: 1})
+	attach(b, faultplan.Spec{AGB: faultplan.AGBSpec{
+		Outages: []faultplan.Outage{{Unit: 1, From: 1_000, To: 2_000}},
+	}})
+	if e.Pending() != 2 {
+		t.Fatalf("%d events queued, want 2 toggles", e.Pending())
+	}
+	b.CancelOutages()
+	if e.Pending() != 0 {
+		t.Fatal("CancelOutages must drop the queued toggles")
+	}
+	if end := e.Run(); end != 0 {
+		t.Fatalf("clock advanced to %d with no real work", end)
+	}
+}
+
+func TestIngressStallDelaysBuffering(t *testing.T) {
+	e, _, b := setup(Config{Slices: 1, LinesPerSlice: 8, TransferLatency: 1})
+	p := attach(b, faultplan.Spec{AGB: faultplan.AGBSpec{StallPct: 1, StallCycles: 10}})
+	var bufferedAt sim.Time
+	b.Persist(Request{ID: 1, Lines: lines(3),
+		OnLineBuffered: func(mem.Line) { bufferedAt = e.Now() }})
+	e.Run()
+	// The stall holds the ingress port 10 cycles before the 1-cycle transfer.
+	if bufferedAt != 11 {
+		t.Fatalf("buffered at %d, want 11 (10-cycle stall + transfer)", bufferedAt)
+	}
+	if c := p.Counts(); c.AGBStalls != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+// Satellite: a slice goes dark mid-supergroup. Groups already reserved in
+// the dark slice drain in place; later groups reroute. Dependency
+// (durability) order and same-address FIFO must both survive.
+func TestOfflineMidSupergroupPreservesOrder(t *testing.T) {
+	e, m, b := setup(Config{Slices: 2, LinesPerSlice: 8, TransferLatency: 1, ArbiterLatency: 1})
+	p := attach(b, faultplan.Spec{AGB: faultplan.AGBSpec{
+		Outages: []faultplan.Outage{{Unit: 0, From: 5, To: 5_000}},
+	}})
+	const n = 6
+	var order []uint64
+	hot := mem.Line(4) // homed on slice 0, contended by every group
+	for id := uint64(1); id <= n; id++ {
+		id := id
+		e.At(sim.Time(3*(id-1)), func() {
+			err := b.Persist(Request{
+				ID: id,
+				Lines: map[mem.Line]mem.Version{
+					hot:               {Core: int(id), Seq: id},
+					mem.Line(10 + id): {Core: int(id), Seq: id},
+				},
+				OnDurable: func() { order = append(order, id) },
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	e.Run()
+	// Dependency order: groups become durable exactly in enqueue order even
+	// though their placements straddle the outage.
+	if len(order) != n {
+		t.Fatalf("%d groups durable, want %d", len(order), n)
+	}
+	for i, id := range order {
+		if id != uint64(i+1) {
+			t.Fatalf("durability order %v, want FIFO", order)
+		}
+	}
+	// Same-address FIFO: the hot line's final durable version is the last
+	// group's, despite earlier versions buffering in the dark slice and later
+	// ones in the survivor.
+	if got := m.Durable(hot); got != (mem.Version{Core: n, Seq: n}) {
+		t.Fatalf("hot line durable %v, want group %d's version", got, n)
+	}
+	if b.Used() != 0 || b.InFlight() != 0 || b.Waiting() != 0 {
+		t.Fatal("buffer must drain fully")
+	}
+	c := p.Counts()
+	if c.AGBOfflines != 1 || c.AGBRedirects == 0 {
+		t.Fatalf("counts: %s (want one offline and some redirects)", c)
+	}
+}
+
+// Satellite: a seeded fault schedule replays exactly — same durability
+// order, same durable image, same ledger — across two fresh machines.
+func TestSliceDegradationDeterministicReplay(t *testing.T) {
+	spec := faultplan.Spec{
+		Seed: 23,
+		AGB: faultplan.AGBSpec{
+			StallPct: 0.3, StallCycles: 7,
+			Outages: []faultplan.Outage{
+				{Unit: 0, From: 10, To: 600},
+				{Unit: 1, From: 50, To: 200},
+			},
+		},
+	}
+	type result struct {
+		order   []uint64
+		durable map[mem.Line]mem.Version
+		counts  faultplan.Counts
+		end     sim.Time
+	}
+	run := func() result {
+		e, m, b := setup(Config{Slices: 2, LinesPerSlice: 8, TransferLatency: 1, ArbiterLatency: 1})
+		p := attach(b, spec)
+		rng := rand.New(rand.NewSource(9))
+		var order []uint64
+		seen := map[mem.Line]bool{}
+		for id := uint64(1); id <= 20; id++ {
+			id := id
+			nl := 1 + rng.Intn(4)
+			ls := map[mem.Line]mem.Version{}
+			for len(ls) < nl {
+				l := mem.Line(rng.Intn(32))
+				ls[l] = mem.Version{Core: int(id), Seq: id}
+				seen[l] = true
+			}
+			e.At(sim.Time(rng.Intn(300)), func() {
+				if err := b.Persist(Request{ID: id, Lines: ls,
+					OnDurable: func() { order = append(order, id) }}); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		end := e.Run()
+		img := map[mem.Line]mem.Version{}
+		for l := range seen {
+			img[l] = m.Durable(l)
+		}
+		return result{order, img, p.Counts(), end}
+	}
+	a, b := run(), run()
+	if a.counts != b.counts {
+		t.Fatalf("ledgers diverged: %s vs %s", a.counts, b.counts)
+	}
+	if a.counts.AGBStalls == 0 || a.counts.AGBOfflines == 0 {
+		t.Fatalf("schedule injected nothing: %s", a.counts)
+	}
+	if a.end != b.end {
+		t.Fatalf("end cycles diverged: %d vs %d", a.end, b.end)
+	}
+	if len(a.order) != 20 || len(b.order) != 20 {
+		t.Fatalf("incomplete drains: %d/%d groups durable", len(a.order), len(b.order))
+	}
+	for i := range a.order {
+		if a.order[i] != b.order[i] {
+			t.Fatalf("durability order diverged at %d: %v vs %v", i, a.order, b.order)
+		}
+	}
+	for l, v := range a.durable {
+		if b.durable[l] != v {
+			t.Fatalf("durable image diverged at line %v: %v vs %v", l, v, b.durable[l])
+		}
+	}
+}
+
+// With every slice dark the router falls back to home placement, keeping
+// the buffer live (degenerate but bounded).
+func TestAllSlicesOfflineFallsBack(t *testing.T) {
+	e, m, b := setup(Config{Slices: 2, LinesPerSlice: 8, TransferLatency: 1, ArbiterLatency: 1})
+	attach(b, faultplan.Spec{})
+	b.SetSliceOffline(0, true)
+	b.SetSliceOffline(1, true)
+	if err := b.Persist(Request{ID: 1, Lines: lines(0, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if m.Durable(mem.Line(0)).IsInitial() || m.Durable(mem.Line(1)).IsInitial() {
+		t.Fatal("all-offline fallback must still persist")
+	}
+}

@@ -1,0 +1,85 @@
+package crashmc
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/faultplan"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FuzzFaultSchedule throws arbitrary (valid) fault schedules and crash
+// cycles at a small TSOPER machine: whatever the schedule does, the run
+// must not stall, must not lose persists, and the recovered state must
+// satisfy the strict-persistency checker. DisableDegradation is a
+// test-only abandonment mode and is never fuzzed — it exists to lose
+// persists on purpose.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(int64(1), byte(5), byte(5), byte(10), byte(8), byte(4), byte(6), byte(10), byte(20), uint16(500), uint16(4000), uint16(9000))
+	f.Add(int64(99), byte(0), byte(0), byte(0), byte(0), byte(0), byte(0), byte(0), byte(0), uint16(0), uint16(0), uint16(30000))
+	f.Add(int64(-7), byte(100), byte(100), byte(100), byte(100), byte(100), byte(100), byte(100), byte(120), uint16(9), uint16(60000), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64,
+		writeFail, readFail, spike, drop, dup, delay, stall byte,
+		stallCycles byte, outFrom, outLen uint16, crash uint16) {
+		pct := func(b byte) float64 { return float64(b%101) / 100 }
+		spec := faultplan.Spec{
+			Name: "fuzz",
+			Seed: seed,
+			NVM: faultplan.NVMSpec{
+				WriteFailPct: pct(writeFail),
+				ReadFailPct:  pct(readFail),
+				SpikePct:     pct(spike),
+			},
+			NoC: faultplan.NoCSpec{
+				DropPct:     pct(drop),
+				DupPct:      pct(dup),
+				DelayPct:    pct(delay),
+				DelayCycles: uint64(delay) * 3,
+			},
+			AGB: faultplan.AGBSpec{
+				StallPct:    pct(stall),
+				StallCycles: uint64(stallCycles),
+			},
+		}
+		if outLen > 0 {
+			spec.NVM.Outages = []faultplan.Outage{{
+				Unit: int(outFrom) % 4,
+				From: uint64(outFrom),
+				To:   uint64(outFrom) + uint64(outLen),
+			}}
+			spec.AGB.Outages = []faultplan.Outage{{
+				Unit: int(outLen) % 8,
+				From: uint64(outFrom) / 2,
+				To:   uint64(outFrom)/2 + uint64(outLen),
+			}}
+		}
+		if err := spec.Validate(); err != nil {
+			t.Skip()
+		}
+
+		cfg := machine.TableI(machine.TSOPER)
+		cfg.Faults = &spec
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Skip()
+		}
+		profile := trace.Profile{
+			Name: "fuzz", OpsPerCore: 80, StoreFrac: 0.6, SharedFrac: 0.5,
+			SharedLines: 24, PrivateLines: 24, HotFrac: 0.5, HotLines: 2,
+			Locality: 0.2, SyncPeriod: 40, CSStores: 2,
+		}
+		w := trace.Generate(profile, cfg.Cores, seed)
+		cs := m.RunWithCrash(w, sim.Time(crash)+1)
+		if cs.Stalled {
+			t.Fatalf("schedule stalled the machine: %v\nspec: %+v", cs.Stall, spec)
+		}
+		if lost := cs.FaultCounts.Lost(); lost != 0 {
+			t.Fatalf("%d persists lost without abandonment mode\nspec: %+v", lost, spec)
+		}
+		if err := checker.Check(cs); err != nil {
+			t.Fatalf("checker rejected recovered state: %v\nspec: %+v", err, spec)
+		}
+	})
+}

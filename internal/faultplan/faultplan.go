@@ -1,0 +1,283 @@
+// Package faultplan is the machine-wide runtime fault-injection layer: a
+// deterministic, seeded schedule of transient hardware faults for the
+// simulated persist path — NVM rank write/read failures and latency spikes,
+// NoC message drops, duplicates, and delays, AGB slice stalls and temporary
+// offlining — plus the resilience parameters (retry budgets, backoff,
+// ack timeouts, degradation factors) that the tolerant components consume.
+//
+// A Spec is an immutable, JSON-able schedule description shared freely
+// across machines; each machine compiles it into its own stateful Plan
+// (faultplan.New) whose pseudo-random decision streams advance in simulation
+// order, so two runs of the same workload under the same Spec inject
+// byte-identical fault sequences. Components hold a possibly-nil *Plan and
+// guard every hook with one nil check, mirroring the telemetry bus: with no
+// plan attached the hot persist path pays a single branch and allocates
+// nothing.
+//
+// The injected faults are all *transient or degradable*: every mechanism
+// either retries an operation to success or permanently routes around the
+// faulty unit (a degraded rank, an escalated NoC path, a redirected AGB
+// slice), so strict TSO persistency — the paper's invariant — is preserved
+// under every schedule. The one deliberate exception is
+// Resilience.DisableDegradation, a test-only mode that abandons persists
+// once the retry budget is exhausted; it exists to exercise the simulation
+// watchdog (internal/sim), which converts the resulting
+// quiescence-without-progress into a diagnostic failure instead of a hang.
+package faultplan
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Outage is a scheduled window [From, To) during which one unit (an NVM
+// rank or an AGB slice, selected by Unit) is faulty: every NVM access to
+// the rank fails, or the AGB slice is offline for new reservations.
+type Outage struct {
+	Unit int    `json:"unit"`
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// contains reports whether at falls inside the window.
+func (o Outage) contains(unit int, at uint64) bool {
+	return o.Unit == unit && at >= o.From && at < o.To
+}
+
+// NVMSpec schedules NVM rank faults. Probabilities are per access attempt.
+type NVMSpec struct {
+	// WriteFailPct / ReadFailPct are per-attempt transient failure
+	// probabilities (0..1). A failed attempt occupies the rank bus, is
+	// detected at media-completion time, and is retried with exponential
+	// backoff up to Resilience.NVMRetryLimit times; beyond that the rank is
+	// marked degraded (all later accesses succeed at DegradedFactor×
+	// latency) and the access completes on the next attempt.
+	WriteFailPct float64 `json:"write_fail_pct,omitempty"`
+	ReadFailPct  float64 `json:"read_fail_pct,omitempty"`
+	// SpikePct injects a transient latency spike: the access succeeds but
+	// takes SpikeFactor× the configured latency.
+	SpikePct    float64 `json:"spike_pct,omitempty"`
+	SpikeFactor int     `json:"spike_factor,omitempty"`
+	// Outages are windows during which every access to the rank fails
+	// (modeling a rank brown-out); retries inside the window fail too, so a
+	// long outage exhausts the budget and degrades the rank.
+	Outages []Outage `json:"outages,omitempty"`
+}
+
+// NoCSpec schedules interconnect faults for persist-protocol messages.
+type NoCSpec struct {
+	// DropPct is the per-transmission loss probability. The sender's ack
+	// timer (Resilience.AckTimeout) expires and the message is
+	// retransmitted, up to Resilience.MaxRetransmits times; beyond that the
+	// sender escalates to the slow reliable path (delivery is guaranteed,
+	// at one extra timeout of latency).
+	DropPct float64 `json:"drop_pct,omitempty"`
+	// DupPct models a lost *ack*: the message was delivered but the sender
+	// retransmits anyway; the receiver's sequence-number dedup suppresses
+	// the duplicate, costing only injection bandwidth.
+	DupPct float64 `json:"dup_pct,omitempty"`
+	// DelayPct delays a delivered message by DelayCycles (congestion,
+	// misrouting).
+	DelayPct    float64 `json:"delay_pct,omitempty"`
+	DelayCycles uint64  `json:"delay_cycles,omitempty"`
+}
+
+// AGBSpec schedules atomic-group-buffer slice faults.
+type AGBSpec struct {
+	// StallPct stalls a slice ingress port for StallCycles before a line
+	// transfer (transient SRAM access fault, retried in place).
+	StallPct    float64 `json:"stall_pct,omitempty"`
+	StallCycles uint64  `json:"stall_cycles,omitempty"`
+	// Outages take a slice offline for the window: the slice drains the
+	// groups already reserved in it (the SRAM is battery-backed) but accepts
+	// no new reservations — the arbiter redirects those to surviving
+	// slices, preserving allocation order and therefore dependency order
+	// and same-address FIFO.
+	Outages []Outage `json:"outages,omitempty"`
+}
+
+// Resilience parameterizes the fault-tolerance mechanisms. Zero values take
+// the package defaults.
+type Resilience struct {
+	// NVMRetryLimit is the per-access retry budget beyond the first attempt
+	// (default DefaultNVMRetryLimit). NVMBackoff is the base backoff in
+	// cycles, doubling per retry (default DefaultNVMBackoff).
+	NVMRetryLimit int    `json:"nvm_retry_limit,omitempty"`
+	NVMBackoff    uint64 `json:"nvm_backoff,omitempty"`
+	// DegradedFactor is the latency multiplier on a degraded rank
+	// (default DefaultDegradedFactor).
+	DegradedFactor int `json:"degraded_factor,omitempty"`
+	// AckTimeout is the NoC retransmission timer in cycles (default
+	// DefaultAckTimeout); MaxRetransmits bounds retransmissions before the
+	// sender escalates to the slow reliable path (default
+	// DefaultMaxRetransmits).
+	AckTimeout     uint64 `json:"ack_timeout,omitempty"`
+	MaxRetransmits int    `json:"max_retransmits,omitempty"`
+	// DisableDegradation abandons an NVM access once its retry budget is
+	// exhausted instead of degrading the rank. The abandoned persist never
+	// completes, the owning group never retires, and the machine stalls —
+	// which the simulation watchdog must catch. Test-only.
+	DisableDegradation bool `json:"disable_degradation,omitempty"`
+}
+
+// Defaults for zero Resilience fields.
+const (
+	DefaultNVMRetryLimit  = 4
+	DefaultNVMBackoff     = 64
+	DefaultDegradedFactor = 4
+	DefaultAckTimeout     = 128
+	DefaultMaxRetransmits = 8
+	DefaultSpikeFactor    = 4
+)
+
+// Spec is one complete fault schedule. The zero Spec injects nothing.
+type Spec struct {
+	// Name labels the schedule in reports and telemetry.
+	Name string `json:"name"`
+	// Seed drives the per-component decision streams.
+	Seed int64 `json:"seed"`
+
+	NVM        NVMSpec    `json:"nvm"`
+	NoC        NoCSpec    `json:"noc"`
+	AGB        AGBSpec    `json:"agb"`
+	Resilience Resilience `json:"resilience"`
+}
+
+// withDefaults fills zero resilience fields and the spike factor.
+func (s Spec) withDefaults() Spec {
+	r := &s.Resilience
+	if r.NVMRetryLimit == 0 {
+		r.NVMRetryLimit = DefaultNVMRetryLimit
+	}
+	if r.NVMBackoff == 0 {
+		r.NVMBackoff = DefaultNVMBackoff
+	}
+	if r.DegradedFactor == 0 {
+		r.DegradedFactor = DefaultDegradedFactor
+	}
+	if r.AckTimeout == 0 {
+		r.AckTimeout = DefaultAckTimeout
+	}
+	if r.MaxRetransmits == 0 {
+		r.MaxRetransmits = DefaultMaxRetransmits
+	}
+	if s.NVM.SpikeFactor == 0 {
+		s.NVM.SpikeFactor = DefaultSpikeFactor
+	}
+	return s
+}
+
+// Validate reports schedule errors: probabilities outside [0,1], inverted
+// outage windows, nonsensical factors or budgets.
+func (s Spec) Validate() error {
+	pcts := map[string]float64{
+		"nvm.write_fail_pct": s.NVM.WriteFailPct,
+		"nvm.read_fail_pct":  s.NVM.ReadFailPct,
+		"nvm.spike_pct":      s.NVM.SpikePct,
+		"noc.drop_pct":       s.NoC.DropPct,
+		"noc.dup_pct":        s.NoC.DupPct,
+		"noc.delay_pct":      s.NoC.DelayPct,
+		"agb.stall_pct":      s.AGB.StallPct,
+	}
+	for name, p := range pcts {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faultplan: %s = %g outside [0, 1]", name, p)
+		}
+	}
+	for _, o := range append(append([]Outage{}, s.NVM.Outages...), s.AGB.Outages...) {
+		if o.Unit < 0 {
+			return fmt.Errorf("faultplan: outage unit %d negative", o.Unit)
+		}
+		if o.To <= o.From {
+			return fmt.Errorf("faultplan: outage window [%d, %d) empty or inverted", o.From, o.To)
+		}
+	}
+	if s.NVM.SpikeFactor < 0 || s.Resilience.DegradedFactor < 0 {
+		return errors.New("faultplan: latency factors must be non-negative")
+	}
+	if s.Resilience.NVMRetryLimit < 0 || s.Resilience.MaxRetransmits < 0 {
+		return errors.New("faultplan: retry budgets must be non-negative")
+	}
+	return nil
+}
+
+// Empty reports whether the schedule injects nothing at all.
+func (s Spec) Empty() bool {
+	return s.NVM.WriteFailPct == 0 && s.NVM.ReadFailPct == 0 && s.NVM.SpikePct == 0 &&
+		len(s.NVM.Outages) == 0 &&
+		s.NoC.DropPct == 0 && s.NoC.DupPct == 0 && s.NoC.DelayPct == 0 &&
+		s.AGB.StallPct == 0 && len(s.AGB.Outages) == 0
+}
+
+// Presets returns the named fault schedules the resilience campaigns and
+// the CLI use. Windows are sized for the adversarial workloads at the
+// campaign's default scale (runs of a few tens of thousands of cycles).
+func Presets() []Spec {
+	return []Spec{
+		{
+			// Transient NVM bit-line faults: every failure recovers within
+			// the retry budget.
+			Name: "nvm-transient", Seed: 1001,
+			NVM: NVMSpec{WriteFailPct: 0.05, ReadFailPct: 0.02, SpikePct: 0.05, SpikeFactor: 4},
+		},
+		{
+			// A rank brown-out long enough to exhaust the retry budget and
+			// force rank degradation.
+			Name: "nvm-outage", Seed: 1002,
+			NVM: NVMSpec{
+				WriteFailPct: 0.01,
+				Outages:      []Outage{{Unit: 2, From: 2_000, To: 40_000}},
+			},
+		},
+		{
+			// Lossy interconnect: drops force retransmission, dups exercise
+			// dedup, delays jitter the persist protocol.
+			Name: "noc-lossy", Seed: 1003,
+			NoC: NoCSpec{DropPct: 0.05, DupPct: 0.03, DelayPct: 0.10, DelayCycles: 40},
+		},
+		{
+			// Two AGB slices go dark mid-run; the arbiter must redirect new
+			// reservations while the dark slices drain what they hold.
+			Name: "agb-degraded", Seed: 1004,
+			AGB: AGBSpec{
+				StallPct: 0.05, StallCycles: 200,
+				Outages: []Outage{
+					{Unit: 1, From: 1_500, To: 30_000},
+					{Unit: 5, From: 4_000, To: 20_000},
+				},
+			},
+		},
+		{
+			// Everything at once.
+			Name: "storm", Seed: 1005,
+			NVM: NVMSpec{
+				WriteFailPct: 0.03, ReadFailPct: 0.01, SpikePct: 0.03, SpikeFactor: 3,
+				Outages: []Outage{{Unit: 6, From: 3_000, To: 25_000}},
+			},
+			NoC: NoCSpec{DropPct: 0.03, DupPct: 0.02, DelayPct: 0.05, DelayCycles: 24},
+			AGB: AGBSpec{
+				StallPct: 0.03, StallCycles: 120,
+				Outages: []Outage{{Unit: 3, From: 2_500, To: 22_000}},
+			},
+		},
+	}
+}
+
+// Preset returns the named preset schedule.
+func Preset(name string) (Spec, bool) {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// PresetNames lists the preset schedule names, in presentation order.
+func PresetNames() []string {
+	var names []string
+	for _, s := range Presets() {
+		names = append(names, s.Name)
+	}
+	return names
+}

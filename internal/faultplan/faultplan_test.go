@@ -1,0 +1,260 @@
+package faultplan
+
+import (
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"presets-valid", Spec{}, true}, // presets checked separately below
+		{"pct-high", Spec{NVM: NVMSpec{WriteFailPct: 1.5}}, false},
+		{"pct-negative", Spec{NoC: NoCSpec{DropPct: -0.1}}, false},
+		{"agb-pct-high", Spec{AGB: AGBSpec{StallPct: 2}}, false},
+		{"outage-inverted", Spec{NVM: NVMSpec{Outages: []Outage{{Unit: 0, From: 10, To: 5}}}}, false},
+		{"outage-empty", Spec{AGB: AGBSpec{Outages: []Outage{{Unit: 1, From: 7, To: 7}}}}, false},
+		{"outage-negative-unit", Spec{NVM: NVMSpec{Outages: []Outage{{Unit: -1, From: 0, To: 5}}}}, false},
+		{"negative-factor", Spec{NVM: NVMSpec{SpikeFactor: -1}}, false},
+		{"negative-budget", Spec{Resilience: Resilience{NVMRetryLimit: -2}}, false},
+		{"full", Spec{
+			NVM: NVMSpec{WriteFailPct: 0.5, ReadFailPct: 1, SpikePct: 0.1, SpikeFactor: 8,
+				Outages: []Outage{{Unit: 3, From: 100, To: 200}}},
+			NoC: NoCSpec{DropPct: 0.2, DupPct: 0.1, DelayPct: 0.3, DelayCycles: 10},
+			AGB: AGBSpec{StallPct: 0.1, StallCycles: 50, Outages: []Outage{{Unit: 0, From: 0, To: 1}}},
+		}, true},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	for _, p := range Presets() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", p.Name, err)
+		}
+		if p.Empty() {
+			t.Errorf("preset %s injects nothing", p.Name)
+		}
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	names := PresetNames()
+	if len(names) != len(Presets()) {
+		t.Fatalf("%d names for %d presets", len(names), len(Presets()))
+	}
+	for _, name := range names {
+		p, ok := Preset(name)
+		if !ok || p.Name != name {
+			t.Fatalf("Preset(%q) = %v, %v", name, p, ok)
+		}
+	}
+	if _, ok := Preset("no-such-schedule"); ok {
+		t.Fatal("unknown preset must not resolve")
+	}
+	seeds := map[int64]string{}
+	for _, p := range Presets() {
+		if prev, dup := seeds[p.Seed]; dup {
+			t.Fatalf("presets %s and %s share seed %d", prev, p.Name, p.Seed)
+		}
+		seeds[p.Seed] = p.Name
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if !(Spec{}).Empty() {
+		t.Fatal("zero spec must be empty")
+	}
+	// A spec with only resilience tuning still injects nothing.
+	if !(Spec{Resilience: Resilience{NVMRetryLimit: 2}}).Empty() {
+		t.Fatal("resilience-only spec must be empty")
+	}
+	for _, s := range []Spec{
+		{NVM: NVMSpec{WriteFailPct: 0.1}},
+		{NVM: NVMSpec{Outages: []Outage{{Unit: 0, From: 0, To: 1}}}},
+		{NoC: NoCSpec{DupPct: 0.1}},
+		{AGB: AGBSpec{StallPct: 0.1}},
+		{AGB: AGBSpec{Outages: []Outage{{Unit: 0, From: 0, To: 1}}}},
+	} {
+		if s.Empty() {
+			t.Fatalf("spec %+v must not be empty", s)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Spec{Name: "d", Seed: 7})
+	s := p.Spec()
+	if s.Resilience.NVMRetryLimit != DefaultNVMRetryLimit ||
+		s.Resilience.NVMBackoff != DefaultNVMBackoff ||
+		s.Resilience.DegradedFactor != DefaultDegradedFactor ||
+		s.Resilience.AckTimeout != DefaultAckTimeout ||
+		s.Resilience.MaxRetransmits != DefaultMaxRetransmits ||
+		s.NVM.SpikeFactor != DefaultSpikeFactor {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	// Explicit values survive.
+	p2 := New(Spec{Resilience: Resilience{NVMRetryLimit: 9, AckTimeout: 5}})
+	if p2.NVMRetryLimit() != 9 || p2.AckTimeout() != 5 {
+		t.Fatalf("explicit resilience overridden: %+v", p2.Spec().Resilience)
+	}
+}
+
+// Determinism: two plans compiled from the same spec make identical decision
+// sequences; a different seed diverges.
+func TestDeterministicDecisions(t *testing.T) {
+	spec := Spec{Name: "det", Seed: 99,
+		NVM: NVMSpec{WriteFailPct: 0.3, ReadFailPct: 0.2, SpikePct: 0.2},
+		NoC: NoCSpec{DropPct: 0.3, DupPct: 0.2, DelayPct: 0.2, DelayCycles: 8},
+		AGB: AGBSpec{StallPct: 0.3, StallCycles: 16},
+	}
+	run := func(s Spec) []bool {
+		p := New(s)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			at := uint64(i * 10)
+			out = append(out,
+				p.NVMWriteAttempt(i%4, at, uint64(i)),
+				p.NVMReadAttempt(i%4, at, uint64(i)),
+				p.NoCDropAttempt(at, i%8, (i+1)%8),
+				p.NoCDuplicate(at, i%8),
+				p.NoCDelay(at) > 0,
+				p.AGBStall(at, i%8) > 0,
+				p.NVMLatencyFactor(i%4, at) > 1,
+			)
+		}
+		return out
+	}
+	a, b := run(spec), run(spec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical specs", i)
+		}
+	}
+	c := run(Spec{Name: spec.Name, Seed: 100, NVM: spec.NVM, NoC: spec.NoC, AGB: spec.AGB})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+// Streams are independent: consuming NoC decisions must not perturb the NVM
+// stream, so a schedule that adds NoC faults replays NVM faults unchanged.
+func TestIndependentStreams(t *testing.T) {
+	nvmOnly := Spec{Seed: 5, NVM: NVMSpec{WriteFailPct: 0.3}}
+	both := Spec{Seed: 5, NVM: NVMSpec{WriteFailPct: 0.3}, NoC: NoCSpec{DropPct: 0.5}}
+	seq := func(s Spec, drawNoC bool) []bool {
+		p := New(s)
+		var out []bool
+		for i := 0; i < 100; i++ {
+			if drawNoC {
+				p.NoCDropAttempt(uint64(i), 0, 1)
+			}
+			out = append(out, p.NVMWriteAttempt(0, uint64(i), 0))
+		}
+		return out
+	}
+	a, b := seq(nvmOnly, false), seq(both, true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("NVM decision %d perturbed by NoC draws", i)
+		}
+	}
+}
+
+func TestOutagesForceFailure(t *testing.T) {
+	p := New(Spec{NVM: NVMSpec{Outages: []Outage{{Unit: 2, From: 100, To: 200}}}})
+	if p.NVMWriteAttempt(2, 99, 0) {
+		t.Fatal("before the window must succeed")
+	}
+	if !p.NVMWriteAttempt(2, 100, 0) || !p.NVMWriteAttempt(2, 199, 0) {
+		t.Fatal("inside the window must fail")
+	}
+	if p.NVMWriteAttempt(2, 200, 0) {
+		t.Fatal("at To the window is over")
+	}
+	if p.NVMWriteAttempt(1, 150, 0) {
+		t.Fatal("other ranks unaffected")
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	p := New(Spec{NVM: NVMSpec{WriteFailPct: 1}})
+	if !p.NVMWriteAttempt(3, 0, 0) {
+		t.Fatal("pct=1 must fail")
+	}
+	p.NVMDegrade(3, 10)
+	p.NVMDegrade(3, 11) // idempotent
+	if !p.NVMDegraded(3) || p.NVMDegraded(2) {
+		t.Fatal("degradation state wrong")
+	}
+	if p.NVMWriteAttempt(3, 20, 0) {
+		t.Fatal("degraded rank must stop failing")
+	}
+	if f := p.NVMLatencyFactor(3, 20); f != DefaultDegradedFactor {
+		t.Fatalf("degraded latency factor = %d, want %d", f, DefaultDegradedFactor)
+	}
+	c := p.Counts()
+	if c.NVMDegraded != 1 || c.NVMWriteFails != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestCountsLedger(t *testing.T) {
+	p := New(Spec{NVM: NVMSpec{WriteFailPct: 1, ReadFailPct: 1}, NoC: NoCSpec{DropPct: 1, DupPct: 1, DelayPct: 1, DelayCycles: 4}, AGB: AGBSpec{StallPct: 1, StallCycles: 8}})
+	p.NVMWriteAttempt(0, 0, 1)
+	p.NVMReadAttempt(0, 0, 1)
+	p.NVMRetry(0, 10)
+	p.NoCDropAttempt(0, 1, 2)
+	p.NoCRetransmit(5, 1)
+	p.NoCEscalate(9, 1)
+	p.NoCDuplicate(3, 1)
+	p.NoCDelay(4)
+	p.AGBStall(6, 2)
+	p.AGBOffline(7, 2, true)
+	p.AGBRedirect(8, 42, 2, 3)
+	p.NVMAbandon(0, 12)
+	c := p.Counts()
+	if c.Injected() == 0 {
+		t.Fatal("Injected() must count injections")
+	}
+	if c.Lost() != 1 {
+		t.Fatalf("Lost() = %d, want 1 (the abandoned access)", c.Lost())
+	}
+	if c.String() == "" {
+		t.Fatal("Counts.String must render")
+	}
+	want := Counts{NVMWriteFails: 1, NVMReadFails: 1, NVMRetries: 1, NVMAbandoned: 1,
+		NoCDrops: 1, NoCRetransmits: 1, NoCEscalations: 1, NoCDups: 1, NoCDelays: 1,
+		AGBStalls: 1, AGBOfflines: 1, AGBRedirects: 1}
+	if c != want {
+		t.Fatalf("counts = %+v, want %+v", c, want)
+	}
+}
+
+// The decision hooks on an instrumented-but-sinkless plan must not allocate:
+// they sit on the per-access hot path of every component.
+func TestDecisionZeroAlloc(t *testing.T) {
+	p := New(Spec{Seed: 1, NVM: NVMSpec{WriteFailPct: 0.5, SpikePct: 0.5}, NoC: NoCSpec{DropPct: 0.5}, AGB: AGBSpec{StallPct: 0.5, StallCycles: 4}})
+	p.ensureRank(7)
+	var at uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.NVMWriteAttempt(3, at, 9)
+		p.NVMLatencyFactor(3, at)
+		p.NoCDropAttempt(at, 1, 2)
+		p.AGBStall(at, 2)
+		at += 7
+	})
+	if allocs != 0 {
+		t.Fatalf("decision hooks allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/agb"
 	"repro/internal/cache"
+	"repro/internal/faultplan"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/nvm"
@@ -152,10 +153,29 @@ type Config struct {
 	// state RunWithCrash returns — checker mutation testing only.
 	CrashFault CrashFault
 
+	// Faults, when non-nil and non-empty, compiles into a runtime
+	// fault-injection plan: scheduled NVM rank failures and latency spikes,
+	// NoC drops/duplicates/delays, and AGB slice stalls and outages, all
+	// recovered by the components' resilience machinery (retry/backoff,
+	// ack/retransmit, arbiter rerouting). With Faults nil the hot paths pay
+	// one nil check and allocate nothing.
+	Faults *faultplan.Spec
+	// WatchdogHorizon arms the stall watchdog: a run that makes no event
+	// progress across a whole horizon while work is outstanding fails with a
+	// StallError instead of wedging. 0 picks DefaultWatchdogHorizon when
+	// Faults is set and leaves the watchdog off otherwise.
+	WatchdogHorizon sim.Time
+
 	NoC noc.Config
 	NVM nvm.Config
 	AGB agb.Config
 }
+
+// DefaultWatchdogHorizon is the progress window armed for fault-plan runs
+// when WatchdogHorizon is 0. Bounded retry/backoff chains span at most a few
+// thousand cycles, so a horizon this wide never trips on legitimate
+// recovery.
+const DefaultWatchdogHorizon sim.Time = 200_000
 
 // TableI returns the paper's evaluated configuration for the given system.
 func TableI(system SystemKind) Config {
@@ -207,6 +227,11 @@ func (c Config) Validate() error {
 	}
 	if c.LLCBanks <= 0 {
 		return fmt.Errorf("machine: LLC banks must be positive")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("machine: fault plan: %w", err)
+		}
 	}
 	if c.Coherence == CoherenceMESI {
 		switch c.System {

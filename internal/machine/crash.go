@@ -2,6 +2,7 @@ package machine
 
 import (
 	"repro/internal/core"
+	"repro/internal/faultplan"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -33,6 +34,15 @@ type CrashState struct {
 	// target for it.
 	Fault        CrashFault
 	FaultApplied bool
+	// Stalled reports that the watchdog declared quiescence-without-progress
+	// before the crash cycle; Stall carries the diagnostic. The recovered
+	// image is still checkable — a wedged machine must not have corrupted
+	// the durable state — but resilience campaigns fail the run.
+	Stalled bool
+	Stall   *StallError
+	// FaultCounts is the runtime fault-injection ledger at the crash (zero
+	// unless the run carried a fault plan).
+	FaultCounts faultplan.Counts
 }
 
 // RunWithCrash executes the workload until the crash cycle (or natural
@@ -49,6 +59,7 @@ func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
 		m.running++
 		m.engine.Schedule(0, c.step)
 	}
+	m.armWatchdog()
 	m.engine.RunUntil(at)
 
 	cs := &CrashState{
@@ -58,6 +69,9 @@ func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
 		Groups:       m.journal,
 		DurableOrder: m.durableOrder,
 		LineOrder:    m.lineOrder,
+		Stalled:      m.stall != nil,
+		Stall:        m.stall,
+		FaultCounts:  m.FaultCounts(),
 	}
 	for _, c := range m.cores {
 		cs.StoresIssued = append(cs.StoresIssued, c.storeSeq)

@@ -220,12 +220,18 @@ func InjectFault(cs *CrashState, f CrashFault) bool {
 			return false
 		}
 		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-		l, got := lines[0], cs.Image[lines[0]]
-		order := cs.LineOrder[l]
-		for i, v := range order {
-			if v == got {
-				cs.LineOrder[l] = append(order[:i:i], order[i+1:]...)
-				return true
+		// A recovered version can legitimately be absent from the coherence
+		// serialization (an initial-contents line the run never wrote), so
+		// scan for the first line whose version the directory did order
+		// instead of giving up on the lowest-addressed one.
+		for _, l := range lines {
+			got := cs.Image[l]
+			order := cs.LineOrder[l]
+			for i, v := range order {
+				if v == got {
+					cs.LineOrder[l] = append(order[:i:i], order[i+1:]...)
+					return true
+				}
 			}
 		}
 		return false

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Round-trip every fault through its String name, plus the two edges: the
+// "none" sentinel parses, unknown names are rejected.
+func TestCrashFaultStringRoundTrip(t *testing.T) {
+	cases := append([]CrashFault{FaultNone}, Faults()...)
+	seen := map[string]bool{}
+	for _, f := range cases {
+		name := f.String()
+		if name == "" || seen[name] {
+			t.Fatalf("fault %d: empty or duplicate name %q", f, name)
+		}
+		seen[name] = true
+		got, ok := ParseCrashFault(name)
+		if !ok || got != f {
+			t.Errorf("ParseCrashFault(%q) = %v, %v; want %v", name, got, ok, f)
+		}
+	}
+	for _, bogus := range []string{"", "torn", "TORN-GROUP", "CrashFault(99)", "phantom"} {
+		if f, ok := ParseCrashFault(bogus); ok {
+			t.Errorf("ParseCrashFault(%q) = %v, want rejection", bogus, f)
+		}
+	}
+	if FaultNone.ExpectedRule() != "" {
+		t.Error("FaultNone must expect no rule")
+	}
+	for _, f := range Faults() {
+		if f.ExpectedRule() == "" {
+			t.Errorf("%v: no expected checker rule", f)
+		}
+	}
+}
+
+// Regression: FaultPhantomVersion used to consider only the lowest-addressed
+// image line and give up if that line's recovered version was legitimately
+// absent from the coherence order (an initial-contents line). It must fall
+// through to the next line that does offer a target.
+func TestPhantomVersionSkipsUnorderedLines(t *testing.T) {
+	v1 := mem.Version{Core: 1, Seq: 1}
+	v2 := mem.Version{Core: 1, Seq: 2}
+	cs := &CrashState{
+		Image: map[mem.Line]mem.Version{
+			// Line 1 (lowest) recovered a version the directory never
+			// serialized; line 5 is the real target.
+			1: {Core: 7, Seq: 9},
+			5: v2,
+		},
+		LineOrder: map[mem.Line][]mem.Version{
+			5: {v1, v2},
+		},
+	}
+	if !InjectFault(cs, FaultPhantomVersion) {
+		t.Fatal("fault must fall through to line 5")
+	}
+	order := cs.LineOrder[5]
+	if len(order) != 1 || order[0] != v1 {
+		t.Fatalf("line 5 order = %v, want recovered version erased", order)
+	}
+	if _, ok := cs.LineOrder[1]; ok {
+		t.Fatal("line 1 must be untouched")
+	}
+}
+
+func TestPhantomVersionNoTarget(t *testing.T) {
+	cs := &CrashState{
+		Image:     map[mem.Line]mem.Version{1: {Core: 7, Seq: 9}},
+		LineOrder: map[mem.Line][]mem.Version{},
+	}
+	if InjectFault(cs, FaultPhantomVersion) {
+		t.Fatal("no line offers a target; injection must report failure")
+	}
+	if InjectFault(&CrashState{Image: map[mem.Line]mem.Version{}}, FaultPhantomVersion) {
+		t.Fatal("empty image must report failure")
+	}
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faultplan"
+	"repro/internal/sim"
+)
+
+// This file wires runtime fault injection (internal/faultplan) and the
+// stall watchdog (sim.Watchdog) into the machine. With Config.Faults nil
+// and WatchdogHorizon zero, nothing here allocates and the hot paths in
+// nvm/noc/agb each pay exactly one nil check.
+
+// initFaults compiles Config.Faults (if any) into a plan, attaches it to
+// the fault-capable components, and builds the watchdog; called from New.
+func (m *Machine) initFaults() {
+	if m.cfg.Faults != nil && !m.cfg.Faults.Empty() {
+		m.plan = faultplan.New(*m.cfg.Faults)
+		if m.tel != nil {
+			m.plan.Instrument(m.tel.bus)
+		}
+		m.memory.AttachFaults(m.plan)
+		m.net.AttachFaults(m.plan)
+		m.buffer.AttachFaults(m.plan)
+	}
+	horizon := m.cfg.WatchdogHorizon
+	if horizon == 0 && m.plan != nil {
+		horizon = DefaultWatchdogHorizon
+	}
+	if horizon > 0 {
+		m.wd = sim.NewWatchdog(m.engine, horizon, m.outstanding, m.onStall)
+	}
+}
+
+// FaultCounts returns the plan's injection ledger so far (zero Counts when
+// the machine has no fault plan).
+func (m *Machine) FaultCounts() faultplan.Counts {
+	if m.plan == nil {
+		return faultplan.Counts{}
+	}
+	return m.plan.Counts()
+}
+
+// armWatchdog (re)starts the progress checks; a no-op without a watchdog.
+func (m *Machine) armWatchdog() {
+	if m.wd != nil {
+		m.wd.Arm()
+	}
+}
+
+// disarmWatchdog cancels the pending check once the outstanding work of the
+// current phase has completed, so the queued far-future check does not
+// advance the clock past the end of real work.
+func (m *Machine) disarmWatchdog() {
+	if m.wd != nil {
+		m.wd.Disarm()
+	}
+}
+
+// outstanding reports work the machine still owes: unfinished cores or a
+// pending end-of-run flush.
+func (m *Machine) outstanding() bool {
+	return m.running > 0 || m.drainPending
+}
+
+// onStall converts the watchdog diagnostic into a StallError enriched with
+// machine state: stuck cores, group lifecycle buckets, AGB occupancy, and
+// the fault ledger.
+func (m *Machine) onStall(d sim.StallDiag) {
+	m.stall = &StallError{
+		System: m.cfg.System,
+		Diag:   d,
+		Detail: m.stallDetail(),
+	}
+}
+
+// stallDetail renders a one-line machine snapshot for the stall diagnostic.
+func (m *Machine) stallDetail() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cores stuck=%d", m.running)
+	if m.drainPending {
+		b.WriteString(" drain-pending")
+	}
+	states := make(map[core.State]int)
+	for _, g := range m.journal {
+		states[g.State()]++
+	}
+	if len(states) > 0 {
+		keys := make([]core.State, 0, len(states))
+		for s := range states {
+			keys = append(keys, s)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		b.WriteString(" groups[")
+		for i, s := range keys {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=%d", s, states[s])
+		}
+		b.WriteString("]")
+	}
+	fmt.Fprintf(&b, " agb[used=%d waiting=%d inflight=%d]",
+		m.buffer.Used(), m.buffer.Waiting(), m.buffer.InFlight())
+	if m.plan != nil {
+		fmt.Fprintf(&b, " faults: %s", m.plan.Counts())
+	}
+	return b.String()
+}
+
+// StallError reports quiescence-without-progress: the simulation's event
+// chains died out while cores or the final drain still had work pending —
+// typically a permanently lost persist under the fault plan's test-only
+// abandonment mode. The embedded detail names the wedged components.
+type StallError struct {
+	System SystemKind
+	Diag   sim.StallDiag
+	Detail string
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("machine: stall — no progress over %d cycles at cycle %d (%s; pending=%d executed=%d; %s)",
+		e.Diag.Horizon, e.Diag.Now, e.System, e.Diag.Pending, e.Diag.Executed, e.Detail)
+}

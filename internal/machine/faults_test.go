@@ -1,0 +1,229 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faultplan"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Acceptance gate: with Config.Faults nil the fault hooks cost one nil
+// check and zero allocations on the component hot paths.
+func TestNoPlanZeroAlloc(t *testing.T) {
+	m, err := New(TableI(TSOPER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.plan != nil || m.wd != nil {
+		t.Fatal("plan-free machine must not build a plan or watchdog")
+	}
+	// Read and Send with no completion callback touch only counters and
+	// resource claims; Write is excluded because its durable-commit event is
+	// an allocation the clean path makes too.
+	var l uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.memory.Read(mem.Line(l), nil)
+		m.net.Send(int(l)%m.net.Nodes(), int(l+1)%m.net.Nodes(), nil)
+		l++
+	})
+	if allocs != 0 {
+		t.Fatalf("plan-free NVM/NoC paths allocated %.1f/op, want 0", allocs)
+	}
+	if m.FaultCounts() != (faultplan.Counts{}) {
+		t.Fatal("plan-free machine must report a zero ledger")
+	}
+}
+
+func faultedConfig(spec faultplan.Spec) Config {
+	cfg := TableI(TSOPER)
+	cfg.Faults = &spec
+	return cfg
+}
+
+func runFaulted(t *testing.T, spec faultplan.Spec, ops int, seed int64) *Results {
+	t.Helper()
+	cfg := faultedConfig(spec)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(smallProfile(ops), cfg.Cores, seed)
+	r, err := m.RunChecked(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Under every preset schedule the run completes, every fault recovers, and
+// the drained durable image still matches the coherence order's final
+// versions — strict persistency survives the fault plan.
+func TestFaultedRunRecoversClean(t *testing.T) {
+	for _, spec := range faultplan.Presets() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			r := runFaulted(t, spec, 250, 3)
+			if r.Faults == nil {
+				t.Fatal("faulted run must report its ledger")
+			}
+			if r.Faults.Injected() == 0 {
+				t.Fatalf("schedule %s injected nothing", spec.Name)
+			}
+			if r.Faults.Lost() != 0 {
+				t.Fatalf("lost persists: %s", r.Faults)
+			}
+			for line, order := range r.LineOrder {
+				want := order[len(order)-1]
+				if got := r.Durable[line]; got != want {
+					t.Fatalf("line %v durable %v, want final version %v", line, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestFaultedRunDeterministic(t *testing.T) {
+	spec, _ := faultplan.Preset("storm")
+	r1 := runFaulted(t, spec, 200, 7)
+	r2 := runFaulted(t, spec, 200, 7)
+	if r1.Cycles != r2.Cycles || r1.DrainCycles != r2.DrainCycles {
+		t.Fatalf("cycles diverged: %d/%d vs %d/%d",
+			r1.Cycles, r1.DrainCycles, r2.Cycles, r2.DrainCycles)
+	}
+	if *r1.Faults != *r2.Faults {
+		t.Fatalf("ledgers diverged: %s vs %s", r1.Faults, r2.Faults)
+	}
+}
+
+// A fault schedule slows the machine but must not change what was executed.
+func TestFaultedRunSameWorkDifferentCycles(t *testing.T) {
+	clean := runSmall(t, TSOPER, 200, 7)
+	spec, _ := faultplan.Preset("storm")
+	faulted := runFaulted(t, spec, 200, 7)
+	if faulted.Stores != clean.Stores || faulted.Loads != clean.Loads {
+		t.Fatalf("op counts diverged: %d/%d vs %d/%d",
+			faulted.Stores, faulted.Loads, clean.Stores, clean.Loads)
+	}
+	if faulted.DrainCycles < clean.DrainCycles {
+		t.Fatalf("faulted drain (%d) faster than clean (%d)?",
+			faulted.DrainCycles, clean.DrainCycles)
+	}
+}
+
+// The test-only abandonment mode wedges the machine; the watchdog must
+// convert that into a StallError instead of a silent hang.
+func TestDisableDegradationTripsWatchdog(t *testing.T) {
+	cfg := faultedConfig(faultplan.Spec{
+		Name: "abandon", Seed: 1,
+		NVM: faultplan.NVMSpec{WriteFailPct: 1},
+		Resilience: faultplan.Resilience{
+			NVMRetryLimit: 1, NVMBackoff: 16, DisableDegradation: true,
+		},
+	})
+	cfg.WatchdogHorizon = 20_000
+	// A small AGB makes the lost persists bite: retirement never frees
+	// space, reservations back up, and the machine wedges mid-run.
+	cfg.AGB.LinesPerSlice = 16
+	cfg.AGLimit = 8
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(smallProfile(200), cfg.Cores, 5)
+	_, err = m.RunChecked(w)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("RunChecked = %v, want *StallError", err)
+	}
+	if se.Diag.Horizon != 20_000 {
+		t.Fatalf("diag horizon %d, want 20000", se.Diag.Horizon)
+	}
+	if !strings.Contains(se.Error(), "cores stuck") || !strings.Contains(se.Error(), "faults:") {
+		t.Fatalf("diagnostic missing machine detail: %s", se.Error())
+	}
+	if m.FaultCounts().Lost() == 0 {
+		t.Fatal("abandonment mode must report lost persists")
+	}
+}
+
+// With a roomy AGB an abandonment run can quiesce cleanly — every group
+// fits and buffers, so nothing is outstanding — yet the NVM image is
+// silently incomplete. RunChecked must still refuse to call that success.
+func TestLostPersistsFailEvenWithoutStall(t *testing.T) {
+	cfg := faultedConfig(faultplan.Spec{
+		Name: "abandon-roomy", Seed: 1,
+		NVM: faultplan.NVMSpec{WriteFailPct: 1},
+		Resilience: faultplan.Resilience{
+			NVMRetryLimit: 1, NVMBackoff: 16, DisableDegradation: true,
+		},
+	})
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(smallProfile(200), cfg.Cores, 5)
+	_, err = m.RunChecked(w)
+	if err == nil || !strings.Contains(err.Error(), "permanently lost") {
+		t.Fatalf("RunChecked = %v, want lost-persist failure", err)
+	}
+}
+
+func TestWatchdogArmedOnlyWhenAsked(t *testing.T) {
+	// Explicit horizon, no fault plan: watchdog armed, no plan compiled.
+	cfg := TableI(TSOPER)
+	cfg.WatchdogHorizon = 1_000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.wd == nil || m.plan != nil {
+		t.Fatal("explicit horizon must arm the watchdog without a plan")
+	}
+	// An empty (inject-nothing) spec compiles no plan and arms no watchdog.
+	cfg = TableI(TSOPER)
+	cfg.Faults = &faultplan.Spec{}
+	m, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.plan != nil || m.wd != nil {
+		t.Fatal("empty spec must stay inert")
+	}
+	// A healthy watchdog-armed run completes without tripping.
+	cfg = TableI(TSOPER)
+	cfg.WatchdogHorizon = 50_000
+	m, _ = New(cfg)
+	w := trace.Generate(smallProfile(100), cfg.Cores, 2)
+	if _, err := m.RunChecked(w); err != nil {
+		t.Fatalf("healthy run tripped: %v", err)
+	}
+}
+
+// The invalid-schedule gate: Config.Validate must surface faultplan errors.
+func TestInvalidFaultSpecRejected(t *testing.T) {
+	cfg := faultedConfig(faultplan.Spec{NVM: faultplan.NVMSpec{WriteFailPct: 2}})
+	if _, err := New(cfg); err == nil {
+		t.Fatal("invalid fault spec must be rejected")
+	}
+}
+
+// Crash states under a fault plan carry the ledger and the stall verdict.
+func TestCrashStateCarriesFaultLedger(t *testing.T) {
+	spec, _ := faultplan.Preset("nvm-transient")
+	cfg := faultedConfig(spec)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(smallProfile(200), cfg.Cores, 11)
+	cs := m.RunWithCrash(w, 20_000)
+	if cs.Stalled {
+		t.Fatalf("healthy faulted run flagged stalled: %v", cs.Stall)
+	}
+	if cs.FaultCounts.Injected() == 0 {
+		t.Fatal("crash state must carry the injection ledger")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence/slc"
 	"repro/internal/core"
+	"repro/internal/faultplan"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/nvm"
@@ -58,6 +59,15 @@ type Machine struct {
 
 	// tel is nil unless a telemetry sink (bus or probe) is attached.
 	tel *machineTel
+
+	// plan is nil unless Config.Faults compiled a fault-injection plan;
+	// wd is nil unless a watchdog horizon is armed (faults.go).
+	plan *faultplan.Plan
+	wd   *sim.Watchdog
+	// stall records the watchdog's verdict; drainPending marks the
+	// end-of-run flush as outstanding work for the watchdog.
+	stall        *StallError
+	drainPending bool
 
 	running   int
 	execDone  sim.Time
@@ -120,14 +130,27 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.evbufWaiters = make([][]func(), cfg.Cores)
 	m.instrumentComponents()
+	m.initFaults()
 	m.sys = newSystem(m)
 	return m, nil
 }
 
 // Run executes the workload to completion, flushes trailing persists, and
 // returns the results. It panics if the workload has a different core count
-// than the machine.
+// than the machine, and on a wedged run (deadlock or watchdog stall) — use
+// RunChecked to get the stall as an error instead.
 func (m *Machine) Run(w *trace.Workload) *Results {
+	r, err := m.RunChecked(w)
+	if err != nil {
+		panic(err.Error())
+	}
+	return r
+}
+
+// RunChecked is Run returning wedged-run failures as errors: a *StallError
+// when the watchdog declares quiescence-without-progress, a plain error on
+// deadlock or an incomplete final drain.
+func (m *Machine) RunChecked(w *trace.Workload) (*Results, error) {
 	if len(w.Cores) != m.cfg.Cores {
 		panic(fmt.Sprintf("machine: workload has %d cores, machine %d", len(w.Cores), m.cfg.Cores))
 	}
@@ -137,10 +160,14 @@ func (m *Machine) Run(w *trace.Workload) *Results {
 		m.running++
 		m.engine.Schedule(0, c.step)
 	}
+	m.armWatchdog()
 	m.engine.Run()
+	if m.stall != nil {
+		return nil, m.stall
+	}
 	if m.running != 0 {
-		panic(fmt.Sprintf("machine: deadlock — %d cores stuck at cycle %d (%s)",
-			m.running, m.engine.Now(), m.cfg.System))
+		return nil, fmt.Errorf("machine: deadlock — %d cores stuck at cycle %d (%s)",
+			m.running, m.engine.Now(), m.cfg.System)
 	}
 	m.execDone = m.engine.Now()
 	m.execCoherenceWrites = m.coherenceWrites.Value
@@ -149,13 +176,35 @@ func (m *Machine) Run(w *trace.Workload) *Results {
 
 	// End-of-run flush: expose everything so the durable image completes.
 	flushed := false
-	m.sys.drain(func() { flushed = true })
+	m.drainPending = true
+	m.sys.drain(func() {
+		flushed = true
+		m.drainPending = false
+		// The flush is done: cancel the artificial queue-keepers (watchdog
+		// check, remaining fault-outage toggles) so the queue empties at the
+		// last real event and DrainCycles keeps its plan-free meaning.
+		m.disarmWatchdog()
+		m.buffer.CancelOutages()
+	})
+	m.armWatchdog()
 	m.engine.Run()
+	if m.stall != nil {
+		return nil, m.stall
+	}
 	if !flushed {
-		panic("machine: final drain never completed")
+		return nil, fmt.Errorf("machine: final drain never completed (cycle %d, %s)",
+			m.engine.Now(), m.cfg.System)
 	}
 	m.drainDone = m.engine.Now()
-	return m.results(w)
+	if m.plan != nil {
+		// A run that quiesced cleanly can still have dropped persists on the
+		// floor (the plan's test-only abandonment mode): the durable image is
+		// silently incomplete, which must never read as success.
+		if lost := m.plan.Counts().Lost(); lost > 0 {
+			return nil, fmt.Errorf("machine: %d persists permanently lost (%s)", lost, m.cfg.System)
+		}
+	}
+	return m.results(w), nil
 }
 
 func (m *Machine) results(w *trace.Workload) *Results {
@@ -190,11 +239,20 @@ func (m *Machine) results(w *trace.Workload) *Results {
 		}
 		r.EvictBufStalls += pc.evbuf.Stalls
 	}
+	if m.plan != nil {
+		c := m.plan.Counts()
+		r.Faults = &c
+	}
 	return r
 }
 
 func (m *Machine) coreDone(*coreUnit) {
 	m.running--
+	if m.running == 0 {
+		// Cancel the pending watchdog check so its far-future event does not
+		// advance the clock past the last real event of the execution phase.
+		m.disarmWatchdog()
+	}
 }
 
 // ---- topology helpers ----

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faultplan"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -64,6 +65,10 @@ type Results struct {
 	// LineOrder is the directory-serialized store-version order per line
 	// (the coherence order the crash checker validates against).
 	LineOrder map[mem.Line][]mem.Version
+
+	// Faults is the fault-injection and recovery ledger (nil unless the run
+	// carried a fault plan).
+	Faults *faultplan.Counts
 
 	// Set is the full raw metric registry.
 	Set *stats.Set

@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/faultplan"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -43,6 +44,9 @@ type Network struct {
 
 	// tel is nil unless Instrument attached a telemetry bus.
 	tel *nocTel
+	// flt is nil unless AttachFaults attached a fault plan; Send pays one
+	// branch when it is nil.
+	flt *faultplan.Plan
 }
 
 // nocTel holds the pre-registered telemetry tracks: one timeline row per
@@ -65,6 +69,16 @@ func (n *Network) Instrument(bus *telemetry.Bus) {
 	}
 	n.tel = t
 }
+
+// AttachFaults attaches a runtime fault-injection plan. Sends then model a
+// reliable transport over a lossy link: every message carries a sequence
+// number and is acknowledged; a dropped transmission times out at the
+// sender (the plan's AckTimeout) and is retransmitted, up to MaxRetransmits
+// times before the sender escalates to a slow guaranteed path; a lost ack
+// causes a spurious retransmission that the receiver's sequence-number
+// dedup suppresses. Delivery therefore remains exactly-once and the
+// returned arrival time accounts for every repair round trip.
+func (n *Network) AttachFaults(p *faultplan.Plan) { n.flt = p }
 
 // New creates a network on the engine.
 func New(engine *sim.Engine, cfg Config, set *stats.Set) *Network {
@@ -108,12 +122,67 @@ func (n *Network) Latency(src, dst int) sim.Time {
 func (n *Network) Send(src, dst int, deliver func()) sim.Time {
 	n.msgs.Inc()
 	n.hops.Add(uint64(n.Hops(src, dst)))
+	if n.flt != nil {
+		return n.sendFaulty(src, dst, deliver)
+	}
 	now := n.engine.Now()
 	start := n.ports.Claim(src, now, n.cfg.LinkOccupancy)
 	arrive := start + n.Latency(src, dst)
 	if n.tel != nil {
 		if start > now {
 			// Injection port contention: the message queued at the source.
+			n.tel.bus.Span(n.tel.node[src], "inject-wait",
+				telemetry.Ticks(now), telemetry.Ticks(start-now), 0)
+		}
+		n.tel.bus.Span(n.tel.node[src], "msg",
+			telemetry.Ticks(start), telemetry.Ticks(arrive-start), uint64(dst))
+	}
+	if deliver != nil {
+		n.engine.At(arrive, deliver)
+	}
+	return arrive
+}
+
+// sendFaulty is the fault-plan transport: the schedule is consulted per
+// transmission attempt and the repaired arrival time is resolved
+// synchronously (the plan is deterministic), so callers keep the plain
+// Send contract — one delivery at the returned cycle.
+func (n *Network) sendFaulty(src, dst int, deliver func()) sim.Time {
+	now := n.engine.Now()
+	at := now
+	limit := n.flt.MaxRetransmits()
+	timeout := sim.Time(n.flt.AckTimeout())
+	tries := 0
+	var start, arrive sim.Time
+	for {
+		start = n.ports.Claim(src, at, n.cfg.LinkOccupancy)
+		arrive = start + n.Latency(src, dst)
+		if tries > limit {
+			// Retransmission budget exhausted: the sender escalates to the
+			// slow reliable path (one extra timeout, guaranteed delivery).
+			n.flt.NoCEscalate(uint64(start), src)
+			arrive += timeout
+			break
+		}
+		if !n.flt.NoCDropAttempt(uint64(start), src, dst) {
+			break
+		}
+		tries++
+		// The ack timer expires one traversal plus one timeout after the
+		// transmission began; the retransmission injects then.
+		at = arrive + timeout
+		n.flt.NoCRetransmit(uint64(at), src)
+	}
+	if d := n.flt.NoCDelay(uint64(arrive)); d > 0 {
+		arrive += sim.Time(d)
+	}
+	if n.flt.NoCDuplicate(uint64(arrive), src) {
+		// Lost ack: a spurious retransmission claims injection bandwidth;
+		// the receiver's dedup drops it, so no second delivery.
+		n.ports.Claim(src, arrive+timeout, n.cfg.LinkOccupancy)
+	}
+	if n.tel != nil {
+		if start > now {
 			n.tel.bus.Span(n.tel.node[src], "inject-wait",
 				telemetry.Ticks(now), telemetry.Ticks(start-now), 0)
 		}

@@ -1,0 +1,146 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/faultplan"
+	"repro/internal/sim"
+)
+
+// lossyNet attaches a compiled fault plan to a 2x1 mesh (5-cycle hop,
+// 2-cycle injection occupancy), so uncontended delivery takes 5 cycles.
+func lossyNet(spec faultplan.Spec) (*sim.Engine, *Network) {
+	e, n := newNet(Config{Width: 2, Height: 1, HopLatency: 5, LinkOccupancy: 2})
+	n.AttachFaults(faultplan.New(spec))
+	return e, n
+}
+
+func TestRetransmitDelaysArrival(t *testing.T) {
+	// Drop everything, but allow enough retransmits that escalation never
+	// happens within the outage... DropPct=1 with a high budget would loop to
+	// escalation, so use an outage-free scheme: drop the first transmissions
+	// deterministically by bounding the budget instead.
+	e, n := lossyNet(faultplan.Spec{
+		NoC:        faultplan.NoCSpec{DropPct: 1},
+		Resilience: faultplan.Resilience{AckTimeout: 10, MaxRetransmits: 2},
+	})
+	var deliveries int
+	// tx1 at 0 arrives 5, dropped; retransmit at 15 arrives 20, dropped;
+	// retransmit at 30 arrives 35, dropped (budget now spent); the escalated
+	// transmission at 45 arrives 50 + one timeout = 60, guaranteed.
+	arrive := n.Send(0, 1, func() { deliveries++ })
+	if arrive != 60 {
+		t.Fatalf("arrive=%d, want 60 (3 drops, then escalation)", arrive)
+	}
+	e.Run()
+	if deliveries != 1 {
+		t.Fatalf("%d deliveries, want exactly one", deliveries)
+	}
+	c := n.flt.Counts()
+	if c.NoCDrops != 3 || c.NoCRetransmits != 3 || c.NoCEscalations != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+func TestDropFreePathUnchanged(t *testing.T) {
+	e, n := lossyNet(faultplan.Spec{}) // plan attached but injects nothing
+	arrive := n.Send(0, 1, nil)
+	if arrive != 5 {
+		t.Fatalf("arrive=%d, want 5 (fault path must preserve clean timing)", arrive)
+	}
+	e.Run()
+	if c := n.flt.Counts(); c != (faultplan.Counts{}) {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+func TestDuplicateSuppressedExactlyOnce(t *testing.T) {
+	e, n := lossyNet(faultplan.Spec{
+		NoC:        faultplan.NoCSpec{DupPct: 1},
+		Resilience: faultplan.Resilience{AckTimeout: 10},
+	})
+	var deliveries int
+	arrive := n.Send(0, 1, func() { deliveries++ })
+	// The lost ack does not delay the original delivery...
+	if arrive != 5 {
+		t.Fatalf("arrive=%d, want 5", arrive)
+	}
+	e.Run()
+	// ...and the receiver dedups the spurious retransmission.
+	if deliveries != 1 {
+		t.Fatalf("%d deliveries, want exactly one", deliveries)
+	}
+	if c := n.flt.Counts(); c.NoCDups != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+	// The spurious retransmission claimed real injection bandwidth at
+	// arrive+timeout: the port is busy at cycle 15.
+	if free := n.ports.Claim(0, 15, 0); free != 17 {
+		t.Fatalf("port next free at %d, want 17 (dup occupied 15..17)", free)
+	}
+}
+
+func TestDelayAddsCycles(t *testing.T) {
+	e, n := lossyNet(faultplan.Spec{
+		NoC: faultplan.NoCSpec{DelayPct: 1, DelayCycles: 12},
+	})
+	arrive := n.Send(0, 1, nil)
+	if arrive != 17 {
+		t.Fatalf("arrive=%d, want 17 (5 + 12 delay)", arrive)
+	}
+	e.Run()
+	if c := n.flt.Counts(); c.NoCDelays != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+// Total loss is still bounded: every message eventually arrives via
+// escalation, so a burst under DropPct=1 delivers every message exactly once.
+func TestTotalLossStillDeliversAll(t *testing.T) {
+	e, n := lossyNet(faultplan.Spec{
+		NoC:        faultplan.NoCSpec{DropPct: 1},
+		Resilience: faultplan.Resilience{AckTimeout: 4, MaxRetransmits: 1},
+	})
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		n.Send(0, 1, func() { delivered++ })
+	}
+	e.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d/10", delivered)
+	}
+	c := n.flt.Counts()
+	if c.NoCEscalations != 10 {
+		t.Fatalf("escalations=%d, want 10 (budget is 1 retransmit)", c.NoCEscalations)
+	}
+}
+
+func TestFaultedSendsDeterministic(t *testing.T) {
+	spec := faultplan.Spec{
+		Seed:       11,
+		NoC:        faultplan.NoCSpec{DropPct: 0.3, DupPct: 0.2, DelayPct: 0.2, DelayCycles: 7},
+		Resilience: faultplan.Resilience{AckTimeout: 10, MaxRetransmits: 3},
+	}
+	run := func() ([]sim.Time, faultplan.Counts) {
+		e, n := lossyNet(spec)
+		var arrivals []sim.Time
+		for i := 0; i < 50; i++ {
+			arrivals = append(arrivals, n.Send(i%2, (i+1)%2, nil))
+		}
+		e.Run()
+		return arrivals, n.flt.Counts()
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts diverged: %s vs %s", c1, c2)
+	}
+	if c1.Injected() == 0 {
+		t.Fatal("schedule injected nothing; test is vacuous")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("send %d arrival diverged: %d vs %d", i, a1[i], a2[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ package nvm
 import (
 	"fmt"
 
+	"repro/internal/faultplan"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -53,6 +54,9 @@ type Memory struct {
 
 	// tel is nil unless Instrument attached a telemetry bus.
 	tel *nvmTel
+	// flt is nil unless AttachFaults attached a fault plan; the hot access
+	// path pays exactly one branch when it is nil.
+	flt *faultplan.Plan
 }
 
 // nvmTel holds one timeline row per rank: a complete span per access
@@ -77,6 +81,14 @@ func (m *Memory) Instrument(bus *telemetry.Bus) {
 	}
 	m.tel = t
 }
+
+// AttachFaults attaches a runtime fault-injection plan. Write and read
+// attempts then consult the plan's schedule; failed attempts are retried
+// with exponential backoff up to the plan's retry budget, after which the
+// rank is marked degraded (all later accesses succeed at the degraded
+// latency factor) — or, in the plan's test-only abandonment mode, the
+// access is dropped so the simulation watchdog can catch the stall.
+func (m *Memory) AttachFaults(p *faultplan.Plan) { m.flt = p }
 
 // issued records an access entering rank r's queue at now, spanning
 // start..finish on the media.
@@ -137,8 +149,61 @@ func (m *Memory) WriteBuffered(l mem.Line, v mem.Version, accepted, done func())
 		occ = m.cfg.WriteLatency
 	}
 	rank := m.RankOf(l)
+	if m.flt != nil {
+		return m.writeFaulty(l, v, rank, occ, accepted, done)
+	}
 	start := m.ranks.Claim(rank, m.engine.Now(), occ)
 	finish := start + m.cfg.WriteLatency
+	if m.tel != nil {
+		m.tel.issued(rank, "write", m.engine.Now(), start, finish)
+	}
+	if accepted != nil {
+		m.engine.At(start, accepted)
+	}
+	m.engine.At(finish, func() {
+		m.durable[l] = v
+		if m.tel != nil {
+			m.tel.completed(rank, finish)
+		}
+		if done != nil {
+			done()
+		}
+	})
+	return finish
+}
+
+// writeFaulty is the fault-plan write path: each attempt claims the rank
+// bus; a failed attempt is detected at media-completion time and retried
+// after an exponentially growing backoff. Exhausting the retry budget
+// degrades the rank (the plan stops failing it and the access completes at
+// the degraded latency) unless degradation is disabled, in which case the
+// write is abandoned — durable commit, accepted, and done never happen, and
+// the watchdog is expected to catch the resulting stall.
+func (m *Memory) writeFaulty(l mem.Line, v mem.Version, rank int, occ sim.Time, accepted, done func()) sim.Time {
+	at := m.engine.Now()
+	limit := m.flt.NVMRetryLimit()
+	backoff := sim.Time(m.flt.NVMBackoff())
+	attempts := 0
+	var start sim.Time
+	for {
+		start = m.ranks.Claim(rank, at, occ)
+		if !m.flt.NVMWriteAttempt(rank, uint64(start), uint64(l)) {
+			break
+		}
+		attempts++
+		if attempts > limit {
+			if m.flt.DegradationDisabled() {
+				m.flt.NVMAbandon(rank, uint64(start))
+				return start + m.cfg.WriteLatency
+			}
+			m.flt.NVMDegrade(rank, uint64(start))
+			// The degraded rank no longer fails: the next attempt commits.
+		}
+		at = start + m.cfg.WriteLatency + backoff
+		m.flt.NVMRetry(rank, uint64(at))
+		backoff *= 2
+	}
+	finish := start + m.cfg.WriteLatency*sim.Time(m.flt.NVMLatencyFactor(rank, uint64(start)))
 	if m.tel != nil {
 		m.tel.issued(rank, "write", m.engine.Now(), start, finish)
 	}
@@ -165,8 +230,47 @@ func (m *Memory) Read(l mem.Line, done func()) sim.Time {
 		occ = m.cfg.ReadLatency
 	}
 	rank := m.RankOf(l)
+	if m.flt != nil {
+		return m.readFaulty(l, rank, occ, done)
+	}
 	start := m.ranks.Claim(rank, m.engine.Now(), occ)
 	finish := start + m.cfg.ReadLatency
+	if m.tel != nil {
+		m.tel.issued(rank, "read", m.engine.Now(), start, finish)
+		m.engine.At(finish, func() { m.tel.completed(rank, finish) })
+	}
+	if done != nil {
+		m.engine.At(finish, done)
+	}
+	return finish
+}
+
+// readFaulty is the fault-plan read path (see writeFaulty). Reads never
+// commit state, so abandonment simply returns without scheduling done.
+func (m *Memory) readFaulty(l mem.Line, rank int, occ sim.Time, done func()) sim.Time {
+	at := m.engine.Now()
+	limit := m.flt.NVMRetryLimit()
+	backoff := sim.Time(m.flt.NVMBackoff())
+	attempts := 0
+	var start sim.Time
+	for {
+		start = m.ranks.Claim(rank, at, occ)
+		if !m.flt.NVMReadAttempt(rank, uint64(start), uint64(l)) {
+			break
+		}
+		attempts++
+		if attempts > limit {
+			if m.flt.DegradationDisabled() {
+				m.flt.NVMAbandon(rank, uint64(start))
+				return start + m.cfg.ReadLatency
+			}
+			m.flt.NVMDegrade(rank, uint64(start))
+		}
+		at = start + m.cfg.ReadLatency + backoff
+		m.flt.NVMRetry(rank, uint64(at))
+		backoff *= 2
+	}
+	finish := start + m.cfg.ReadLatency*sim.Time(m.flt.NVMLatencyFactor(rank, uint64(start)))
 	if m.tel != nil {
 		m.tel.issued(rank, "read", m.engine.Now(), start, finish)
 		m.engine.At(finish, func() { m.tel.completed(rank, finish) })

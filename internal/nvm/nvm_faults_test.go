@@ -1,0 +1,166 @@
+package nvm
+
+import (
+	"testing"
+
+	"repro/internal/faultplan"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// cfg2 is a small two-rank geometry with occupancy = latency, so retry
+// timing is exact: each attempt holds the rank for the full latency.
+func cfg2() Config { return Config{Ranks: 2, WriteLatency: 100, ReadLatency: 50} }
+
+func TestWriteRetryToSuccess(t *testing.T) {
+	e, m := newMem(cfg2())
+	m.AttachFaults(faultplan.New(faultplan.Spec{
+		NVM:        faultplan.NVMSpec{Outages: []faultplan.Outage{{Unit: 0, From: 0, To: 150}}},
+		Resilience: faultplan.Resilience{NVMBackoff: 20},
+	}))
+	var doneAt sim.Time
+	// Attempt 1 at 0 (in outage, fails), retry at 0+100+20=120 (still in
+	// outage, fails), retry at 120+100+40=260 (outage over): finish 360.
+	finish := m.Write(mem.Line(0), mem.Version{Seq: 1}, func() { doneAt = e.Now() })
+	if finish != 360 {
+		t.Fatalf("finish=%d, want 360 (two backoff retries)", finish)
+	}
+	e.Run()
+	if doneAt != 360 {
+		t.Fatalf("done at %d, want 360", doneAt)
+	}
+	if m.Durable(mem.Line(0)) != (mem.Version{Seq: 1}) {
+		t.Fatal("retried write must still commit the durable version")
+	}
+	c := m.flt.Counts()
+	if c.NVMWriteFails != 2 || c.NVMRetries != 2 || c.NVMDegraded != 0 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+func TestWriteDegradesAfterBudget(t *testing.T) {
+	e, m := newMem(cfg2())
+	m.AttachFaults(faultplan.New(faultplan.Spec{
+		NVM: faultplan.NVMSpec{WriteFailPct: 1},
+		Resilience: faultplan.Resilience{
+			NVMRetryLimit: 2, NVMBackoff: 10, DegradedFactor: 2,
+		},
+	}))
+	// Attempts at 0, 110, 230 all fail; the third exhausts the budget and
+	// degrades rank 0, so the attempt at 370 succeeds at 2x latency.
+	finish := m.Write(mem.Line(0), mem.Version{Seq: 1}, nil)
+	if finish != 570 {
+		t.Fatalf("finish=%d, want 570 (degraded completion)", finish)
+	}
+	if !m.flt.NVMDegraded(0) || m.flt.NVMDegraded(1) {
+		t.Fatal("rank 0 must be degraded, rank 1 untouched")
+	}
+	e.Run()
+	if m.Durable(mem.Line(0)) != (mem.Version{Seq: 1}) {
+		t.Fatal("degraded write must still commit")
+	}
+	c := m.flt.Counts()
+	if c.NVMWriteFails != 3 || c.NVMRetries != 3 || c.NVMDegraded != 1 || c.Lost() != 0 {
+		t.Fatalf("counts: %s", c)
+	}
+	// The degraded rank now completes first-try at the degraded factor.
+	now := e.Now()
+	finish = m.Write(mem.Line(0), mem.Version{Seq: 2}, nil)
+	if want := now + 2*100; finish != want {
+		t.Fatalf("post-degradation finish=%d, want %d", finish, want)
+	}
+	e.Run()
+}
+
+func TestWriteAbandonedWhenDegradationDisabled(t *testing.T) {
+	e, m := newMem(cfg2())
+	m.AttachFaults(faultplan.New(faultplan.Spec{
+		NVM: faultplan.NVMSpec{WriteFailPct: 1},
+		Resilience: faultplan.Resilience{
+			NVMRetryLimit: 1, NVMBackoff: 10, DisableDegradation: true,
+		},
+	}))
+	m.Write(mem.Line(0), mem.Version{Seq: 1}, func() {
+		t.Fatal("abandoned write must not invoke done")
+	})
+	e.Run()
+	if m.Durable(mem.Line(0)) != (mem.Version{}) {
+		t.Fatal("abandoned write must not commit a durable version")
+	}
+	c := m.flt.Counts()
+	if c.NVMAbandoned != 1 || c.Lost() != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+	if m.flt.NVMDegraded(0) {
+		t.Fatal("abandonment must not degrade the rank")
+	}
+}
+
+func TestReadRetry(t *testing.T) {
+	e, m := newMem(cfg2())
+	m.AttachFaults(faultplan.New(faultplan.Spec{
+		NVM:        faultplan.NVMSpec{Outages: []faultplan.Outage{{Unit: 0, From: 0, To: 60}}},
+		Resilience: faultplan.Resilience{NVMBackoff: 10},
+	}))
+	var doneAt sim.Time
+	// Attempt at 0 fails, retry at 0+50+10=60 clears the outage: finish 110.
+	finish := m.Read(mem.Line(0), func() { doneAt = e.Now() })
+	if finish != 110 {
+		t.Fatalf("finish=%d, want 110", finish)
+	}
+	e.Run()
+	if doneAt != 110 {
+		t.Fatalf("done at %d, want 110", doneAt)
+	}
+	c := m.flt.Counts()
+	if c.NVMReadFails != 1 || c.NVMRetries != 1 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	e, m := newMem(cfg2())
+	m.AttachFaults(faultplan.New(faultplan.Spec{
+		NVM: faultplan.NVMSpec{SpikePct: 1, SpikeFactor: 3},
+	}))
+	finish := m.Write(mem.Line(0), mem.Version{Seq: 1}, nil)
+	if finish != 300 {
+		t.Fatalf("finish=%d, want 300 (3x spike)", finish)
+	}
+	e.Run()
+	if c := m.flt.Counts(); c.NVMSpikes != 1 || c.NVMWriteFails != 0 {
+		t.Fatalf("counts: %s", c)
+	}
+}
+
+// Two memories compiled from the same spec replay identical fault timing.
+func TestFaultedWritesDeterministic(t *testing.T) {
+	spec := faultplan.Spec{
+		Seed:       7,
+		NVM:        faultplan.NVMSpec{WriteFailPct: 0.4, SpikePct: 0.3, SpikeFactor: 2},
+		Resilience: faultplan.Resilience{NVMBackoff: 8},
+	}
+	run := func() ([]sim.Time, faultplan.Counts) {
+		e, m := newMem(cfg2())
+		m.AttachFaults(faultplan.New(spec))
+		var finishes []sim.Time
+		for i := 0; i < 40; i++ {
+			finishes = append(finishes, m.Write(mem.Line(i), mem.Version{Seq: uint64(i + 1)}, nil))
+		}
+		e.Run()
+		return finishes, m.flt.Counts()
+	}
+	f1, c1 := run()
+	f2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts diverged: %s vs %s", c1, c2)
+	}
+	if c1.NVMWriteFails == 0 && c1.NVMSpikes == 0 {
+		t.Fatal("schedule injected nothing; test is vacuous")
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("write %d finish diverged: %d vs %d", i, f1[i], f2[i])
+		}
+	}
+}

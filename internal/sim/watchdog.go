@@ -1,0 +1,102 @@
+package sim
+
+// Watchdog detects quiescence-without-progress: a simulation that still has
+// outstanding work (stuck cores, undrained groups) but whose event chains
+// have died out — a lost persist that will never complete, a dropped
+// message that will never be retransmitted. Without it such a run simply
+// returns from Engine.Run with the machine silently wedged (or, worse, the
+// caller spins forever waiting on a callback); with it the run fails fast
+// with a diagnostic.
+//
+// The progress heuristic is event throughput: the watchdog schedules a
+// check every horizon cycles and compares Engine.Executed against the
+// previous check. If only the check itself ran in a whole horizon while the
+// outstanding predicate still holds, forward progress has stopped and the
+// stall callback fires. Bounded retry/backoff chains (hundreds to a few
+// thousand cycles) are far shorter than any sane horizon, so legitimate
+// recovery in progress never trips it.
+//
+// The watchdog stops rescheduling itself as soon as the outstanding
+// predicate clears or a stall is declared, so it never keeps the event
+// queue artificially alive past the end of a run.
+type Watchdog struct {
+	engine  *Engine
+	horizon Time
+	// outstanding reports whether the simulation still has work to finish.
+	outstanding func() bool
+	// onStall fires (once) when a horizon passes without progress.
+	onStall func(StallDiag)
+
+	lastExec uint64
+	tripped  bool
+	// pending is the queued check event; armed tracks whether one exists so
+	// Disarm can cancel it (a far-future check left in the heap would
+	// otherwise advance the clock past the end of real work).
+	pending EventID
+	armed   bool
+}
+
+// StallDiag is the watchdog's view of the stall instant.
+type StallDiag struct {
+	// Now is the cycle of the failing check; Horizon the progress window.
+	Now     Time
+	Horizon Time
+	// Pending counts events still queued (excluding the check itself).
+	Pending int
+	// Executed is the engine's total dispatched-event count at the stall.
+	Executed uint64
+}
+
+// NewWatchdog creates a watchdog on the engine. It is inert until Arm.
+func NewWatchdog(engine *Engine, horizon Time, outstanding func() bool, onStall func(StallDiag)) *Watchdog {
+	if horizon == 0 {
+		horizon = 1
+	}
+	return &Watchdog{engine: engine, horizon: horizon, outstanding: outstanding, onStall: onStall}
+}
+
+// Arm starts (or restarts) the check cycle from the current cycle.
+func (w *Watchdog) Arm() {
+	w.Disarm()
+	w.lastExec = w.engine.Executed
+	w.pending = w.engine.Schedule(w.horizon, w.check)
+	w.armed = true
+}
+
+// Disarm cancels the pending check. Call it the moment the outstanding work
+// completes, so the queued far-future check does not advance the clock.
+func (w *Watchdog) Disarm() {
+	if w.armed {
+		w.engine.Cancel(w.pending)
+		w.armed = false
+	}
+}
+
+// Tripped reports whether the watchdog declared a stall.
+func (w *Watchdog) Tripped() bool { return w.tripped }
+
+func (w *Watchdog) check() {
+	w.armed = false
+	if w.tripped || !w.outstanding() {
+		// Run complete (or already failed): let the queue drain naturally.
+		return
+	}
+	delta := w.engine.Executed - w.lastExec
+	w.lastExec = w.engine.Executed
+	if delta <= 1 {
+		// Nothing but this check ran in a whole horizon: the machine is
+		// wedged with work outstanding.
+		w.tripped = true
+		if w.onStall != nil {
+			w.onStall(StallDiag{
+				Now:      w.engine.Now(),
+				Horizon:  w.horizon,
+				Pending:  w.engine.Pending(),
+				Executed: w.engine.Executed,
+			})
+		}
+		return
+	}
+	w.pending = w.engine.Schedule(w.horizon, w.check)
+	w.armed = true
+}

@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+func TestWatchdogTripsOnStall(t *testing.T) {
+	e := NewEngine()
+	var diag StallDiag
+	tripped := false
+	w := NewWatchdog(e, 100, func() bool { return true }, func(d StallDiag) {
+		tripped = true
+		diag = d
+	})
+	// One lonely far-future event keeps the queue non-empty but makes no
+	// progress within the first horizon.
+	e.At(10_000, func() {})
+	w.Arm()
+	e.Run()
+	if !tripped || !w.Tripped() {
+		t.Fatal("watchdog must trip when outstanding work makes no progress")
+	}
+	if diag.Now != 100 || diag.Horizon != 100 {
+		t.Fatalf("diag = %+v, want trip at first check (cycle 100)", diag)
+	}
+	if diag.Pending != 1 {
+		t.Fatalf("diag.Pending = %d, want 1 (the far-future event)", diag.Pending)
+	}
+}
+
+func TestWatchdogNoTripWithProgress(t *testing.T) {
+	e := NewEngine()
+	done := false
+	w := NewWatchdog(e, 100, func() bool { return !done }, func(StallDiag) {
+		t.Fatal("watchdog tripped despite progress")
+	})
+	// A busy chain of events: >1 executed per horizon until it finishes.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 50 {
+			e.Schedule(10, tick)
+		} else {
+			done = true
+			w.Disarm()
+		}
+	}
+	e.Schedule(0, tick)
+	w.Arm()
+	end := e.Run()
+	if w.Tripped() {
+		t.Fatal("tripped")
+	}
+	// The final Disarm cancels the pending check, so the clock stops at the
+	// last real event, not at a trailing check.
+	if want := Time(49 * 10); end != want {
+		t.Fatalf("run ended at %d, want %d (no trailing watchdog event)", end, want)
+	}
+}
+
+func TestWatchdogStopsWhenWorkClears(t *testing.T) {
+	e := NewEngine()
+	outstanding := true
+	w := NewWatchdog(e, 100, func() bool { return outstanding }, func(StallDiag) {
+		t.Fatal("tripped after work cleared")
+	})
+	// Progress during the first horizon, then work completes; the second
+	// check sees !outstanding and stops rescheduling.
+	e.Schedule(10, func() {})
+	e.Schedule(50, func() { outstanding = false })
+	w.Arm()
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("%d events left queued", e.Pending())
+	}
+}
+
+func TestWatchdogDisarmCancelsPendingCheck(t *testing.T) {
+	e := NewEngine()
+	w := NewWatchdog(e, 1_000, func() bool { return true }, nil)
+	w.Arm()
+	if e.Pending() != 1 {
+		t.Fatalf("Arm queued %d events, want 1", e.Pending())
+	}
+	w.Disarm()
+	w.Disarm() // idempotent
+	if e.Pending() != 0 {
+		t.Fatal("Disarm must cancel the queued check")
+	}
+	e.Schedule(5, func() {})
+	if end := e.Run(); end != 5 {
+		t.Fatalf("clock advanced to %d after disarm, want 5", end)
+	}
+}
+
+func TestWatchdogRearm(t *testing.T) {
+	e := NewEngine()
+	trips := 0
+	w := NewWatchdog(e, 100, func() bool { return true }, func(StallDiag) { trips++ })
+	w.Arm()
+	w.Arm() // re-arm replaces the pending check instead of stacking a second
+	if e.Pending() != 1 {
+		t.Fatalf("double Arm queued %d checks, want 1", e.Pending())
+	}
+	e.Run()
+	if trips != 1 {
+		t.Fatalf("trips = %d, want 1", trips)
+	}
+	// A tripped watchdog stays quiet when re-armed work appears again.
+	e.At(e.Now()+10, func() {})
+	w.Arm()
+	e.Run()
+	if trips != 1 {
+		t.Fatalf("tripped watchdog fired again: trips = %d", trips)
+	}
+}
