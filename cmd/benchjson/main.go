@@ -6,6 +6,13 @@
 //
 //	go test -bench . -benchmem ./... | benchjson -o results/bench.json
 //
+// With -baseline, it additionally compares the fresh measurements against a
+// previously committed document and exits non-zero when any benchmark
+// present in both regressed in wall-clock by more than -tolerance
+// (fractional, default 0.10): the CI bench-regression gate.
+//
+//	go test -bench . -benchmem ./... | benchjson -baseline results/bench.json -o new.json
+//
 // Lines that are not benchmark results (package headers, PASS/ok, test
 // logs) are ignored. When a benchmark appears more than once (e.g. from
 // -count), the minimum ns/op wins.
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,6 +40,8 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression vs the baseline")
 	flag.Parse()
 
 	results, err := parse(os.Stdin)
@@ -61,6 +71,58 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+
+	if *baseline != "" {
+		regressed, err := gate(os.Stderr, results, *baseline, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+// gate compares fresh results against the baseline document and reports
+// every benchmark whose ns/op regressed beyond the tolerance. Benchmarks
+// only present on one side are informational: renames and additions must
+// not fail the gate.
+func gate(w io.Writer, results map[string]Result, path string, tolerance float64) (regressed bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("benchjson: baseline: %w", err)
+	}
+	var base map[string]Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("benchjson: baseline %s: %w", path, err)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared, missing := 0, 0
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok || b.NsPerOp <= 0 {
+			missing++
+			continue
+		}
+		compared++
+		ratio := results[name].NsPerOp / b.NsPerOp
+		if ratio > 1+tolerance {
+			regressed = true
+			fmt.Fprintf(w, "REGRESSION %s: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.0f%%)\n",
+				name, results[name].NsPerOp, b.NsPerOp, (ratio-1)*100, tolerance*100)
+		}
+	}
+	fmt.Fprintf(w, "benchjson: gate compared %d benchmarks against %s (%d new/unmatched)\n",
+		compared, path, missing)
+	if compared == 0 {
+		return false, fmt.Errorf("benchjson: gate matched no benchmarks in %s", path)
+	}
+	return regressed, nil
 }
 
 // parse extracts benchmark result lines. The format is:

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkFigure11/radix/tsoper-8         	       3	  11348619 ns/op	         1.05 norm_exec	 4213312 B/op	   68513 allocs/op
+BenchmarkSchedulerOnly/wheel/uniform     	 1000000	       102.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	2.1s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(results), results)
+	}
+	r := results["BenchmarkFigure11/radix/tsoper"]
+	if r.NsPerOp != 11348619 || r.AllocsPerOp != 68513 || r.Iterations != 3 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+	s := results["BenchmarkSchedulerOnly/wheel/uniform"]
+	if s.NsPerOp != 102 || s.AllocsPerOp != 0 {
+		t.Fatalf("bad parse: %+v", s)
+	}
+}
+
+func writeBaseline(t *testing.T, base map[string]Result) string {
+	t.Helper()
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGate(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 1000},
+	}
+	path := writeBaseline(t, base)
+
+	cases := []struct {
+		name      string
+		results   map[string]Result
+		regressed bool
+	}{
+		{"within tolerance", map[string]Result{"BenchmarkA": {NsPerOp: 1090}}, false},
+		{"faster is fine", map[string]Result{"BenchmarkA": {NsPerOp: 400}}, false},
+		{"regression caught", map[string]Result{"BenchmarkA": {NsPerOp: 1200}}, true},
+		{"new benchmarks ignored", map[string]Result{
+			"BenchmarkA": {NsPerOp: 1000}, "BenchmarkNew": {NsPerOp: 99999}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			regressed, err := gate(&buf, tc.results, path, 0.10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if regressed != tc.regressed {
+				t.Fatalf("regressed = %v, want %v\n%s", regressed, tc.regressed, buf.String())
+			}
+		})
+	}
+}
+
+func TestGateNoOverlapFails(t *testing.T) {
+	path := writeBaseline(t, map[string]Result{"BenchmarkA": {NsPerOp: 1000}})
+	var buf bytes.Buffer
+	if _, err := gate(&buf, map[string]Result{"BenchmarkZ": {NsPerOp: 1}}, path, 0.10); err == nil {
+		t.Fatal("gate with zero matched benchmarks should error")
+	}
+}

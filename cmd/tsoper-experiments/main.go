@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -34,9 +35,15 @@ func main() {
 	serial := flag.Bool("serial", false, "disable parallel simulation")
 	workers := flag.Int("workers", 0, "simulation worker count (0 = auto: GOMAXPROCS, or 1 with -serial)")
 	artifacts := flag.String("artifacts", "", "also write each experiment's output to this directory")
+	scheduler := flag.String("scheduler", "wheel", "event-queue implementation: wheel or heap")
 	flag.Parse()
 
-	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial, Workers: *workers}
+	sched, err := sim.ParseSchedulerKind(*scheduler)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial, Workers: *workers, Scheduler: sched}
 	if *benches != "" {
 		o.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -39,7 +39,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Perfetto timeline trace (JSON) to this file")
 	metricsOut := flag.String("metrics-out", "", "write the unified metrics snapshot (JSON) to this file")
 	metricsDiff := flag.Bool("metrics-diff", false, "diff two metrics snapshots given as positional args, then exit")
+	schedFlag := flag.String("scheduler", "wheel", "event scheduler: wheel or heap (reference)")
 	flag.Parse()
+
+	sched, err := tsoper.ParseScheduler(*schedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *metricsDiff {
 		if flag.NArg() != 2 {
@@ -98,9 +105,8 @@ func main() {
 	}
 
 	var r *tsoper.Results
-	var err error
 	if *loadTrace != "" {
-		r, err = runSavedTrace(*loadTrace, kind, cfgOverride)
+		r, err = runSavedTrace(*loadTrace, kind, sched, cfgOverride)
 	} else {
 		if *saveTrace != "" {
 			if err := saveWorkload(p, *scale, *seed, *saveTrace); err != nil {
@@ -108,7 +114,8 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		r, err = tsoper.Run(p, kind, tsoper.RunOptions{Scale: *scale, Seed: *seed, Config: cfgOverride})
+		r, err = tsoper.Run(p, kind, tsoper.RunOptions{
+			Scale: *scale, Seed: *seed, Scheduler: sched, Config: cfgOverride})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -161,7 +168,7 @@ func saveWorkload(p tsoper.Profile, scale float64, seed int64, path string) erro
 }
 
 // runSavedTrace replays a stored workload under the chosen system.
-func runSavedTrace(path string, kind tsoper.System, override *tsoper.Config) (*tsoper.Results, error) {
+func runSavedTrace(path string, kind tsoper.System, sched tsoper.Scheduler, override *tsoper.Config) (*tsoper.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -176,6 +183,9 @@ func runSavedTrace(path string, kind tsoper.System, override *tsoper.Config) (*t
 		cfg = *override
 	}
 	cfg.Cores = len(w.Cores)
+	if sched != tsoper.SchedulerWheel {
+		cfg.Scheduler = sched
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err

@@ -115,6 +115,74 @@ type Buffer struct {
 	flt       *faultplan.Plan
 	offline   []bool
 	outageEvs []sim.EventID
+
+	// lvPool recycles the per-group sorted-line slices. A pool (not a single
+	// scratch) because a zero-latency write callback can reenter
+	// retire→tryAllocate→allocate while an egress iteration is live.
+	lvPool [][]lineVer
+
+	// freeOps recycles per-line transfer continuations (ingress completions
+	// and NVM write callbacks), so steady-state draining schedules no
+	// per-line closures.
+	freeOps *lineOp
+}
+
+// lineOp is one line's in-flight transfer continuation. The two bound funcs
+// are created once per record and reused; records recycle on a free list.
+type lineOp struct {
+	b    *Buffer
+	rec  *groupRec
+	line mem.Line
+	ver  mem.Version
+	inFn func()
+	egFn func()
+	next *lineOp
+}
+
+func (b *Buffer) newLineOp(rec *groupRec, l mem.Line, v mem.Version) *lineOp {
+	op := b.freeOps
+	if op != nil {
+		b.freeOps = op.next
+	} else {
+		op = &lineOp{b: b}
+		op.inFn = op.ingressDone
+		op.egFn = op.egressDone
+	}
+	op.rec, op.line, op.ver = rec, l, v
+	return op
+}
+
+// release returns the record to the free list. It runs before the completion
+// body: the callbacks below may start further transfers, and those may reuse
+// this record.
+func (op *lineOp) release() (b *Buffer, rec *groupRec, l mem.Line, v mem.Version) {
+	b, rec, l, v = op.b, op.rec, op.line, op.ver
+	op.rec = nil
+	op.next = b.freeOps
+	b.freeOps = op
+	return
+}
+
+func (op *lineOp) ingressDone() {
+	b, rec, line, ver := op.release()
+	b.contents[line] = append(b.contents[line], ver)
+	if rec.req.OnLineBuffered != nil {
+		rec.req.OnLineBuffered(line)
+	}
+	rec.buffered++
+	if rec.buffered == rec.size {
+		rec.complete = true
+		b.advanceFrontier()
+	}
+}
+
+func (op *lineOp) egressDone() {
+	b, rec, line, ver := op.release()
+	b.dropContent(line, ver)
+	rec.written++
+	if rec.written == rec.size {
+		b.retire(rec)
+	}
 }
 
 // agbTel renders the buffer on the timeline: an occupancy counter track
@@ -368,11 +436,13 @@ func (b *Buffer) allocate(rec *groupRec) {
 	}
 	if b.flt != nil && rec.place != nil {
 		now := uint64(b.engine.Now())
-		for _, lv := range sortedLines(rec.req.Lines) {
+		lvs := b.sortedLines(rec.req.Lines)
+		for _, lv := range lvs {
 			if s, ok := rec.place[lv.line]; ok {
 				b.flt.AGBRedirect(now, uint64(lv.line), b.sliceOf(lv.line), s)
 			}
 		}
+		b.putLines(lvs)
 	}
 
 	allocDelay := sim.Time(0)
@@ -395,8 +465,8 @@ func (b *Buffer) ingress(rec *groupRec) {
 		b.advanceFrontier()
 		return
 	}
-	for _, lv := range sortedLines(rec.req.Lines) {
-		lv := lv
+	lvs := b.sortedLines(rec.req.Lines)
+	for _, lv := range lvs {
 		s := b.placeOf(rec, lv.line)
 		if b.flt != nil {
 			if d := b.flt.AGBStall(uint64(b.engine.Now()), s); d > 0 {
@@ -406,18 +476,9 @@ func (b *Buffer) ingress(rec *groupRec) {
 			}
 		}
 		start := b.ports.Claim(s, b.engine.Now(), b.cfg.TransferLatency)
-		b.engine.At(start+b.cfg.TransferLatency, func() {
-			b.contents[lv.line] = append(b.contents[lv.line], lv.ver)
-			if rec.req.OnLineBuffered != nil {
-				rec.req.OnLineBuffered(lv.line)
-			}
-			rec.buffered++
-			if rec.buffered == rec.size {
-				rec.complete = true
-				b.advanceFrontier()
-			}
-		})
+		b.engine.At(start+b.cfg.TransferLatency, b.newLineOp(rec, lv.line, lv.ver).inFn)
 	}
+	b.putLines(lvs)
 }
 
 // advanceFrontier marks consecutive complete groups at the head durable —
@@ -448,16 +509,11 @@ func (b *Buffer) egress(rec *groupRec) {
 		b.retire(rec)
 		return
 	}
-	for _, lv := range sortedLines(rec.req.Lines) {
-		lv := lv
-		b.mem.Write(lv.line, lv.ver, func() {
-			b.dropContent(lv.line, lv.ver)
-			rec.written++
-			if rec.written == rec.size {
-				b.retire(rec)
-			}
-		})
+	lvs := b.sortedLines(rec.req.Lines)
+	for _, lv := range lvs {
+		b.mem.Write(lv.line, lv.ver, b.newLineOp(rec, lv.line, lv.ver).egFn)
 	}
+	b.putLines(lvs)
 }
 
 // retire reclaims space. Space frees in FIFO order (circular buffer): a
@@ -541,12 +597,32 @@ type lineVer struct {
 }
 
 // sortedLines orders a group's lines by address so event scheduling is
-// deterministic run to run.
-func sortedLines(m map[mem.Line]mem.Version) []lineVer {
-	out := make([]lineVer, 0, len(m))
+// deterministic run to run. The slice comes from the buffer's pool; return
+// it with putLines when the iteration is done.
+func (b *Buffer) sortedLines(m map[mem.Line]mem.Version) []lineVer {
+	var out []lineVer
+	if n := len(b.lvPool); n > 0 {
+		out = b.lvPool[n-1][:0]
+		b.lvPool = b.lvPool[:n-1]
+	}
 	for l, v := range m {
 		out = append(out, lineVer{l, v})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	// Insertion sort: groups hold at most AGLimit (~80) lines, and
+	// sort.Slice's reflection allocates on every call. Huge groups (BSP
+	// epochs through an idealized AGB) still take the O(n log n) path.
+	if len(out) > 128 {
+		sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+		return out
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].line < out[j-1].line; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
+}
+
+func (b *Buffer) putLines(s []lineVer) {
+	b.lvPool = append(b.lvPool, s)
 }

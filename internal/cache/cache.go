@@ -28,7 +28,10 @@ func (g Geometry) Sets() int {
 	return lines / g.Ways
 }
 
-// Entry is one resident line with its payload.
+// Entry is one resident line with its payload. Entries are recycled on a
+// per-cache free list: a removed entry keeps its Line and Data readable until
+// the next Insert on the same cache reuses it, so callers may inspect a
+// victim synchronously but must not retain the pointer across inserts.
 type Entry[T any] struct {
 	Line mem.Line
 	Data T
@@ -37,6 +40,8 @@ type Entry[T any] struct {
 	// pinned entries are never chosen as victims (e.g. lines whose atomic
 	// group is mid-persist).
 	pinned bool
+	// nextFree chains the cache's free list while the entry is not resident.
+	nextFree *Entry[T]
 }
 
 // Pin prevents the entry from being selected as an eviction victim.
@@ -54,6 +59,8 @@ type Cache[T any] struct {
 	sets  [][]*Entry[T]
 	index map[mem.Line]*Entry[T]
 	tick  uint64
+	free  *Entry[T]
+	slab  []Entry[T]
 
 	// Hits and Misses count Lookup outcomes.
 	Hits, Misses uint64
@@ -61,10 +68,23 @@ type Cache[T any] struct {
 
 // New creates an empty cache with the given geometry.
 func New[T any](geom Geometry) *Cache[T] {
+	// The index hint is capped: workloads rarely fill a large array, and a
+	// full-capacity map is megabytes of mostly-idle buckets per machine —
+	// past the cap, the map grows the usual doubling way (a few allocations).
+	hint := geom.SizeBytes / mem.LineSize
+	if hint > 2048 {
+		hint = 2048
+	}
 	c := &Cache[T]{
 		geom:  geom,
 		sets:  make([][]*Entry[T], geom.Sets()),
-		index: make(map[mem.Line]*Entry[T]),
+		index: make(map[mem.Line]*Entry[T], hint),
+	}
+	// One backing array holds every set at full associativity, so Insert's
+	// per-set appends never grow storage.
+	backing := make([]*Entry[T], len(c.sets)*geom.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*geom.Ways : i*geom.Ways : (i+1)*geom.Ways]
 	}
 	return c
 }
@@ -104,15 +124,32 @@ func (c *Cache[T]) Insert(l mem.Line, data T) (entry, victim *Entry[T]) {
 	}
 	si := c.setOf(l)
 	set := c.sets[si]
+	// Pop the free list before evicting: this Insert's own victim then lands
+	// on the free list untouched, so the caller can still read it after we
+	// return (it is only recycled by a later Insert).
+	e := c.free
+	if e != nil {
+		c.free = e.nextFree
+		e.nextFree = nil
+		e.pinned = false
+	} else {
+		if len(c.slab) == 0 {
+			c.slab = make([]Entry[T], 64)
+		}
+		e = &c.slab[0]
+		c.slab = c.slab[1:]
+	}
 	if len(set) >= c.geom.Ways {
 		victim = c.lruVictim(set)
 		if victim == nil {
+			e.nextFree = c.free
+			c.free = e
 			return nil, nil // all pinned
 		}
 		c.removeEntry(si, victim)
 	}
 	c.tick++
-	e := &Entry[T]{Line: l, Data: data, lru: c.tick}
+	e.Line, e.Data, e.lru = l, data, c.tick
 	c.sets[si] = append(c.sets[si], e)
 	c.index[l] = e
 	return e, victim
@@ -169,6 +206,9 @@ func (c *Cache[T]) removeEntry(si int, e *Entry[T]) {
 		}
 	}
 	delete(c.index, e.Line)
+	// Line and Data stay readable until a later Insert recycles the record.
+	e.nextFree = c.free
+	c.free = e
 }
 
 // Len returns the number of resident lines.

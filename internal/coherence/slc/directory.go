@@ -22,6 +22,12 @@ type Directory struct {
 
 	// tel is nil unless Instrument attached a telemetry bus.
 	tel *dirTel
+
+	// listSlab and nodeSlab amortize per-line/per-sharer allocations: lists
+	// and nodes are carved from chunks (never recycled — removed nodes may
+	// still be referenced by in-flight transactions, so addresses stay live).
+	listSlab []List
+	nodeSlab []Node
 }
 
 // dirTel renders protocol activity on the timeline: persist-token hand-offs
@@ -64,11 +70,27 @@ func NewDirectory(set *stats.Set) *Directory {
 func (d *Directory) List(l mem.Line) *List {
 	lst, ok := d.lists[l]
 	if !ok {
-		lst = NewList(l)
+		if len(d.listSlab) == 0 {
+			d.listSlab = make([]List, 128)
+		}
+		lst = &d.listSlab[0]
+		d.listSlab = d.listSlab[1:]
+		lst.Line = l
 		lst.tel = d.tel
+		lst.dir = d
 		d.lists[l] = lst
 	}
 	return lst
+}
+
+// newNode carves a zeroed Node from the slab.
+func (d *Directory) newNode() *Node {
+	if len(d.nodeSlab) == 0 {
+		d.nodeSlab = make([]Node, 256)
+	}
+	n := &d.nodeSlab[0]
+	d.nodeSlab = d.nodeSlab[1:]
+	return n
 }
 
 // Peek returns the list if it exists, without creating it.
@@ -81,7 +103,7 @@ func (d *Directory) Sample(l mem.Line) {
 	if lst == nil || lst.Len() == 0 {
 		return
 	}
-	co, pe := uint64(len(lst.ValidNodes())), uint64(lst.Len())
+	co, pe := uint64(lst.ValidLen()), uint64(lst.Len())
 	d.coherenceLen.Observe(co)
 	d.persistLen.Observe(pe)
 	if d.tel != nil {

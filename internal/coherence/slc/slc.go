@@ -82,17 +82,16 @@ type List struct {
 	head, tail *Node
 	size       int
 
-	// byCache enforces one node per cache.
-	byCache map[int]*Node
-
 	// tel is inherited from the owning Directory (nil when uninstrumented
 	// or when the list was built standalone, e.g. in unit tests).
 	tel *dirTel
+	// dir is the owning Directory's node slab (nil for standalone lists).
+	dir *Directory
 }
 
 // NewList creates an empty sharing list for a line.
 func NewList(line mem.Line) *List {
-	return &List{Line: line, byCache: make(map[int]*Node)}
+	return &List{Line: line}
 }
 
 // Len returns the number of linked nodes (all versions, valid and invalid).
@@ -104,8 +103,16 @@ func (l *List) Head() *Node { return l.head }
 // Tail returns the oldest node (nil if empty).
 func (l *List) Tail() *Node { return l.tail }
 
-// NodeOf returns cache's node, or nil.
-func (l *List) NodeOf(cache int) *Node { return l.byCache[cache] }
+// NodeOf returns cache's node, or nil. Lists are short (a handful of
+// sharers plus pending versions), so a scan beats a per-list map.
+func (l *List) NodeOf(cache int) *Node {
+	for n := l.head; n != nil; n = n.next {
+		if n.Cache == cache {
+			return n
+		}
+	}
+	return nil
+}
 
 // Update reports the side effects of a list mutation: Removed nodes have
 // been unlinked (their cache frames and dependency holds are released);
@@ -122,10 +129,16 @@ type Update struct {
 // doubly-linked sharing list"). It panics if the cache already has a node;
 // callers must handle the local-upgrade / pending-persist cases first.
 func (l *List) AddHead(cache int, valid, dirty bool, version mem.Version, agID uint64) *Node {
-	if _, ok := l.byCache[cache]; ok {
+	if l.NodeOf(cache) != nil {
 		panic(fmt.Sprintf("slc: cache %d already on list for %v", cache, l.Line))
 	}
-	n := &Node{Cache: cache, Line: l.Line, Valid: valid, Dirty: dirty, Version: version, AGID: agID}
+	var n *Node
+	if l.dir != nil {
+		n = l.dir.newNode()
+	} else {
+		n = &Node{}
+	}
+	n.Cache, n.Line, n.Valid, n.Dirty, n.Version, n.AGID = cache, l.Line, valid, dirty, version, agID
 	l.linkHead(n)
 	return n
 }
@@ -142,7 +155,6 @@ func (l *List) linkHead(n *Node) {
 		l.tail = n
 	}
 	l.size++
-	l.byCache[n.Cache] = n
 }
 
 // Invalidate marks a node invalid without unlinking it (principle 1) and
@@ -273,7 +285,6 @@ func (l *List) unlink(n *Node) {
 	}
 	n.prev, n.next, n.list = nil, nil, nil
 	l.size--
-	delete(l.byCache, n.Cache)
 }
 
 // ValidNodes returns the valid copies (always a contiguous run at the head).
@@ -283,6 +294,24 @@ func (l *List) ValidNodes() []*Node {
 		out = append(out, n)
 	}
 	return out
+}
+
+// ValidInto appends the valid prefix to buf (a caller-owned scratch slice)
+// and returns it — ValidNodes without the allocation.
+func (l *List) ValidInto(buf []*Node) []*Node {
+	for n := l.head; n != nil && n.Valid; n = n.next {
+		buf = append(buf, n)
+	}
+	return buf
+}
+
+// ValidLen counts the valid prefix without materializing it.
+func (l *List) ValidLen() int {
+	c := 0
+	for n := l.head; n != nil && n.Valid; n = n.next {
+		c++
+	}
+	return c
 }
 
 // DirtyNewest returns the newest dirty node (the unpersisted producer of

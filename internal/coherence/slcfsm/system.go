@@ -126,6 +126,28 @@ type System struct {
 
 	// tel is nil unless Instrument attached a telemetry bus.
 	tel *fsmTel
+
+	// freeEnvs recycles in-flight message envelopes so sends schedule no
+	// per-message closures.
+	freeEnvs *msgEnv
+}
+
+// msgEnv carries one in-flight message across the mesh. The bound deliver
+// func is created once per envelope; envelopes recycle on a free list.
+type msgEnv struct {
+	s    *System
+	m    Msg
+	fn   func()
+	next *msgEnv
+}
+
+// deliver releases the envelope before handling: the handler may send more
+// messages, and those may reuse this envelope.
+func (e *msgEnv) deliver() {
+	s, m := e.s, e.m
+	e.next = s.freeEnvs
+	s.freeEnvs = e
+	s.deliver(m)
 }
 
 // fsmTel renders protocol traffic at message granularity: one timeline row
@@ -207,7 +229,15 @@ func (s *System) send(m Msg) {
 		s.tel.bus.Instant(s.tel.track(m.Src), m.Kind.String(),
 			telemetry.Ticks(s.engine.Now()), uint64(m.Line), uint64(s.nodeOf(m.Dst)))
 	}
-	s.net.Send(s.nodeOf(m.Src), s.nodeOf(m.Dst), func() { s.deliver(m) })
+	env := s.freeEnvs
+	if env != nil {
+		s.freeEnvs = env.next
+	} else {
+		env = &msgEnv{s: s}
+		env.fn = env.deliver
+	}
+	env.m = m
+	s.net.Send(s.nodeOf(m.Src), s.nodeOf(m.Dst), env.fn)
 }
 
 func (s *System) deliver(m Msg) {

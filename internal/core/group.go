@@ -185,6 +185,16 @@ func (g *Group) DirtyLines() map[mem.Line]mem.Version {
 	return out
 }
 
+// DirtyView returns the group's dirty-line map without copying. It panics on
+// an open group: membership is only stable once frozen, and callers must
+// treat the returned map as read-only.
+func (g *Group) DirtyView() map[mem.Line]mem.Version {
+	if g.state == Open {
+		panic(fmt.Sprintf("core: dirty view of open %v", g))
+	}
+	return g.dirty
+}
+
 // Deps returns the incoming persist-before dependencies.
 func (g *Group) Deps() []*Group {
 	out := make([]*Group, 0, len(g.deps))

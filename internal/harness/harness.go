@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/machine"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -30,6 +31,8 @@ type Options struct {
 	// Workers caps the simulation worker count when positive; it overrides
 	// Parallel (Workers 1 forces serial, Workers n runs n-wide).
 	Workers int
+	// Scheduler selects the engine's event queue (default the timing wheel).
+	Scheduler sim.SchedulerKind
 }
 
 // DefaultOptions returns full-scale, deterministic, parallel options.
@@ -66,6 +69,9 @@ func RunOne(bench trace.Profile, kind machine.SystemKind, o Options) *machine.Re
 
 // RunConfig simulates one benchmark under an explicit configuration.
 func RunConfig(bench trace.Profile, cfg machine.Config, o Options) *machine.Results {
+	if o.Scheduler != sim.SchedulerWheel {
+		cfg.Scheduler = o.Scheduler
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))

@@ -97,6 +97,9 @@ type Config struct {
 	System SystemKind
 	// Coherence selects the protocol timing (default SLC).
 	Coherence CoherenceKind
+	// Scheduler selects the engine's event-queue implementation (default
+	// the timing wheel; the heap is the differential-testing reference).
+	Scheduler sim.SchedulerKind
 
 	// Cores is the number of cores/private caches (Table I: 8).
 	Cores int

@@ -28,6 +28,18 @@ type coreUnit struct {
 
 	storeSeq uint64
 	done     bool
+
+	// Bound continuations, created once: an in-order core has at most one
+	// outstanding load, one draining store, and one pending sync, so the hot
+	// paths reuse these instead of allocating a closure per operation.
+	stepFn      func()
+	loadDoneFn  func()
+	drainDoneFn func()
+	syncDoneFn  func()
+
+	// rd and wr are the core's pooled coherence transactions (txn.go).
+	rd *readTxn
+	wr *writeTxn
 }
 
 type pendingStore struct {
@@ -37,7 +49,29 @@ type pendingStore struct {
 }
 
 func newCoreUnit(m *Machine, id int, ops []mem.Op) *coreUnit {
-	return &coreUnit{m: m, id: id, ops: ops}
+	c := &coreUnit{m: m, id: id, ops: ops,
+		sb: make([]pendingStore, 0, m.cfg.StoreBufferEntries)}
+	c.stepFn = c.step
+	c.loadDoneFn = func() {
+		c.pc++
+		c.m.engine.Schedule(1, c.stepFn)
+	}
+	c.drainDoneFn = func() {
+		c.sb = c.sb[:copy(c.sb, c.sb[1:])]
+		c.draining = false
+		if c.sbWait {
+			c.sbWait = false
+			c.m.engine.Schedule(0, c.stepFn)
+		}
+		c.kickDrain()
+	}
+	c.syncDoneFn = func() {
+		c.pc++
+		c.m.engine.Schedule(c.m.cfg.SyncLatency, c.stepFn)
+	}
+	c.rd = newReadTxn(m, c)
+	c.wr = newWriteTxn(m, c)
+	return c
 }
 
 // step executes trace operations until the core blocks or finishes.
@@ -61,7 +95,7 @@ func (c *coreUnit) step() {
 	switch op.Kind {
 	case mem.OpCompute:
 		c.pc++
-		c.m.engine.Schedule(sim.Time(op.Arg), c.step)
+		c.m.engine.Schedule(sim.Time(op.Arg), c.stepFn)
 
 	case mem.OpLoad:
 		line := mem.LineOf(op.Addr)
@@ -69,13 +103,10 @@ func (c *coreUnit) step() {
 		// TSO store-to-load forwarding from the store buffer.
 		if c.sbHolds(line) {
 			c.pc++
-			c.m.engine.Schedule(1, c.step)
+			c.m.engine.Schedule(1, c.stepFn)
 			return
 		}
-		c.m.load(c, line, func() {
-			c.pc++
-			c.m.engine.Schedule(1, c.step)
-		})
+		c.m.load(c, line, c.loadDoneFn)
 
 	case mem.OpStore:
 		if len(c.sb) >= c.m.cfg.StoreBufferEntries {
@@ -91,7 +122,7 @@ func (c *coreUnit) step() {
 		c.m.stores.Inc()
 		c.pc++
 		c.kickDrain()
-		c.m.engine.Schedule(1, c.step)
+		c.m.engine.Schedule(1, c.stepFn)
 
 	case mem.OpMarker:
 		if len(c.sb) >= c.m.cfg.StoreBufferEntries {
@@ -102,7 +133,7 @@ func (c *coreUnit) step() {
 		c.sb = append(c.sb, pendingStore{marker: true})
 		c.pc++
 		c.kickDrain()
-		c.m.engine.Schedule(1, c.step)
+		c.m.engine.Schedule(1, c.stepFn)
 
 	case mem.OpSync:
 		c.m.syncs.Inc()
@@ -138,24 +169,16 @@ func (c *coreUnit) kickDrain() {
 		// A marker store reaches the cache in program order and closes
 		// the current atomic group (§II-D); it writes nothing.
 		c.m.sys.marker(c)
-		c.sb = c.sb[1:]
+		c.sb = c.sb[:copy(c.sb, c.sb[1:])]
 		c.draining = false
 		if c.sbWait {
 			c.sbWait = false
-			c.m.engine.Schedule(0, c.step)
+			c.m.engine.Schedule(0, c.stepFn)
 		}
 		c.kickDrain()
 		return
 	}
-	c.m.store(c, st.line, st.ver, func() {
-		c.sb = c.sb[1:]
-		c.draining = false
-		if c.sbWait {
-			c.sbWait = false
-			c.m.engine.Schedule(0, c.step)
-		}
-		c.kickDrain()
-	})
+	c.m.store(c, st.line, st.ver, c.drainDoneFn)
 }
 
 // trySyncComplete finishes a pending sync once the store buffer is empty.
@@ -166,11 +189,8 @@ func (c *coreUnit) trySyncComplete() {
 	c.syncWait = false
 	if c.pc >= len(c.ops) {
 		// End-of-trace drain completed.
-		c.m.engine.Schedule(0, c.step)
+		c.m.engine.Schedule(0, c.stepFn)
 		return
 	}
-	c.m.sys.sync(c, func() {
-		c.pc++
-		c.m.engine.Schedule(c.m.cfg.SyncLatency, c.step)
-	})
+	c.m.sys.sync(c, c.syncDoneFn)
 }

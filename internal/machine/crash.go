@@ -57,7 +57,7 @@ func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
 		c := newCoreUnit(m, i, ops)
 		m.cores = append(m.cores, c)
 		m.running++
-		m.engine.Schedule(0, c.step)
+		m.engine.Schedule(0, c.stepFn)
 	}
 	m.armWatchdog()
 	m.engine.RunUntil(at)

@@ -43,6 +43,10 @@ type Machine struct {
 	// observes); lineOrder is the full directory-serialized version order.
 	current map[mem.Line]mem.Version
 
+	// vnScratch is the invalidation walk's reusable valid-node snapshot
+	// (only writeTxn.dir iterates it, and directory stages never nest).
+	vnScratch []*slc.Node
+
 	coherenceWrites *stats.Counter
 	persistWrites   *stats.Counter
 	loads, stores   *stats.Counter
@@ -50,8 +54,10 @@ type Machine struct {
 	invalWalks      *stats.Dist
 
 	// lineOrder records the coherence (directory) serialization of store
-	// versions per line, consumed by the crash-consistency checker.
+	// versions per line, consumed by the crash-consistency checker. verSlab
+	// backs the logs' initial capacity (recordStore).
 	lineOrder map[mem.Line][]mem.Version
+	verSlab   []mem.Version
 
 	journal      []*core.Group
 	durableOrder []*core.Group
@@ -100,11 +106,11 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:       cfg,
-		engine:    sim.NewEngine(),
+		engine:    sim.NewEngineWithScheduler(cfg.Scheduler),
 		set:       stats.NewSet(),
 		waiters:   make(map[waitKey][]func()),
-		lineOrder: make(map[mem.Line][]mem.Version),
-		current:   make(map[mem.Line]mem.Version),
+		lineOrder: make(map[mem.Line][]mem.Version, 1<<11),
+		current:   make(map[mem.Line]mem.Version, 1<<11),
 		timeline:  &stats.Series{Name: "region_size"},
 	}
 	m.initTelemetry()
@@ -158,7 +164,7 @@ func (m *Machine) RunChecked(w *trace.Workload) (*Results, error) {
 		c := newCoreUnit(m, i, ops)
 		m.cores = append(m.cores, c)
 		m.running++
-		m.engine.Schedule(0, c.step)
+		m.engine.Schedule(0, c.stepFn)
 	}
 	m.armWatchdog()
 	m.engine.Run()

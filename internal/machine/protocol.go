@@ -24,7 +24,9 @@ func (m *Machine) nodeOf(cacheID int, line mem.Line) *slc.Node {
 	return nil
 }
 
-// load services a core's load. done runs when the value is available.
+// load services a core's load. done runs when the value is available. A
+// miss runs on the core's pooled readTxn (txn.go) — cores block on loads,
+// so at most one is in flight per core.
 func (m *Machine) load(c *coreUnit, line mem.Line, done func()) {
 	node := m.nodeOf(c.id, line)
 	if node != nil && node.Valid {
@@ -35,220 +37,44 @@ func (m *Machine) load(c *coreUnit, line mem.Line, done func()) {
 		m.engine.Schedule(m.cfg.PrivHit, done)
 		return
 	}
+	t := c.rd
+	t.line, t.done = line, done
 	if node != nil {
 		// Invalid copy pending persist: the frame is unusable until the
 		// version leaves for the persistent domain (§II-A multiversioning).
-		m.waitLineFree(c.id, line, func() { m.load(c, line, done) })
+		m.waitLineFree(c.id, line, t.retryFn)
 		return
 	}
-	m.readTransaction(c, line, done)
+	t.start()
 }
 
 // store retires one store-buffer entry. done runs when the store has
 // committed to the private cache (TSO: the store buffer may then pop it).
+// It runs on the core's pooled writeTxn (txn.go) — the store buffer drains
+// serially, so at most one is in flight per core.
 func (m *Machine) store(c *coreUnit, line mem.Line, ver mem.Version, done func()) {
-	m.sys.gateStore(c, line, func() { m.storeAttempt(c, line, ver, done) })
-}
-
-func (m *Machine) storeAttempt(c *coreUnit, line mem.Line, ver mem.Version, done func()) {
-	node := m.nodeOf(c.id, line)
-	if node != nil {
-		if !node.Valid {
-			m.waitLineFree(c.id, line, func() { m.store(c, line, ver, done) })
-			return
-		}
-		if node.Dirty {
-			// Write hit on our own dirty copy: coalesce in place. The
-			// gate guaranteed the owning group is still open.
-			m.priv[c.id].arr.Lookup(line)
-			m.dir.List(line).MarkDirty(node, ver)
-			m.recordStore(line, ver)
-			m.sys.storeCommitted(c, node, nil)
-			m.engine.Schedule(m.cfg.PrivHit, done)
-			return
-		}
-		// Clean valid copy: upgrade (invalidation round, no data fetch).
-		m.writeTransaction(c, line, ver, node, done)
-		return
-	}
-	m.writeTransaction(c, line, ver, nil, done)
-}
-
-// readTransaction is a GetS miss: request to the home bank, data from the
-// current owner, the LLC, or NVM.
-func (m *Machine) readTransaction(c *coreUnit, line mem.Line, done func()) {
-	src := m.coreNode(c.id)
-	bank := m.bankOf(line)
-	bnode := m.bankNode(bank)
-	reqArrive := m.net.Send(src, bnode, nil)
-	start := m.banks.Claim(bank, reqArrive, m.cfg.BankOccupancy)
-	dirAt := start + m.cfg.LLCLatency
-	m.engine.At(dirAt, func() {
-		lst := m.dir.List(line)
-		vd := lst.DirtyNewest()
-		if vd != nil && !vd.Valid {
-			// The producing version is invalid-pending; the newest valid
-			// data is in the LLC (it was written back at invalidation).
-			vd = nil
-		}
-		var extra sim.Time
-		if vd != nil {
-			extra = m.sys.exposed(vd, false)
-			// Downgrade writeback: the LLC is kept current (§II-B).
-			m.llcFill(line, vd.Version)
-			m.coherenceWrites.Inc()
-		}
-		observed := m.current[line]
-		agid := uint64(0)
-		node := lst.AddHead(c.id, true, false, observed, agid)
-		if vd != nil {
-			// Read of an unpersisted version: include the line in the
-			// reader's group and record the dependency (§III-A).
-			m.sys.loadObservedDirty(c, node, vd)
-		}
-		m.dir.Sample(line)
-
-		finish := func(dataReady sim.Time) {
-			m.insertFrame(c.id, line, node, func() {
-				m.engine.At(maxTime(dataReady, m.engine.Now()), done)
-			})
-		}
-		switch {
-		case vd != nil:
-			// Forward: bank -> owner -> requester.
-			owner := m.coreNode(vd.Cache)
-			fwdArrive := m.net.Send(bnode, owner, nil)
-			m.engine.At(fwdArrive+m.cfg.PrivHit+extra, func() {
-				arrive := m.net.Send(owner, src, nil)
-				finish(arrive)
-			})
-		case m.llc.Lookup(line) != nil:
-			arrive := m.net.Send(bnode, src, nil)
-			finish(arrive + extra)
-		default:
-			if _, inAGB := m.buffer.Lookup(line); inAGB {
-				// AGB search under the LLC-miss shadow (§II-B): the line
-				// was evicted from the LLC but a newer version still sits
-				// in the persist buffer; serve it at buffer latency.
-				m.set.Counter("agb.search_hits").Inc()
-				arrive := m.net.Send(bnode, src, nil)
-				finish(arrive + m.cfg.AGB.TransferLatency + extra)
-				return
-			}
-			memDone := m.memory.Read(line, nil)
-			m.llcFill(line, observed)
-			m.engine.At(memDone, func() {
-				arrive := m.net.Send(bnode, src, nil)
-				finish(arrive + extra)
-			})
-		}
-	})
-}
-
-// writeTransaction is a GetX miss or an upgrade of a clean valid copy
-// (upgrade != nil). All other valid copies are invalidated with a serial
-// sharing-list walk; data comes from the owner, the LLC, or NVM.
-func (m *Machine) writeTransaction(c *coreUnit, line mem.Line, ver mem.Version, upgrade *slc.Node, done func()) {
-	src := m.coreNode(c.id)
-	bank := m.bankOf(line)
-	bnode := m.bankNode(bank)
-	reqArrive := m.net.Send(src, bnode, nil)
-	start := m.banks.Claim(bank, reqArrive, m.cfg.BankOccupancy)
-	dirAt := start + m.cfg.LLCLatency
-	m.engine.At(dirAt, func() {
-		lst := m.dir.List(line)
-		if upgrade != nil && (!upgrade.Valid || upgrade.Dirty) {
-			// Our copy changed while the upgrade was in flight (another
-			// writer invalidated it): restart as a full miss.
-			m.store(c, line, ver, done)
-			return
-		}
-		vd := lst.DirtyNewest()
-		if vd != nil && !vd.Valid {
-			vd = nil
-		}
-		var extra sim.Time
-		needData := upgrade == nil
-		llcHit := m.llc.Lookup(line) != nil
-		if vd != nil {
-			extra = m.sys.exposed(vd, true)
-			m.llcFill(line, vd.Version)
-			m.coherenceWrites.Inc()
-		}
-
-		// Serial invalidation walk over the remaining valid copies.
-		nInval := 0
-		destructive := m.sys.destructive(line)
-		for _, n := range lst.ValidNodes() {
-			if n.Cache == c.id {
-				continue
-			}
-			nInval++
-			if destructive {
-				if n.Dirty {
-					m.llcFill(line, n.Version)
-				}
-				m.applyUpdate(lst.RemoveDestructive(n))
-			} else {
-				m.applyUpdate(lst.Invalidate(n))
-			}
-		}
-		m.invalWalks.Observe(uint64(nInval))
-		// SLC walks the sharing list serially (one hop per valid copy);
-		// a conventional directory multicasts invalidations in parallel.
-		walk := sim.Time(nInval) * m.cfg.NoC.HopLatency
-		if m.cfg.Coherence == CoherenceMESI && nInval > 0 {
-			walk = m.cfg.NoC.HopLatency
-		}
-
-		// Install the new version at the head of the list.
-		var node *slc.Node
-		if upgrade != nil {
-			m.applyUpdate(lst.MoveToHead(upgrade))
-			lst.MarkDirty(upgrade, ver)
-			node = upgrade
-		} else {
-			node = lst.AddHead(c.id, true, true, ver, 0)
-		}
-		m.recordStore(line, ver)
-		m.sys.storeCommitted(c, node, vd)
-		m.dir.Sample(line)
-
-		finish := func(dataReady sim.Time) {
-			m.insertFrame(c.id, line, node, func() {
-				m.engine.At(maxTime(dataReady, m.engine.Now()), done)
-			})
-		}
-		switch {
-		case !needData:
-			arrive := m.net.Send(bnode, src, nil)
-			finish(arrive + walk + extra)
-		case vd != nil:
-			owner := m.coreNode(vd.Cache)
-			fwdArrive := m.net.Send(bnode, owner, nil)
-			m.engine.At(fwdArrive+m.cfg.PrivHit+extra, func() {
-				arrive := m.net.Send(owner, src, nil)
-				finish(arrive + walk)
-			})
-		case llcHit:
-			arrive := m.net.Send(bnode, src, nil)
-			finish(arrive + walk + extra)
-		default:
-			memDone := m.memory.Read(line, nil)
-			m.llcFill(line, ver)
-			m.engine.At(memDone, func() {
-				arrive := m.net.Send(bnode, src, nil)
-				finish(arrive + walk + extra)
-			})
-		}
-	})
+	t := c.wr
+	t.line, t.ver, t.done = line, ver, done
+	m.sys.gateStore(c, line, t.attemptFn)
 }
 
 // recordStore logs the directory-serialized version order per line (the
 // coherence order the crash checker validates against) and the current
 // coherent version.
 func (m *Machine) recordStore(line mem.Line, ver mem.Version) {
-	m.lineOrder[line] = append(m.lineOrder[line], ver)
+	s, ok := m.lineOrder[line]
+	if !ok {
+		// Carve the per-line log's initial capacity from a shared slab: most
+		// lines never outgrow it, so this collapses one allocation per touched
+		// line into one per 256 lines. A log that does outgrow its 16 slots
+		// escapes to the heap via append's usual doubling.
+		if len(m.verSlab) < 16 {
+			m.verSlab = make([]mem.Version, 4096)
+		}
+		s = m.verSlab[0:0:16]
+		m.verSlab = m.verSlab[16:]
+	}
+	m.lineOrder[line] = append(s, ver)
 	m.current[line] = ver
 }
 

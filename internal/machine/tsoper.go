@@ -217,7 +217,7 @@ func (s *tsoperSys) startDrain(g *core.Group) {
 	s.m.agBegin(g, agPhaseDraining)
 	req := agb.Request{
 		ID:    g.ID,
-		Lines: g.DirtyLines(),
+		Lines: g.DirtyView(),
 		OnLineBuffered: func(l mem.Line) {
 			s.m.persistWrites.Inc()
 			s.m.emit(Event{Kind: EvLineBuffered, Core: g.Core, Group: g.ID, Line: l})

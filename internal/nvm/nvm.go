@@ -57,6 +57,54 @@ type Memory struct {
 	// flt is nil unless AttachFaults attached a fault plan; the hot access
 	// path pays exactly one branch when it is nil.
 	flt *faultplan.Plan
+
+	// freeOps recycles write-completion records so the steady-state persist
+	// stream schedules no per-write closures.
+	freeOps *writeOp
+}
+
+// writeOp is one in-flight write's completion record. Records live on a
+// per-memory free list; the bound completion func is created once per record
+// and reused across writes.
+type writeOp struct {
+	m      *Memory
+	line   mem.Line
+	ver    mem.Version
+	rank   int
+	finish sim.Time
+	done   func()
+	fn     func()
+	next   *writeOp
+}
+
+func (m *Memory) newWriteOp(l mem.Line, v mem.Version, rank int, finish sim.Time, done func()) *writeOp {
+	op := m.freeOps
+	if op != nil {
+		m.freeOps = op.next
+	} else {
+		op = &writeOp{m: m}
+		op.fn = op.complete
+	}
+	op.line, op.ver, op.rank, op.finish, op.done = l, v, rank, finish, done
+	return op
+}
+
+// complete commits the write and releases the record. The record returns to
+// the free list before done runs: done may issue further writes, and those
+// may reuse this record.
+func (op *writeOp) complete() {
+	m := op.m
+	m.durable[op.line] = op.ver
+	if m.tel != nil {
+		m.tel.completed(op.rank, op.finish)
+	}
+	done := op.done
+	op.done = nil
+	op.next = m.freeOps
+	m.freeOps = op
+	if done != nil {
+		done()
+	}
 }
 
 // nvmTel holds one timeline row per rank: a complete span per access
@@ -160,15 +208,7 @@ func (m *Memory) WriteBuffered(l mem.Line, v mem.Version, accepted, done func())
 	if accepted != nil {
 		m.engine.At(start, accepted)
 	}
-	m.engine.At(finish, func() {
-		m.durable[l] = v
-		if m.tel != nil {
-			m.tel.completed(rank, finish)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	m.engine.At(finish, m.newWriteOp(l, v, rank, finish, done).fn)
 	return finish
 }
 
@@ -210,15 +250,7 @@ func (m *Memory) writeFaulty(l mem.Line, v mem.Version, rank int, occ sim.Time, 
 	if accepted != nil {
 		m.engine.At(start, accepted)
 	}
-	m.engine.At(finish, func() {
-		m.durable[l] = v
-		if m.tel != nil {
-			m.tel.completed(rank, finish)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	m.engine.At(finish, m.newWriteOp(l, v, rank, finish, done).fn)
 	return finish
 }
 

@@ -1,16 +1,23 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is intentionally small: a time-ordered event heap, a clock, and
-// helpers for modeling contended resources (ports, banks, links). All
+// The kernel is intentionally small: a time-ordered event queue, a clock,
+// and helpers for modeling contended resources (ports, banks, links). All
 // simulated components in this repository — cores, cache controllers, the
 // directory, the atomic group buffer, and the NVM ranks — are driven by one
 // Engine. Determinism is guaranteed by breaking time ties with a
 // monotonically increasing sequence number, so two runs with the same inputs
 // produce identical schedules.
+//
+// Two queue implementations sit behind the Scheduler selection: a
+// hierarchical timing wheel (the default — O(1) for the near-future deltas
+// that dominate the machine model) and the binary heap it is differentially
+// verified against. Event records are pooled on a free list and recycled on
+// dispatch and cancelation, so steady-state stepping allocates nothing;
+// EventIDs carry a generation tag so a stale handle (double cancel, cancel
+// after dispatch) can never corrupt a recycled record.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -24,70 +31,109 @@ const MaxTime = Time(math.MaxUint64)
 // Event is a closure scheduled to run at a specific cycle.
 type Event func()
 
+// scheduledEvent is one queued event. Records are pooled: the gen counter
+// increments every time a record returns to the free list, invalidating any
+// EventID still pointing at it. The linkage fields belong to whichever
+// scheduler currently holds the record (heap index, or wheel bucket list
+// pointers plus slot).
 type scheduledEvent struct {
-	at    Time
-	seq   uint64
-	fn    Event
-	index int // heap index; -1 once popped or canceled
+	at  Time
+	seq uint64
+	fn  Event
+	gen uint32
+
+	index      int32 // heap/overflow index; -1 when not heap-resident
+	slot       int32 // wheel bucket slot; -1 when not bucket-resident
+	next, prev *scheduledEvent
 }
 
-// EventID identifies a scheduled event so it can be canceled.
+// EventID identifies a scheduled event so it can be canceled. The zero
+// value is valid and cancels nothing. An EventID goes stale the moment its
+// event dispatches or is canceled; using a stale ID is always a safe no-op,
+// even after the underlying record has been recycled for a newer event.
 type EventID struct {
-	ev *scheduledEvent
-}
-
-type eventHeap []*scheduledEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*scheduledEvent)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	ev  *scheduledEvent
+	gen uint32
 }
 
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+
+	// wheel is the devirtualized fast path: non-nil iff the engine runs the
+	// timing wheel, in which case sched points at the same object. Schedule,
+	// At, and the run loop call it directly so steady-state stepping pays no
+	// interface dispatch.
+	wheel *wheelScheduler
+	sched scheduler
+
+	// free is the recycled-event list, chained through next.
+	free    *scheduledEvent
 	stopped bool
 
 	// Executed counts events dispatched since construction.
 	Executed uint64
 }
 
-// NewEngine returns an engine with the clock at cycle 0.
+// NewEngine returns an engine with the clock at cycle 0, running the
+// default timing-wheel scheduler.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithScheduler(SchedulerWheel)
+}
+
+// NewEngineWithScheduler returns an engine using the given queue
+// implementation. SchedulerHeap is the reference the wheel is tested
+// against; prefer the default elsewhere.
+func NewEngineWithScheduler(kind SchedulerKind) *Engine {
+	e := &Engine{}
+	if kind == SchedulerHeap {
+		e.sched = &heapScheduler{}
+	} else {
+		e.wheel = newWheelScheduler()
+		e.sched = e.wheel
+	}
+	return e
+}
+
+// Scheduler reports which queue implementation the engine runs.
+func (e *Engine) Scheduler() SchedulerKind {
+	if e.wheel != nil {
+		return SchedulerWheel
+	}
+	return SchedulerHeap
 }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
+
+// alloc takes an event record from the free list (or mints one) and stamps
+// it with the next sequence number.
+func (e *Engine) alloc(t Time, fn Event) *scheduledEvent {
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &scheduledEvent{index: -1, slot: -1}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	return ev
+}
+
+// release recycles a dispatched or canceled record. Bumping gen invalidates
+// every outstanding EventID for it; dropping fn releases the closure.
+func (e *Engine) release(ev *scheduledEvent) {
+	ev.fn = nil
+	ev.gen++
+	ev.prev = nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in the
 // current cycle, after already-scheduled same-cycle events.
@@ -101,25 +147,41 @@ func (e *Engine) At(t Time, fn Event) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
 	}
-	ev := &scheduledEvent{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return EventID{ev: ev}
+	ev := e.alloc(t, fn)
+	if w := e.wheel; w != nil {
+		w.push(ev)
+	} else {
+		e.sched.push(ev)
+	}
+	return EventID{ev: ev, gen: ev.gen}
 }
 
-// Cancel removes a pending event. Canceling an already-run or already-canceled
-// event is a no-op and returns false.
+// Cancel removes a pending event. Canceling an already-run or already-
+// canceled event is a no-op and returns false — the generation tag makes
+// this safe even when the event record has since been recycled, so callers
+// may hold (and re-cancel) stale IDs freely.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen {
 		return false
 	}
-	heap.Remove(&e.events, id.ev.index)
-	id.ev.index = -1
+	if !e.sched.remove(ev) {
+		return false
+	}
+	e.release(ev)
 	return true
 }
 
+// popNext dequeues the earliest event with at <= limit, if any.
+func (e *Engine) popNext(limit Time) *scheduledEvent {
+	if w := e.wheel; w != nil {
+		return w.pop(limit)
+	}
+	return e.sched.pop(limit)
+}
+
 // Pending reports the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.sched.len() }
 
 // Stop makes Run and RunUntil return after the currently dispatching event.
 func (e *Engine) Stop() { e.stopped = true }
@@ -130,18 +192,19 @@ func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
 
 // RunUntil dispatches events with time <= limit. Events scheduled beyond the
 // limit remain queued. The clock is left at the time of the last dispatched
-// event (or at limit if nothing at all was run past it).
+// event.
 func (e *Engine) RunUntil(limit Time) Time {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > limit {
+	for !e.stopped {
+		ev := e.popNext(limit)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
+		e.now = ev.at
+		fn := ev.fn
+		e.release(ev)
 		e.Executed++
-		next.fn()
+		fn()
 	}
 	return e.now
 }
@@ -149,12 +212,14 @@ func (e *Engine) RunUntil(limit Time) Time {
 // Step dispatches exactly one event if any is pending, returning true if an
 // event ran.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev := e.popNext(MaxTime)
+	if ev == nil {
 		return false
 	}
-	next := heap.Pop(&e.events).(*scheduledEvent)
-	e.now = next.at
+	e.now = ev.at
+	fn := ev.fn
+	e.release(ev)
 	e.Executed++
-	next.fn()
+	fn()
 	return true
 }

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"math/bits"
+)
+
+// wheelScheduler is a hierarchical timing wheel: a near wheel of wheelSize
+// one-cycle buckets covering [base, base+wheelSize), plus an overflow binary
+// heap for events beyond the horizon. The machine's steady-state deltas
+// (cache hits, NoC hops, bank occupancies, NVM accesses) all land in the
+// near wheel, making push and pop O(1); only rare far-future events
+// (watchdog checks, fault-outage toggles, BSP epoch horizons) pay the heap's
+// O(log n).
+//
+// Ordering is identical to the reference heap: events dispatch in strict
+// (at, seq) order. Within a bucket the FIFO list preserves seq order because
+// (a) direct pushes arrive in seq order, and (b) an overflow refill for a
+// tick always happens at the base advance that first brings the tick inside
+// the horizon — before any direct push to that tick is possible — and the
+// overflow heap itself drains in (at, seq) order.
+type wheelScheduler struct {
+	// base is the wheel's lower bound: no queued event has at < base, and
+	// every bucket-resident event has at < base+wheelSize. It advances to
+	// each popped event's timestamp.
+	base Time
+	// buckets hold same-tick FIFO lists; a tick t maps to bucket t&wheelMask.
+	// Within the [base, base+wheelSize) window that slot is unambiguous.
+	buckets []bucketList
+	// occupied is a bitmap over bucket slots for O(1) next-event search.
+	occupied [wheelSize / 64]uint64
+	// nearCount counts events in buckets; overflow holds the rest.
+	nearCount int
+	overflow  eventHeap
+}
+
+const (
+	wheelBits = 10
+	wheelSize = 1 << wheelBits // 1024-cycle near horizon
+	wheelMask = wheelSize - 1
+)
+
+type bucketList struct {
+	head, tail *scheduledEvent
+}
+
+func newWheelScheduler() *wheelScheduler {
+	return &wheelScheduler{buckets: make([]bucketList, wheelSize)}
+}
+
+func (w *wheelScheduler) push(ev *scheduledEvent) {
+	// Engine.At guarantees ev.at >= now >= base, so the difference cannot
+	// underflow — comparing deltas also sidesteps base+wheelSize overflow
+	// near MaxTime.
+	if ev.at-w.base >= wheelSize {
+		heap.Push(&w.overflow, ev)
+		return
+	}
+	w.bucketAppend(ev)
+}
+
+// bucketAppend links an event at the tail of its tick's FIFO list. The
+// caller must ensure ev.at lies inside the current window.
+func (w *wheelScheduler) bucketAppend(ev *scheduledEvent) {
+	slot := int32(ev.at & wheelMask)
+	b := &w.buckets[slot]
+	ev.slot = slot
+	ev.prev = b.tail
+	ev.next = nil
+	if b.tail != nil {
+		b.tail.next = ev
+	} else {
+		b.head = ev
+		w.occupied[slot>>6] |= 1 << (uint32(slot) & 63)
+	}
+	b.tail = ev
+	w.nearCount++
+}
+
+// advance moves the wheel's lower bound to t and migrates every overflow
+// event now inside the horizon into its bucket. The heap drains in (at, seq)
+// order, so bucket FIFO order is preserved.
+func (w *wheelScheduler) advance(t Time) {
+	w.base = t
+	for len(w.overflow) > 0 && w.overflow[0].at-t < wheelSize {
+		w.bucketAppend(heap.Pop(&w.overflow).(*scheduledEvent))
+	}
+}
+
+func (w *wheelScheduler) pop(limit Time) *scheduledEvent {
+	if w.nearCount == 0 {
+		if len(w.overflow) == 0 {
+			return nil
+		}
+		// The near wheel is dry: jump the window to the overflow's earliest
+		// tick. Every overflow event is at or beyond it, so nothing is
+		// skipped.
+		next := w.overflow[0].at
+		if next > limit {
+			return nil
+		}
+		w.advance(next)
+	}
+	slot := w.nextOccupied()
+	b := &w.buckets[slot]
+	ev := b.head
+	if ev.at > limit {
+		return nil
+	}
+	b.head = ev.next
+	if b.head != nil {
+		b.head.prev = nil
+	} else {
+		b.tail = nil
+		w.occupied[slot>>6] &^= 1 << (uint32(slot) & 63)
+	}
+	ev.next, ev.prev, ev.slot = nil, nil, -1
+	w.nearCount--
+	if ev.at != w.base {
+		// Advancing refills the window from the overflow heap. Refilled
+		// events are strictly later than ev (they were beyond the previous
+		// horizon), so dispatch order is unaffected.
+		w.advance(ev.at)
+	}
+	return ev
+}
+
+// nextOccupied returns the occupied bucket slot holding the smallest tick in
+// [base, base+wheelSize). It must only be called with nearCount > 0. Slots
+// are circular starting at base&wheelMask: the first partial word is
+// checked, then full words wrapping around, then the first word's low bits.
+func (w *wheelScheduler) nextOccupied() int32 {
+	start := uint32(w.base) & wheelMask
+	wi := start >> 6
+	if word := w.occupied[wi] &^ (1<<(start&63) - 1); word != 0 {
+		return int32(wi<<6) + int32(bits.TrailingZeros64(word))
+	}
+	for i := uint32(1); i < wheelSize/64; i++ {
+		j := (wi + i) & (wheelSize/64 - 1)
+		if word := w.occupied[j]; word != 0 {
+			return int32(j<<6) + int32(bits.TrailingZeros64(word))
+		}
+	}
+	if word := w.occupied[wi] & (1<<(start&63) - 1); word != 0 {
+		return int32(wi<<6) + int32(bits.TrailingZeros64(word))
+	}
+	panic("sim: wheel bitmap empty with nearCount > 0")
+}
+
+func (w *wheelScheduler) remove(ev *scheduledEvent) bool {
+	if ev.slot >= 0 {
+		b := &w.buckets[ev.slot]
+		if ev.prev != nil {
+			ev.prev.next = ev.next
+		} else {
+			b.head = ev.next
+		}
+		if ev.next != nil {
+			ev.next.prev = ev.prev
+		} else {
+			b.tail = ev.prev
+		}
+		if b.head == nil {
+			w.occupied[ev.slot>>6] &^= 1 << (uint32(ev.slot) & 63)
+		}
+		ev.next, ev.prev, ev.slot = nil, nil, -1
+		w.nearCount--
+		return true
+	}
+	if ev.index >= 0 {
+		heap.Remove(&w.overflow, int(ev.index))
+		ev.index = -1
+		return true
+	}
+	return false
+}
+
+func (w *wheelScheduler) len() int { return w.nearCount + len(w.overflow) }

@@ -85,21 +85,40 @@ func Generate(p Profile, cores int, seed int64) *Workload {
 	return trace.Generate(p, cores, seed)
 }
 
+// Scheduler selects the simulation engine's event-queue implementation.
+type Scheduler = sim.SchedulerKind
+
+const (
+	// SchedulerWheel is the default hierarchical timing wheel.
+	SchedulerWheel = sim.SchedulerWheel
+	// SchedulerHeap is the binary-heap reference implementation.
+	SchedulerHeap = sim.SchedulerHeap
+)
+
+// ParseScheduler parses "wheel" (or "") and "heap".
+func ParseScheduler(s string) (Scheduler, error) { return sim.ParseSchedulerKind(s) }
+
 // RunOptions tunes a single simulation run.
 type RunOptions struct {
 	// Scale multiplies the profile's OpsPerCore (0 or 1 = full size).
 	Scale float64
 	// Seed drives workload generation (default 42).
 	Seed int64
+	// Scheduler selects the event-queue implementation (default wheel).
+	Scheduler Scheduler
 	// Config overrides the Table I configuration when non-nil.
 	Config *Config
 }
 
 func (o RunOptions) config(system System) Config {
+	cfg := TableI(system)
 	if o.Config != nil {
-		return *o.Config
+		cfg = *o.Config
 	}
-	return TableI(system)
+	if o.Scheduler != SchedulerWheel {
+		cfg.Scheduler = o.Scheduler
+	}
+	return cfg
 }
 
 func (o RunOptions) seed() int64 {
