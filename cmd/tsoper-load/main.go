@@ -1,0 +1,217 @@
+// Command tsoper-load drives a tsoper-serve instance with a measured mix
+// of repeated and unique simulation jobs, sweeping client concurrency and
+// reporting sustained throughput with latency percentiles — so the
+// service's capacity is a number, not a claim.
+//
+//	tsoper-load -addr http://localhost:7433 -concurrency 1,2,4,8 -jobs 32
+//
+// Every -dup'th job resubmits a spec from a small duplicate pool; the rest
+// are unique (distinct seeds). With -check, the result bytes of every
+// duplicate are compared against the first occurrence and any divergence
+// fails the run (the cache must be byte-identical, not just equivalent).
+// With -require-hit, the run fails unless the server reports at least one
+// cache hit — the CI smoke assertion.
+//
+// Exit status: 0 clean, 1 failed jobs / byte mismatches / missing cache
+// hits, 2 usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7433", "server base URL")
+	concurrency := flag.String("concurrency", "1,2,4", "comma-separated client widths to sweep")
+	jobs := flag.Int("jobs", 16, "jobs per concurrency level (> 0)")
+	dup := flag.Int("dup", 4, "every dup'th job reuses the duplicate pool (0 = all unique)")
+	benches := flag.String("bench", "radix,fft,ocean_cp", "comma-separated benchmark mix")
+	system := flag.String("system", "tsoper", "persistency system for every job")
+	scale := flag.Float64("scale", 0.05, "workload scale factor (> 0)")
+	seedBase := flag.Int64("seed-base", 1000, "first seed for unique jobs")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	check := flag.Bool("check", false, "verify duplicate submissions return byte-identical results")
+	requireHit := flag.Bool("require-hit", false, "fail unless the server reports >= 1 cache hit")
+	flag.Parse()
+
+	if *jobs <= 0 {
+		usageErr("-jobs must be positive, got %d", *jobs)
+	}
+	if *scale <= 0 {
+		usageErr("-scale must be positive, got %g", *scale)
+	}
+	if *dup < 0 {
+		usageErr("-dup must be non-negative, got %d", *dup)
+	}
+	var widths []int
+	for _, s := range strings.Split(*concurrency, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w <= 0 {
+			usageErr("bad -concurrency entry %q", s)
+		}
+		widths = append(widths, w)
+	}
+	benchList := strings.Split(*benches, ",")
+	for i := range benchList {
+		benchList[i] = strings.TrimSpace(benchList[i])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr, nil)
+	if err := c.Healthz(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "server not healthy at %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+
+	// The duplicate pool: one spec per benchmark, fixed seed, shared across
+	// all levels so later levels exercise the cache the earlier ones filled.
+	pool := make([]service.JobSpec, len(benchList))
+	for i, b := range benchList {
+		pool[i] = service.JobSpec{Bench: b, System: *system, Scale: *scale, Seed: *seedBase - 1}
+	}
+
+	var (
+		firstBytes sync.Map // cache key -> first observed result bytes
+		mismatches atomic.Uint64
+		failures   atomic.Uint64
+		nextSeed   atomic.Int64
+	)
+	nextSeed.Store(*seedBase)
+
+	runOne := func(idx int) (time.Duration, bool) {
+		var spec service.JobSpec
+		if *dup > 0 && idx%*dup == 0 {
+			spec = pool[(idx / *dup)%len(pool)]
+		} else {
+			spec = service.JobSpec{
+				Bench:  benchList[idx%len(benchList)],
+				System: *system,
+				Scale:  *scale,
+				Seed:   nextSeed.Add(1),
+			}
+		}
+		start := time.Now()
+		body, st, err := c.Run(ctx, spec)
+		lat := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "job %v failed: %v\n", spec, err)
+			failures.Add(1)
+			return lat, false
+		}
+		if *check {
+			if prev, loaded := firstBytes.LoadOrStore(st.Key, body); loaded {
+				if string(prev.([]byte)) != string(body) {
+					fmt.Fprintf(os.Stderr, "BYTE MISMATCH for key %s (job %s)\n", st.Key, st.ID)
+					mismatches.Add(1)
+				}
+			}
+		}
+		return lat, true
+	}
+
+	fmt.Printf("%-12s %6s %10s %12s %9s %9s %9s %9s\n",
+		"concurrency", "jobs", "wall", "throughput", "p50", "p90", "p99", "mean")
+	jobIdx := 0
+	for _, width := range widths {
+		lats := make([]time.Duration, 0, *jobs)
+		var mu sync.Mutex
+		work := make(chan int)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < width; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range work {
+					lat, ok := runOne(idx)
+					if ok {
+						mu.Lock()
+						lats = append(lats, lat)
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := 0; i < *jobs; i++ {
+			work <- jobIdx
+			jobIdx++
+		}
+		close(work)
+		wg.Wait()
+		wall := time.Since(start)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("%-12d %6d %10s %9.1f/s %9s %9s %9s %9s\n",
+			width, len(lats), wall.Round(time.Millisecond),
+			float64(len(lats))/wall.Seconds(),
+			pct(lats, 50).Round(time.Millisecond), pct(lats, 90).Round(time.Millisecond),
+			pct(lats, 99).Round(time.Millisecond), mean(lats).Round(time.Millisecond))
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetching metrics: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nserver: %d completed, %d failed, %d rejected (429), cache %d hits / %d misses / %d dedups (hit rate %.2f)\n",
+		m.JobsCompleted, m.JobsFailed, m.JobsRejected,
+		m.Cache.Hits, m.Cache.Misses, m.Cache.Dedups, m.Cache.HitRate)
+
+	exit := 0
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%d jobs failed\n", n)
+		exit = 1
+	}
+	if n := mismatches.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%d duplicate results were not byte-identical\n", n)
+		exit = 1
+	}
+	if *requireHit && m.Cache.Hits+m.Cache.Dedups == 0 {
+		fmt.Fprintln(os.Stderr, "no cache hits or dedups despite duplicate submissions")
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+func mean(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs))
+}

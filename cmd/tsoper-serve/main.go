@@ -1,0 +1,82 @@
+// Command tsoper-serve runs the simulation-as-a-service server: a bounded
+// job queue, a simulation worker pool, a content-addressed result cache,
+// and the HTTP API (submit/status/result/cancel, SSE progress, /healthz,
+// /metrics).
+//
+//	tsoper-serve -addr :7433 -workers 8 -queue 64 -cache 256
+//
+// Submit jobs with curl:
+//
+//	curl -s localhost:7433/v1/jobs -d '{"bench":"radix","system":"tsoper"}'
+//
+// or drive it with tsoper-load. SIGTERM/SIGINT drain gracefully: admission
+// stops, queued and in-flight jobs finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":7433", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 64, "admission queue bound; overflow gets 429 + Retry-After")
+	cacheEntries := flag.Int("cache", 256, "content-addressed result cache entries (LRU)")
+	jobTimeout := flag.Uint64("job-timeout", 0, "per-job stall-watchdog horizon in simulation cycles (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max wait for in-flight jobs at shutdown")
+	flag.Parse()
+	log.SetPrefix("tsoper-serve: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	srv := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   sim.Time(*jobTimeout),
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("%s: draining (queue depth %d)", sig, srv.Metrics().QueueDepth)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("drained clean: %d completed, %d failed, %d cache hits (rate %.2f), p50 %.1fms p99 %.1fms\n",
+		m.JobsCompleted, m.JobsFailed, m.Cache.Hits, m.Cache.HitRate,
+		m.Latency.P50MS, m.Latency.P99MS)
+}

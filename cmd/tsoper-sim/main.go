@@ -13,6 +13,8 @@
 //
 // Systems: baseline, hw-rp, bsp, bsp+slc, bsp+slc+agb, stw, tsoper.
 // Benchmarks: the 22 PARSEC 3.0 / Splash-3 stand-ins (see -list).
+//
+// Exit status: 0 clean, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -26,6 +28,12 @@ import (
 	"repro/internal/trace"
 	"repro/tsoper"
 )
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	bench := flag.String("bench", "radix", "benchmark name")
@@ -42,16 +50,22 @@ func main() {
 	schedFlag := flag.String("scheduler", "wheel", "event scheduler: wheel or heap (reference)")
 	flag.Parse()
 
+	// Usage validation, mirroring tsoper-crash: malformed invocations exit
+	// 2 before any work happens.
+	if *saveTrace != "" && *loadTrace != "" {
+		usageErr("-save-trace and -load-trace are mutually exclusive (replaying never generates)")
+	}
+	if *scale <= 0 {
+		usageErr("-scale must be positive, got %g", *scale)
+	}
 	sched, err := tsoper.ParseScheduler(*schedFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usageErr("%v", err)
 	}
 
 	if *metricsDiff {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: tsoper-sim -metrics-diff OLD.json NEW.json")
-			os.Exit(2)
+			usageErr("usage: tsoper-sim -metrics-diff OLD.json NEW.json")
 		}
 		if err := diffMetrics(flag.Arg(0), flag.Arg(1)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -78,8 +92,7 @@ func main() {
 
 	p, ok := tsoper.Benchmark(*bench)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
-		os.Exit(1)
+		usageErr("unknown benchmark %q (try -list)", *bench)
 	}
 	var kind tsoper.System
 	found := false
@@ -90,8 +103,7 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown system %q (try -list)\n", *system)
-		os.Exit(1)
+		usageErr("unknown system %q (try -list)", *system)
 	}
 
 	// A -trace-out flag attaches a recording telemetry bus to the machine.

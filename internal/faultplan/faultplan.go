@@ -143,8 +143,11 @@ type Spec struct {
 	Resilience Resilience `json:"resilience"`
 }
 
-// withDefaults fills zero resilience fields and the spike factor.
-func (s Spec) withDefaults() Spec {
+// WithDefaults returns the schedule with zero resilience fields and the
+// spike factor filled in. It is the normal form the plan compiler runs and
+// the form content-addressed caching hashes: two specs that differ only in
+// unfilled defaults behave identically, so they must hash identically.
+func (s Spec) WithDefaults() Spec {
 	r := &s.Resilience
 	if r.NVMRetryLimit == 0 {
 		r.NVMRetryLimit = DefaultNVMRetryLimit

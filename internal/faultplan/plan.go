@@ -84,7 +84,7 @@ type Plan struct {
 
 // New compiles a spec (applying resilience defaults) into a fresh plan.
 func New(spec Spec) *Plan {
-	p := &Plan{spec: spec.withDefaults()}
+	p := &Plan{spec: spec.WithDefaults()}
 	for i := range p.rng {
 		// Distinct nonzero stream states derived from the seed.
 		p.rng[i] = uint64(spec.Seed)*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9

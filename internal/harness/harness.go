@@ -33,6 +33,11 @@ type Options struct {
 	Workers int
 	// Scheduler selects the engine's event queue (default the timing wheel).
 	Scheduler sim.SchedulerKind
+	// Timeout, when positive, arms the machine stall watchdog with this
+	// progress horizon (in simulation cycles) on every run, so a wedged
+	// simulation fails with a StallError instead of hanging its worker
+	// forever. It overrides Config.WatchdogHorizon.
+	Timeout sim.Time
 }
 
 // DefaultOptions returns full-scale, deterministic, parallel options.
@@ -67,17 +72,40 @@ func RunOne(bench trace.Profile, kind machine.SystemKind, o Options) *machine.Re
 	return RunConfig(bench, machine.TableI(kind), o)
 }
 
-// RunConfig simulates one benchmark under an explicit configuration.
+// RunConfig simulates one benchmark under an explicit configuration. It
+// panics on configuration errors and wedged runs — the job-shaped
+// RunConfigChecked returns those as errors instead.
 func RunConfig(bench trace.Profile, cfg machine.Config, o Options) *machine.Results {
-	if o.Scheduler != sim.SchedulerWheel {
-		cfg.Scheduler = o.Scheduler
-	}
-	m, err := machine.New(cfg)
+	r, err := RunConfigChecked(bench, cfg, o)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
+	return r
+}
+
+// RunOneChecked is the job-shaped RunOne: configuration errors and wedged
+// runs (watchdog stalls, deadlocks) come back as errors, so a long-lived
+// worker can fail one job without dying.
+func RunOneChecked(bench trace.Profile, kind machine.SystemKind, o Options) (*machine.Results, error) {
+	return RunConfigChecked(bench, machine.TableI(kind), o)
+}
+
+// RunConfigChecked is the job-shaped RunConfig. With Options.Timeout set it
+// arms the stall watchdog, bounding how long a wedged simulation can hold a
+// worker.
+func RunConfigChecked(bench trace.Profile, cfg machine.Config, o Options) (*machine.Results, error) {
+	if o.Scheduler != sim.SchedulerWheel {
+		cfg.Scheduler = o.Scheduler
+	}
+	if o.Timeout > 0 {
+		cfg.WatchdogHorizon = o.Timeout
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
 	w := trace.Generate(bench.Scale(o.scale()), cfg.Cores, o.Seed)
-	return m.Run(w)
+	return m.RunChecked(w)
 }
 
 // Cell identifies one simulation in a sweep.

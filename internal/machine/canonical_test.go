@@ -1,0 +1,134 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/agb"
+	"repro/internal/faultplan"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/nvm"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func hashOf(t *testing.T, c Config) string {
+	t.Helper()
+	h, err := c.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	return h
+}
+
+// Identical configurations expressed differently must share one key.
+func TestCanonicalHashInvariance(t *testing.T) {
+	base := TableI(TSOPER)
+	ref := hashOf(t, base)
+
+	t.Run("scheduler", func(t *testing.T) {
+		c := TableI(TSOPER)
+		c.Scheduler = sim.SchedulerHeap
+		if h := hashOf(t, c); h != ref {
+			t.Errorf("heap scheduler changed the key: %s != %s", h, ref)
+		}
+	})
+	t.Run("filled-defaults", func(t *testing.T) {
+		// Spelling the sub-configs out field by field vs. leaving them zero.
+		c := TableI(TSOPER)
+		c.NoC = noc.Config{}
+		c.NVM = nvm.Config{}
+		c.AGB = agb.Config{}
+		if h := hashOf(t, c); h != ref {
+			t.Errorf("zero sub-configs hash differently from spelled-out defaults: %s != %s", h, ref)
+		}
+	})
+	t.Run("observers", func(t *testing.T) {
+		c := TableI(TSOPER)
+		c.Telemetry = telemetry.NewBus(&telemetry.CountingSink{})
+		c.Probe = func(Event) {}
+		c.WatchdogHorizon = 999_999
+		if h := hashOf(t, c); h != ref {
+			t.Errorf("observers/watchdog changed the key: %s != %s", h, ref)
+		}
+	})
+	t.Run("fault-plan-defaults", func(t *testing.T) {
+		spec, ok := faultplan.Preset("nvm-transient")
+		if !ok {
+			t.Fatal("missing preset")
+		}
+		a := TableI(TSOPER)
+		a.Faults = &spec
+		filled := spec.WithDefaults()
+		b := TableI(TSOPER)
+		b.Faults = &filled
+		if hashOf(t, a) != hashOf(t, b) {
+			t.Error("fault plan with unfilled defaults hashes differently from its normal form")
+		}
+	})
+}
+
+// Every semantic field change must change the key.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	ref := hashOf(t, TableI(TSOPER))
+	mutations := map[string]func(*Config){
+		"system":       func(c *Config) { c.System = STW },
+		"coherence":    func(c *Config) { c.System = BSP; c.Coherence = CoherenceMESI },
+		"cores":        func(c *Config) { c.Cores = 16 },
+		"store-buffer": func(c *Config) { c.StoreBufferEntries++ },
+		"priv-geom":    func(c *Config) { c.PrivGeom.Ways *= 2 },
+		"llc-geom":     func(c *Config) { c.LLCGeom.SizeBytes *= 2 },
+		"llc-banks":    func(c *Config) { c.LLCBanks = 4 },
+		"priv-hit":     func(c *Config) { c.PrivHit++ },
+		"llc-latency":  func(c *Config) { c.LLCLatency++ },
+		"bank-occ":     func(c *Config) { c.BankOccupancy++ },
+		"sync-latency": func(c *Config) { c.SyncLatency++ },
+		"ag-limit":     func(c *Config) { c.AGLimit-- },
+		"evict-buf":    func(c *Config) { c.EvictBufEntries++ },
+		"bsp-epoch":    func(c *Config) { c.BSPEpochStores++ },
+		"wpq-depth":    func(c *Config) { c.WPQDepth++ },
+		"crash-fault":  func(c *Config) { c.CrashFault = FaultTornGroup },
+		"noc":          func(c *Config) { c.NoC.HopLatency++ },
+		"nvm":          func(c *Config) { c.NVM.WriteLatency++ },
+		"agb":          func(c *Config) { c.AGB.LinesPerSlice++ },
+		"faults": func(c *Config) {
+			s, _ := faultplan.Preset("noc-lossy")
+			c.Faults = &s
+		},
+	}
+	seen := map[string]string{}
+	for name, mutate := range mutations {
+		c := TableI(TSOPER)
+		mutate(&c)
+		h := hashOf(t, c)
+		if h == ref {
+			t.Errorf("%s: semantic change did not change the key", name)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestCanonicalRejectsPersistFilter(t *testing.T) {
+	c := TableI(TSOPER)
+	c.PersistFilter = func(mem.Line) bool { return true }
+	if _, err := c.CanonicalHash(); err == nil {
+		t.Fatal("PersistFilter config must not canonicalize")
+	}
+}
+
+func TestCanonicalJSONDeterministic(t *testing.T) {
+	a, err := TableI(TSOPER).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableI(TSOPER).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("canonical JSON not reproducible")
+	}
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes the eviction victim
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "C" {
+		t.Fatal("c lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheRePut(t *testing.T) {
+	c := newResultCache(4)
+	c.Put("k", []byte("v"))
+	c.Put("k", []byte("v"))
+	if c.Len() != 1 {
+		t.Fatalf("re-put duplicated the entry: len %d", c.Len())
+	}
+}
+
+func TestResultCacheBounded(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("cache grew past its bound: %d", c.Len())
+	}
+}

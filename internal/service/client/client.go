@@ -1,0 +1,224 @@
+// Package client is the typed Go client for a tsoper-serve instance: the
+// load generator, the CI smoke test, and any program that wants simulation
+// results without running simulations locally speak this package instead of
+// raw HTTP.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Client talks to one server. The zero HTTPClient means http.DefaultClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for a base URL like "http://127.0.0.1:7433".
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Base returns the server base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// APIError is a non-2xx response. RetryAfter is populated on 429.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("service: HTTP %d: %s (retry after %s)", e.Status, e.Message, e.RetryAfter)
+	}
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsBackpressure reports whether err is the server shedding load (429).
+func IsBackpressure(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return newAPIError(resp, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func newAPIError(resp *http.Response, raw []byte) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	var doc struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &doc) == nil && doc.Error != "" {
+		apiErr.Message = doc.Error
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Submit submits a job spec. On a cache hit the returned status is already
+// terminal ("done") with CacheHit set; otherwise it is queued (possibly
+// Deduped onto an identical in-flight job). A full queue returns an
+// *APIError with Status 429 and RetryAfter set.
+func (c *Client) Submit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	var st service.JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body), &st)
+	return st, err
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a completed job's result document (the run's Results
+// snapshot JSON, byte-identical for identical specs). It fails with an
+// *APIError carrying 202 semantics if the job is still pending.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, newAPIError(resp, raw)
+	}
+	return raw, nil
+}
+
+// Cancel cancels a queued job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state, then returns it.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Run is submit-wait-result in one call: it returns the result bytes,
+// retrying submission with the server's Retry-After hint under
+// backpressure (up to ctx).
+func (c *Client) Run(ctx context.Context, spec service.JobSpec) ([]byte, service.JobStatus, error) {
+	for {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+				wait := apiErr.RetryAfter
+				if wait <= 0 {
+					wait = time.Second
+				}
+				select {
+				case <-time.After(wait):
+					continue
+				case <-ctx.Done():
+					return nil, st, ctx.Err()
+				}
+			}
+			return nil, st, err
+		}
+		if st.State != "done" {
+			st, err = c.Wait(ctx, st.ID, 0)
+			if err != nil {
+				return nil, st, err
+			}
+		}
+		if st.State != "done" {
+			return nil, st, fmt.Errorf("service: job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		body, err := c.Result(ctx, st.ID)
+		return body, st, err
+	}
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (service.MetricsSnapshot, error) {
+	var m service.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Healthz reports server liveness; a draining server returns an error.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

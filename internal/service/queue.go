@@ -1,0 +1,38 @@
+package service
+
+// queue is the bounded admission queue. Admission is strictly non-blocking:
+// a full queue rejects (the HTTP layer turns that into 429 + Retry-After)
+// so memory stays bounded no matter the offered load. Closing the queue is
+// the drain signal — workers exit once the backlog empties.
+type queue struct {
+	ch chan *job
+}
+
+func newQueue(depth int) *queue {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &queue{ch: make(chan *job, depth)}
+}
+
+// TryPush enqueues without blocking; false means the queue is full.
+// Callers must hold the server mutex (it serializes TryPush against Close).
+func (q *queue) TryPush(j *job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Chan is the workers' dequeue side; it ends when Close is called and the
+// backlog has drained.
+func (q *queue) Chan() <-chan *job { return q.ch }
+
+// Close stops admission. Callers must hold the server mutex.
+func (q *queue) Close() { close(q.ch) }
+
+// Depth is the current backlog; Cap the admission bound.
+func (q *queue) Depth() int { return len(q.ch) }
+func (q *queue) Cap() int   { return cap(q.ch) }

@@ -1,0 +1,40 @@
+package service
+
+import "testing"
+
+func TestQueueAdmission(t *testing.T) {
+	q := newQueue(2)
+	if q.Cap() != 2 {
+		t.Fatalf("cap %d", q.Cap())
+	}
+	a, b, c := &job{id: "a"}, &job{id: "b"}, &job{id: "c"}
+	if !q.TryPush(a) || !q.TryPush(b) {
+		t.Fatal("admission below the bound must succeed")
+	}
+	if q.TryPush(c) {
+		t.Fatal("admission past the bound must fail, not block or grow")
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("depth %d, want 2", q.Depth())
+	}
+	if got := <-q.Chan(); got != a {
+		t.Fatal("FIFO order violated")
+	}
+	if !q.TryPush(c) {
+		t.Fatal("space freed by dequeue must be admissible")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(4)
+	q.TryPush(&job{id: "a"})
+	q.TryPush(&job{id: "b"})
+	q.Close()
+	var n int
+	for range q.Chan() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d jobs, want 2", n)
+	}
+}

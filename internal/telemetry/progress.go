@@ -1,0 +1,66 @@
+package telemetry
+
+// Progress is a sampled view of a running simulation, cheap enough to take
+// every few tens of thousands of events: how many bus events have been
+// observed and the latest simulation cycle seen on the stream. Event count
+// is the service's liveness signal (it grows monotonically while the
+// machine makes progress); the cycle is its position in simulated time.
+type Progress struct {
+	// Events is the number of bus events observed so far.
+	Events uint64 `json:"events"`
+	// Cycle is the latest event timestamp seen, in simulation cycles.
+	Cycle Ticks `json:"cycle"`
+}
+
+// ProgressSink samples the event stream: every Stride events it hands the
+// current Progress to the callback. It is the bridge between a machine's
+// telemetry bus and a live consumer (the service's SSE streams subscribe
+// through it). The sink itself is single-goroutine like the simulation that
+// feeds it; the callback owns any cross-goroutine hand-off.
+type ProgressSink struct {
+	stride uint64
+	fn     func(Progress)
+
+	events uint64
+	cycle  Ticks
+}
+
+// DefaultProgressStride is the sample period used when stride is not
+// positive: coarse enough to be negligible against simulation cost, fine
+// enough that a multi-second job reports many times.
+const DefaultProgressStride = 1 << 16
+
+// NewProgressSink creates a sink sampling every stride events (stride <= 0
+// picks DefaultProgressStride). fn must be non-nil.
+func NewProgressSink(stride int, fn func(Progress)) *ProgressSink {
+	if stride <= 0 {
+		stride = DefaultProgressStride
+	}
+	return &ProgressSink{stride: uint64(stride), fn: fn}
+}
+
+// DefineTrack implements Sink.
+func (p *ProgressSink) DefineTrack(Track, TrackInfo) {}
+
+// Emit implements Sink.
+func (p *ProgressSink) Emit(e Event) {
+	p.events++
+	if e.At > p.cycle {
+		p.cycle = e.At
+	}
+	if p.events%p.stride == 0 {
+		p.fn(Progress{Events: p.events, Cycle: p.cycle})
+	}
+}
+
+// Flush delivers a final sample regardless of stride alignment, so the
+// consumer always sees the end-of-run position. Safe to call on a sink that
+// observed nothing.
+func (p *ProgressSink) Flush() {
+	p.fn(Progress{Events: p.events, Cycle: p.cycle})
+}
+
+// Current returns the latest sample without delivering it.
+func (p *ProgressSink) Current() Progress {
+	return Progress{Events: p.events, Cycle: p.cycle}
+}
