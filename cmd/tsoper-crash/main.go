@@ -19,8 +19,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,91 +31,64 @@ import (
 	"repro/internal/trace"
 )
 
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	bench := flag.String("bench", "radix", "comma-separated benchmark names")
-	system := flag.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
-	crashes := flag.Int("crashes", 40, "crash points per benchmark x system tuple (> 0)")
-	step := flag.Uint64("step", 1500, "cycles between uniform crash points (> 0)")
-	first := flag.Uint64("first", 500, "first uniform crash cycle (> 0)")
-	scale := flag.Float64("scale", 0.3, "workload scale factor (> 0)")
-	seed := flag.Int64("seed", 42, "workload seed")
-	strategy := flag.String("strategy", "uniform", "crash-point strategy: events, uniform, random")
-	campaign := flag.String("campaign", "", "predefined campaign: smoke or mutation (overrides -bench/-system/-strategy)")
-	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write the campaign report to this path as JSON")
-	shrink := flag.Bool("shrink", false, "minimize each failing crash point before reporting it")
-	flag.Parse()
+// usageError marks argument mistakes: run exits 2 for those, 1 for
+// runtime findings.
+type usageError struct{ err error }
 
-	if *crashes <= 0 {
-		usageErr("-crashes must be positive, got %d", *crashes)
-	}
-	if *step == 0 {
-		usageErr("-step must be positive")
-	}
-	if *first == 0 {
-		usageErr("-first must be positive")
-	}
-	if *scale <= 0 {
-		usageErr("-scale must be positive, got %g", *scale)
-	}
-	strat, ok := crashmc.ParseStrategy(*strategy)
-	if !ok {
-		usageErr("unknown strategy %q (want events, uniform, or random)", *strategy)
+func (u usageError) Error() string { return u.err.Error() }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsoper-crash", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "radix", "comma-separated benchmark names")
+	system := fs.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
+	crashes := fs.Int("crashes", 40, "crash points per benchmark x system tuple (> 0)")
+	step := fs.Uint64("step", 1500, "cycles between uniform crash points (> 0)")
+	first := fs.Uint64("first", 500, "first uniform crash cycle (> 0)")
+	scale := fs.Float64("scale", 0.3, "workload scale factor (> 0)")
+	seed := fs.Int64("seed", 42, "workload seed")
+	strategy := fs.String("strategy", "uniform", "crash-point strategy: events, uniform, random")
+	campaign := fs.String("campaign", "", "predefined campaign: smoke or mutation (overrides -bench/-system/-strategy)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write the campaign report to this path as JSON")
+	shrink := fs.Bool("shrink", false, "minimize each failing crash point before reporting it")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
 
-	var report *crashmc.Report
-	var err error
-	switch *campaign {
-	case "":
-		report, err = runSweep(*bench, *system, *crashes, *first, *step, *scale, *seed, strat, *parallel, *shrink)
-	case "smoke":
-		crashesSet := false
-		flag.Visit(func(f *flag.Flag) { crashesSet = crashesSet || f.Name == "crashes" })
-		points := 50 // x 2 adversaries x 2 systems = 200 injections
-		if crashesSet {
-			points = *crashes
-		}
-		report, err = crashmc.Run(crashmc.Spec{
-			Name:       "smoke",
-			Benchmarks: crashmc.Adversaries()[:2],
-			Systems:    []machine.SystemKind{machine.TSOPER, machine.STW},
-			Seed:       *seed,
-			Points:     points,
-			Strategy:   crashmc.StrategyEvents,
-			Parallel:   *parallel,
-			Shrink:     *shrink,
-		})
-		if report != nil {
-			fmt.Println(report.Summary())
-		}
-	case "mutation":
-		report, err = runMutation(*seed, *crashes)
-	default:
-		usageErr("unknown campaign %q (want smoke or mutation)", *campaign)
+	report, err := dispatch(fs, stdout, *bench, *system, *crashes, *first, *step,
+		*scale, *seed, *strategy, *campaign, *parallel, *shrink)
+	var uerr usageError
+	if errors.As(err, &uerr) {
+		fmt.Fprintln(stderr, uerr.Error())
+		fs.Usage()
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		if report == nil {
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	if *jsonPath != "" {
 		if werr := report.WriteJSONFile(*jsonPath); werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
+			fmt.Fprintln(stderr, werr)
+			return 1
 		}
 	}
 	for _, inj := range report.Violations {
-		fmt.Fprintf(os.Stderr, "VIOLATION %s/%s @%d: %s\n", inj.Benchmark, inj.System, inj.At, inj.Violation)
+		fmt.Fprintf(stderr, "VIOLATION %s/%s @%d: %s\n", inj.Benchmark, inj.System, inj.At, inj.Violation)
 		if inj.Shrunk != nil {
-			fmt.Fprintf(os.Stderr, "  shrunk: %s\n", inj.Shrunk)
+			fmt.Fprintf(stderr, "  shrunk: %s\n", inj.Shrunk)
 		}
 	}
 	for _, k := range report.Kills {
@@ -121,23 +96,76 @@ func main() {
 		if !k.Killed {
 			status = "SURVIVED"
 		}
-		fmt.Printf("mutant %-16s -> rule %-15s %s (applied at %d of %d points)\n",
+		fmt.Fprintf(stdout, "mutant %-16s -> rule %-15s %s (applied at %d of %d points)\n",
 			k.Fault, k.Expected, status, k.Applied, k.Tried)
 	}
 	if !report.Clean() || err != nil {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// dispatch validates the mode arguments and runs the selected campaign.
+func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, system string, crashes int,
+	first, step uint64, scale float64, seed int64, strategy, campaign string,
+	parallel int, shrink bool) (*crashmc.Report, error) {
+	if crashes <= 0 {
+		return nil, usagef("-crashes must be positive, got %d", crashes)
+	}
+	if step == 0 {
+		return nil, usagef("-step must be positive")
+	}
+	if first == 0 {
+		return nil, usagef("-first must be positive")
+	}
+	if scale <= 0 {
+		return nil, usagef("-scale must be positive, got %g", scale)
+	}
+	strat, ok := crashmc.ParseStrategy(strategy)
+	if !ok {
+		return nil, usagef("unknown strategy %q (want events, uniform, or random)", strategy)
+	}
+
+	switch campaign {
+	case "":
+		return runSweep(stdout, bench, system, crashes, first, step, scale, seed, strat, parallel, shrink)
+	case "smoke":
+		points := 50 // x 2 adversaries x 2 systems = 200 injections
+		crashesSet := false
+		fs.Visit(func(f *flag.Flag) { crashesSet = crashesSet || f.Name == "crashes" })
+		if crashesSet {
+			points = crashes
+		}
+		report, err := crashmc.Run(crashmc.Spec{
+			Name:       "smoke",
+			Benchmarks: crashmc.Adversaries()[:2],
+			Systems:    []machine.SystemKind{machine.TSOPER, machine.STW},
+			Seed:       seed,
+			Points:     points,
+			Strategy:   crashmc.StrategyEvents,
+			Parallel:   parallel,
+			Shrink:     shrink,
+		})
+		if report != nil {
+			fmt.Fprintln(stdout, report.Summary())
+		}
+		return report, err
+	case "mutation":
+		return runMutation(seed, crashes)
+	default:
+		return nil, usagef("unknown campaign %q (want smoke or mutation)", campaign)
 	}
 }
 
 // runSweep is the legacy single-cell mode, generalized to comma-separated
 // benchmark/system lists, with the per-crash-point output lines preserved.
-func runSweep(benches, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink bool) (*crashmc.Report, error) {
+func runSweep(stdout io.Writer, benches, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink bool) (*crashmc.Report, error) {
 	var profiles []trace.Profile
 	for _, name := range strings.Split(benches, ",") {
 		p, ok := trace.ByName(strings.TrimSpace(name))
 		if !ok {
 			if p, ok = crashmc.Adversary(strings.TrimSpace(name)); !ok {
-				usageErr("unknown benchmark %q", name)
+				return nil, usagef("unknown benchmark %q", name)
 			}
 		}
 		profiles = append(profiles, p)
@@ -150,7 +178,7 @@ func runSweep(benches, systems string, crashes int, first, step uint64, scale fl
 		case "stw":
 			kinds = append(kinds, machine.STW)
 		default:
-			usageErr("crash checking requires a strict system (tsoper or stw), got %q", name)
+			return nil, usagef("crash checking requires a strict system (tsoper or stw), got %q", name)
 		}
 	}
 	report, err := crashmc.Run(crashmc.Spec{
@@ -175,10 +203,10 @@ func runSweep(benches, systems string, crashes int, first, step uint64, scale fl
 		if inj.Violation != "" {
 			status = inj.Violation
 		}
-		fmt.Printf("%s/%s crash @%8d: %3d/%3d groups durable — %s\n",
+		fmt.Fprintf(stdout, "%s/%s crash @%8d: %3d/%3d groups durable — %s\n",
 			inj.Benchmark, inj.System, inj.At, inj.Durable, inj.Groups, status)
 	}
-	fmt.Printf("\n%s\n", report.Summary())
+	fmt.Fprintf(stdout, "\n%s\n", report.Summary())
 	return report, nil
 }
 

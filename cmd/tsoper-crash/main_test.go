@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CLI contract: 0 clean, 1 findings, 2 usage.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		argv   []string
+		want   int
+		slow   bool
+		stderr string
+	}{
+		{name: "bad flag", argv: []string{"-nonsense"}, want: 2},
+		{name: "non-positive crashes", argv: []string{"-crashes", "0"}, want: 2, stderr: "-crashes must be positive"},
+		{name: "zero step", argv: []string{"-step", "0"}, want: 2, stderr: "-step must be positive"},
+		{name: "zero first", argv: []string{"-first", "0"}, want: 2, stderr: "-first must be positive"},
+		{name: "non-positive scale", argv: []string{"-scale", "-1"}, want: 2, stderr: "-scale must be positive"},
+		{name: "unknown strategy", argv: []string{"-strategy", "psychic"}, want: 2, stderr: "unknown strategy"},
+		{name: "unknown campaign", argv: []string{"-campaign", "lunch"}, want: 2, stderr: "unknown campaign"},
+		{name: "unknown benchmark", argv: []string{"-bench", "doom"}, want: 2, stderr: "unknown benchmark"},
+		{name: "non-strict system", argv: []string{"-system", "bsp"}, want: 2, stderr: "strict system"},
+		{
+			name: "clean sweep",
+			argv: []string{"-bench", "radix", "-system", "tsoper", "-crashes", "2", "-scale", "0.05"},
+			want: 0, slow: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("runs a real campaign")
+			}
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			got := run(tc.argv, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", tc.argv, got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}

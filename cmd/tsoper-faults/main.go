@@ -18,8 +18,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,110 +31,146 @@ import (
 	"repro/internal/trace"
 )
 
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	bench := flag.String("bench", "radix", "comma-separated benchmark names")
-	system := flag.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
-	schedule := flag.String("schedule", "", "comma-separated fault schedules (default: every preset)")
-	points := flag.Int("points", 10, "crash points per benchmark x system x schedule cell (> 0)")
-	scale := flag.Float64("scale", 0.3, "workload scale factor (> 0)")
-	seed := flag.Int64("seed", 42, "workload seed")
-	campaign := flag.String("campaign", "", "predefined campaign: smoke (overrides -bench/-system/-schedule)")
-	parallel := flag.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write the campaign report to this path as JSON")
-	benchJSON := flag.String("bench-json", "", "write benchjson-compatible cycle horizons to this path")
-	flag.Parse()
+// usageError marks argument mistakes: run exits 2 for those, 1 for
+// runtime findings (stalls, lost persists, checker violations).
+type usageError struct{ err error }
 
-	if *points <= 0 {
-		usageErr("-points must be positive, got %d", *points)
-	}
-	if *scale <= 0 {
-		usageErr("-scale must be positive, got %g", *scale)
+func (u usageError) Error() string { return u.err.Error() }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsoper-faults", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "radix", "comma-separated benchmark names")
+	system := fs.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
+	schedule := fs.String("schedule", "", "comma-separated fault schedules (default: every preset)")
+	points := fs.Int("points", 10, "crash points per benchmark x system x schedule cell (> 0)")
+	scale := fs.Float64("scale", 0.3, "workload scale factor (> 0)")
+	seed := fs.Int64("seed", 42, "workload seed")
+	campaign := fs.String("campaign", "", "predefined campaign: smoke (overrides -bench/-system/-schedule)")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write the campaign report to this path as JSON")
+	benchJSON := fs.String("bench-json", "", "write benchjson-compatible cycle horizons to this path")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
 
-	var spec crashmc.ResilienceSpec
-	switch *campaign {
-	case "":
-		spec = crashmc.ResilienceSpec{
-			Name:       "sweep",
-			Benchmarks: parseBenches(*bench),
-			Systems:    parseSystems(*system),
-			Schedules:  parseSchedules(*schedule),
-			Scale:      *scale,
-			Seed:       *seed,
-			Points:     *points,
-			Parallel:   *parallel,
-		}
-	case "smoke":
-		spec = crashmc.ResilienceSpec{
-			Name:       "smoke",
-			Benchmarks: crashmc.Adversaries()[:2],
-			Systems:    []machine.SystemKind{machine.TSOPER},
-			Schedules:  faultplan.Presets(),
-			Scale:      *scale,
-			Seed:       *seed,
-			Points:     *points,
-			Parallel:   *parallel,
-		}
-	default:
-		usageErr("unknown campaign %q (want smoke)", *campaign)
+	spec, err := buildSpec(*bench, *system, *schedule, *points, *scale, *seed, *campaign, *parallel)
+	var uerr usageError
+	if errors.As(err, &uerr) {
+		fmt.Fprintln(stderr, uerr.Error())
+		fs.Usage()
+		return 2
 	}
 
 	report, err := crashmc.RunResilience(spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		// A failed campaign is a runtime finding, not an argument mistake.
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	for _, c := range report.Cells {
-		fmt.Printf("%s/%s under %-14s %8d -> %8d cycles (%+.1f%%), %4d faults, %d points (%d partial): %s\n",
+		fmt.Fprintf(stdout, "%s/%s under %-14s %8d -> %8d cycles (%+.1f%%), %4d faults, %d points (%d partial): %s\n",
 			c.Benchmark, c.System, c.Schedule, c.BaselineCycles, c.FaultedCycles, c.OverheadPct,
 			c.Counts.Injected(), c.Points, c.Partial, c.Counts)
 		for _, inc := range c.Incidents {
-			fmt.Fprintf(os.Stderr, "INCIDENT %s/%s/%s @%d [%s]: %s\n",
+			fmt.Fprintf(stderr, "INCIDENT %s/%s/%s @%d [%s]: %s\n",
 				inc.Benchmark, inc.System, inc.Schedule, inc.At, inc.Kind, inc.Detail)
 		}
 	}
-	fmt.Printf("\n%s\n", report.Summary())
+	fmt.Fprintf(stdout, "\n%s\n", report.Summary())
 
 	if *jsonPath != "" {
 		if werr := report.WriteJSONFile(*jsonPath); werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
+			fmt.Fprintln(stderr, werr)
+			return 1
 		}
 	}
 	if *benchJSON != "" {
 		if werr := report.WriteBenchJSONFile(*benchJSON); werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
+			fmt.Fprintln(stderr, werr)
+			return 1
 		}
 	}
 	if !report.Clean() {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// buildSpec validates the mode flags into a campaign spec.
+func buildSpec(bench, system, schedule string, points int, scale float64, seed int64, campaign string, parallel int) (crashmc.ResilienceSpec, error) {
+	var spec crashmc.ResilienceSpec
+	if points <= 0 {
+		return spec, usagef("-points must be positive, got %d", points)
+	}
+	if scale <= 0 {
+		return spec, usagef("-scale must be positive, got %g", scale)
+	}
+	switch campaign {
+	case "":
+		profiles, err := parseBenches(bench)
+		if err != nil {
+			return spec, err
+		}
+		systems, err := parseSystems(system)
+		if err != nil {
+			return spec, err
+		}
+		schedules, err := parseSchedules(schedule)
+		if err != nil {
+			return spec, err
+		}
+		return crashmc.ResilienceSpec{
+			Name:       "sweep",
+			Benchmarks: profiles,
+			Systems:    systems,
+			Schedules:  schedules,
+			Scale:      scale,
+			Seed:       seed,
+			Points:     points,
+			Parallel:   parallel,
+		}, nil
+	case "smoke":
+		return crashmc.ResilienceSpec{
+			Name:       "smoke",
+			Benchmarks: crashmc.Adversaries()[:2],
+			Systems:    []machine.SystemKind{machine.TSOPER},
+			Schedules:  faultplan.Presets(),
+			Scale:      scale,
+			Seed:       seed,
+			Points:     points,
+			Parallel:   parallel,
+		}, nil
+	default:
+		return spec, usagef("unknown campaign %q (want smoke)", campaign)
 	}
 }
 
-func parseBenches(names string) []trace.Profile {
+func parseBenches(names string) ([]trace.Profile, error) {
 	var profiles []trace.Profile
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		p, ok := trace.ByName(name)
 		if !ok {
 			if p, ok = crashmc.Adversary(name); !ok {
-				usageErr("unknown benchmark %q", name)
+				return nil, usagef("unknown benchmark %q", name)
 			}
 		}
 		profiles = append(profiles, p)
 	}
-	return profiles
+	return profiles, nil
 }
 
-func parseSystems(names string) []machine.SystemKind {
+func parseSystems(names string) ([]machine.SystemKind, error) {
 	var kinds []machine.SystemKind
 	for _, name := range strings.Split(names, ",") {
 		switch strings.TrimSpace(name) {
@@ -141,24 +179,24 @@ func parseSystems(names string) []machine.SystemKind {
 		case "stw":
 			kinds = append(kinds, machine.STW)
 		default:
-			usageErr("resilience checking requires a strict system (tsoper or stw), got %q", name)
+			return nil, usagef("resilience checking requires a strict system (tsoper or stw), got %q", name)
 		}
 	}
-	return kinds
+	return kinds, nil
 }
 
-func parseSchedules(names string) []faultplan.Spec {
+func parseSchedules(names string) ([]faultplan.Spec, error) {
 	if strings.TrimSpace(names) == "" {
-		return nil // RunResilience defaults to every preset
+		return nil, nil // RunResilience defaults to every preset
 	}
 	var specs []faultplan.Spec
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
 		sch, ok := faultplan.Preset(name)
 		if !ok {
-			usageErr("unknown fault schedule %q (presets: %s)", name, strings.Join(faultplan.PresetNames(), ", "))
+			return nil, usagef("unknown fault schedule %q (presets: %s)", name, strings.Join(faultplan.PresetNames(), ", "))
 		}
 		specs = append(specs, sch)
 	}
-	return specs
+	return specs, nil
 }

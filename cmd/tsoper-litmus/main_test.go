@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/litmus"
+)
+
+// TestExitCodes pins the CLI contract: 0 clean, 1 conformance violations or
+// surviving mutants, 2 usage errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		argv   []string
+		want   int
+		slow   bool
+		stderr string
+	}{
+		{name: "bad flag", argv: []string{"-nonsense"}, want: 2},
+		{name: "stray arguments", argv: []string{"stray"}, want: 2, stderr: "unexpected arguments"},
+		{name: "unknown scheduler", argv: []string{"-scheduler", "fifo"}, want: 2},
+		{name: "unknown preset", argv: []string{"-faults", "blizzard"}, want: 2, stderr: "unknown fault preset"},
+		{name: "unknown crash fault", argv: []string{"-fault", "gremlin"}, want: 2, stderr: "unknown crash fault"},
+		{name: "unknown test", argv: []string{"-test", "zz"}, want: 2, stderr: "unknown corpus test"},
+		{name: "list", argv: []string{"-list"}, want: 0},
+		{
+			name: "single test conforms",
+			argv: []string{"-test", "mp", "-scheduler", "wheel", "-faults", "none", "-no-mutation"},
+			want: 0, slow: true,
+		},
+		{
+			name: "injected fault fails",
+			argv: []string{"-test", "epoch-atomic", "-scheduler", "wheel", "-faults", "none", "-fault", "torn-group", "-no-mutation"},
+			want: 1, slow: true, stderr: "violation",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("runs a real exploration")
+			}
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			got := run(tc.argv, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", tc.argv, got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestJSONReport checks the -json artifact parses back into a report with
+// the expected tallies.
+func TestJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real exploration")
+	}
+	path := filepath.Join(t.TempDir(), "litmus.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-test", "sb", "-scheduler", "both", "-faults", "none", "-no-mutation", "-json", path},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep litmus.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tests != 2 || rep.Conforming != 2 || rep.Violating != 0 {
+		t.Errorf("report tallies = %d/%d/%d, want 2 explorations all conforming",
+			rep.Tests, rep.Conforming, rep.Violating)
+	}
+	if len(rep.Axes) != 2 {
+		t.Errorf("axes = %v, want wheel and heap", rep.Axes)
+	}
+}
+
+// TestWriteCorpusRegeneratesGoldenFiles round-trips the generator through
+// -write-corpus into a scratch directory.
+func TestWriteCorpusRegeneratesGoldenFiles(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-corpus", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := litmus.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(want) {
+		t.Fatalf("wrote %d files, want %d", len(files), len(want))
+	}
+}

@@ -16,6 +16,18 @@ import (
 // are thinned by an even stride so coverage stays spread across the run
 // (budget <= 0 keeps everything).
 func Harvest(p trace.Profile, cfg machine.Config, seed int64, budget int) ([]uint64, uint64) {
+	points, horizon, err := HarvestWorkload(cfg, trace.Generate(p, cfg.Cores, seed), budget)
+	if err != nil {
+		panic("crashmc: " + err.Error())
+	}
+	return points, horizon
+}
+
+// HarvestWorkload is Harvest for an explicit workload (the litmus explorer
+// supplies hand-built per-core programs rather than generated profiles). It
+// returns wedged-run failures — watchdog stalls, deadlocks, lost persists —
+// as errors instead of panicking.
+func HarvestWorkload(cfg machine.Config, w *trace.Workload, budget int) ([]uint64, uint64, error) {
 	seen := map[uint64]bool{}
 	cfg.Probe = func(e machine.Event) {
 		seen[uint64(e.At)] = true
@@ -23,10 +35,12 @@ func Harvest(p trace.Profile, cfg machine.Config, seed int64, budget int) ([]uin
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
-		panic("crashmc: " + err.Error())
+		return nil, 0, err
 	}
-	w := trace.Generate(p, cfg.Cores, seed)
-	res := m.Run(w)
+	res, err := m.RunChecked(w)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	points := make([]uint64, 0, len(seen))
 	for at := range seen {
@@ -42,7 +56,7 @@ func Harvest(p trace.Profile, cfg machine.Config, seed int64, budget int) ([]uin
 		}
 		points = thinned
 	}
-	return points, uint64(res.DrainCycles)
+	return points, uint64(res.DrainCycles), nil
 }
 
 // RandomPoints returns n seeded random crash cycles in [1, horizon],

@@ -1,0 +1,158 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/faultplan"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func mustFault(t *testing.T, name string) machine.CrashFault {
+	t.Helper()
+	f, ok := machine.ParseCrashFault(name)
+	if !ok {
+		t.Fatalf("unknown crash fault %q", name)
+	}
+	return f
+}
+
+// TestCorpusMatchesGenerator pins the embedded golden corpus to the
+// reference model: regenerating must reproduce every file byte-for-byte,
+// so a model change that shifts any oracle shows up as a corpus diff.
+func TestCorpusMatchesGenerator(t *testing.T) {
+	tests, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) < 20 {
+		t.Fatalf("corpus has %d tests, want at least 20", len(tests))
+	}
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(tests) {
+		t.Fatalf("embedded corpus has %d files, generator yields %d tests", len(entries), len(tests))
+	}
+	for i, tt := range tests {
+		name := CorpusFileName(i, tt.Name)
+		want, err := MarshalIndentTest(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := corpusFS.ReadFile("corpus/" + name)
+		if err != nil {
+			t.Fatalf("corpus/%s missing: %v (regenerate with tsoper-litmus -write-corpus)", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("corpus/%s is stale: regenerate with tsoper-litmus -write-corpus internal/litmus/corpus", name)
+		}
+	}
+}
+
+// TestCorpusConformance is the oracle gate: every corpus test, driven
+// through the machine across the full perturbation sweep and harvested
+// crash points, must reach exactly its allowed outcome set with the
+// checker agreeing on every state.
+func TestCorpusConformance(t *testing.T) {
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.Name, func(t *testing.T) {
+			t.Parallel()
+			r := Explore(tt, Default())
+			if err := r.Err(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCorpusConformanceHeap repeats the gate under the reference heap
+// scheduler (the cheap byte-identity sweep lives in the repo-root
+// differential suite; this is the full-coverage pass).
+func TestCorpusConformanceHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap coverage pass duplicates the wheel gate; short mode keeps one")
+	}
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.Name, func(t *testing.T) {
+			t.Parallel()
+			o := Default()
+			o.Scheduler = sim.SchedulerHeap
+			r := Explore(tt, o)
+			if err := r.Err(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCorpusUnderFaultPresets asserts soundness and checker agreement with
+// runtime fault injection active: recovered resilience faults must never
+// manufacture a durable outcome the model forbids. Coverage is waived —
+// injected failures legitimately narrow reachability.
+func TestCorpusUnderFaultPresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-preset sweep doubles the corpus cost")
+	}
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nvm-transient", "noc-lossy"} {
+		preset, ok := faultplan.Preset(name)
+		if !ok {
+			t.Fatalf("missing fault preset %q", name)
+		}
+		for _, tt := range tests {
+			tt, preset := tt, preset
+			t.Run(name+"/"+tt.Name, func(t *testing.T) {
+				t.Parallel()
+				o := Default()
+				o.Faults = &preset
+				o.Coverage = false
+				r := Explore(tt, o)
+				if err := r.Err(); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// TestExploreDetectsInjectedFault is the demonstrably-failing run: with a
+// persistency fault corrupting recovered states, exploration must produce
+// violations, and a clean Explore of the same test must not.
+func TestExploreDetectsInjectedFault(t *testing.T) {
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, ok := Find(tests, "epoch-atomic")
+	if !ok {
+		t.Fatal("corpus lost epoch-atomic")
+	}
+	o := Default()
+	o.Coverage = false
+	if err := Explore(tt, o).Err(); err != nil {
+		t.Fatalf("clean exploration must conform: %v", err)
+	}
+	o.Fault = mustFault(t, "torn-group")
+	r := Explore(tt, o)
+	if r.Conforms() {
+		t.Fatal("torn-group injection produced no violation")
+	}
+	if r.FaultApplied == 0 {
+		t.Fatal("fault never found a target")
+	}
+}

@@ -1,0 +1,67 @@
+package litmus
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed corpus/*.json
+var corpusFS embed.FS
+
+// CorpusFileName derives the golden file name of corpus entry i: a
+// position prefix (ordering is part of the golden contract) plus the test
+// name with characters unfit for file names replaced.
+func CorpusFileName(i int, name string) string {
+	return fmt.Sprintf("%02d-%s.json", i+1, strings.ReplaceAll(name, "+", "p"))
+}
+
+// MarshalIndentTest renders a test in the corpus golden-file form.
+func MarshalIndentTest(t *Test) ([]byte, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Corpus loads the embedded golden corpus, validated, in file order.
+func Corpus() ([]*Test, error) {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var tests []*Test
+	for _, name := range names {
+		data, err := corpusFS.ReadFile("corpus/" + name)
+		if err != nil {
+			return nil, err
+		}
+		t := new(Test)
+		if err := json.Unmarshal(data, t); err != nil {
+			return nil, fmt.Errorf("corpus/%s: %w", name, err)
+		}
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus/%s: %w", name, err)
+		}
+		tests = append(tests, t)
+	}
+	return tests, nil
+}
+
+// Find returns the corpus test with the given name.
+func Find(tests []*Test, name string) (*Test, bool) {
+	for _, t := range tests {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,283 @@
+package litmus
+
+import (
+	"fmt"
+)
+
+// Corpus generator. Shapes are written by hand; oracles are not: Generate
+// computes each test's Allowed set with the reference model and curates
+// Forbidden from the complement, so the golden corpus can never encode a
+// hand-miscalculated outcome. A conformance test pins corpus/ == Generate()
+// byte-for-byte, making any model change that shifts an oracle visible in
+// review.
+//
+// Shape rules (machine/model parity):
+//
+//   - every store is marker-closed (Validate enforces; RunWithCrash never
+//     drains open groups, so an unclosed store could never persist and
+//     coverage would be unreachable);
+//   - shapes where another core touches a line use one marker per store:
+//     remote reads and writes freeze the owner's open group, and a
+//     single-store group frozen early has the same membership as at its
+//     marker;
+//   - multi-store persist epochs keep their lines private to the writing
+//     core — a remote touch mid-epoch would split the group and tear the
+//     epoch the model treats as atomic.
+
+// DSL: variable indices name Test.Vars positions.
+func st(v, val int) Op  { return Op{Kind: OpStore, Var: v, Val: val} }
+func ld(v int) Op       { return Op{Kind: OpLoad, Var: v} }
+func mf() Op            { return Op{Kind: OpMFence} }
+func rmw(v, val int) Op { return Op{Kind: OpRMW, Var: v, Val: val} }
+func mk() Op            { return Op{Kind: OpMarker} }
+
+// maxForbidden caps the curated complement per test.
+const maxForbidden = 8
+
+// shapes lists the corpus in canonical order (file names are derived from
+// the position, so ordering is part of the golden contract).
+func shapes() []*Test {
+	return []*Test{
+		{
+			Name: "sb",
+			Doc:  "store buffering: independent stores, cross loads; all four durable states are TSO-consistent cuts",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), ld(1)},
+				{st(1, 1), mk(), ld(0)},
+			},
+		},
+		{
+			Name: "sb-fence",
+			Doc:  "store buffering with MFENCE before the loads; fences drain store buffers but add no persist ordering",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mf(), mk(), ld(1)},
+				{st(1, 1), mf(), mk(), ld(0)},
+			},
+		},
+		{
+			Name: "mp",
+			Doc:  "message passing: same-core stores persist in program order, so y=1 durable implies x=1 durable",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{ld(1), ld(0)},
+			},
+		},
+		{
+			Name: "mp-fence",
+			Doc:  "message passing with fences on both sides; the persist-order guarantee is unchanged",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mf(), mk(), st(1, 1), mk()},
+				{ld(1), mf(), ld(0)},
+			},
+		},
+		{
+			Name: "corr",
+			Doc:  "coherent read-read: one writer core, racing reader; durable x follows coherence order",
+			Vars: []string{"x"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(0, 2), mk()},
+				{ld(0), ld(0)},
+			},
+		},
+		{
+			Name: "coww",
+			Doc:  "coherent write-write, single core: the newer durable version always shadows the older",
+			Vars: []string{"x"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(0, 2), mk()},
+			},
+		},
+		{
+			Name: "wrc",
+			Doc:  "write-to-read causality: the middle core's read-inclusion dependency chains x before y whenever the read observed dirty data",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk()},
+				{ld(0), mk(), st(1, 1), mk()},
+				{ld(1), ld(0)},
+			},
+		},
+		{
+			Name: "2+2w",
+			Doc:  "2+2W: both cores write both variables in opposite order; per-core prefixes bound the durable combinations",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 2), mk()},
+				{st(1, 1), mk(), st(0, 2), mk()},
+			},
+		},
+		{
+			Name: "iriw",
+			Doc:  "IRIW: two writers, two readers in opposite order; durable states are per-writer independent",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk()},
+				{st(1, 1), mk()},
+				{ld(0), ld(1)},
+				{ld(1), ld(0)},
+			},
+		},
+		{
+			Name: "iriw-fence",
+			Doc:  "IRIW with fenced readers; reader fences cannot constrain durability",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk()},
+				{st(1, 1), mk()},
+				{ld(0), mf(), ld(1)},
+				{ld(1), mf(), ld(0)},
+			},
+		},
+		{
+			Name: "r",
+			Doc:  "R: writer chain against a conflicting writer that then reads",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{st(1, 2), mk(), ld(0)},
+			},
+		},
+		{
+			Name: "s",
+			Doc:  "S: read then dependent write, marker-separated — the read's inclusion group chains through the core's prefix order",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{ld(1), mk(), st(0, 2), mk()},
+			},
+		},
+		{
+			Name: "s-epoch",
+			Doc:  "S with the read and the write fused into one persist epoch: read inclusion puts the observed line in the writing group",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{ld(1), st(0, 2), mk()},
+			},
+		},
+		{
+			Name: "epoch-atomic",
+			Doc:  "one two-store persist epoch: both stores persist atomically or not at all",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), st(1, 1), mk()},
+			},
+		},
+		{
+			Name: "epoch-chain",
+			Doc:  "a two-store epoch followed by a dependent single-store epoch on the same core",
+			Vars: []string{"x", "y", "z"},
+			Cores: [][]Op{
+				{st(0, 1), st(1, 1), mk(), st(2, 1), mk()},
+			},
+		},
+		{
+			Name: "epoch-pair",
+			Doc:  "two cores, disjoint two-store epochs: tearing within either epoch is forbidden, cross-core combinations are free",
+			Vars: []string{"x", "y", "z", "w"},
+			Cores: [][]Op{
+				{st(0, 1), st(1, 1), mk()},
+				{st(2, 1), st(3, 1), mk()},
+			},
+		},
+		{
+			Name: "epoch-rmw",
+			Doc:  "a two-store epoch chained before a lock-prefixed RMW epoch; the RMW's fences do not reorder persists",
+			Vars: []string{"x", "y", "z"},
+			Cores: [][]Op{
+				{st(0, 1), st(1, 1), mk(), rmw(2, 1), mk()},
+			},
+		},
+		{
+			Name: "rmw-sb",
+			Doc:  "store buffering with lock-prefixed RMWs: atomics drain the store buffer but durability stays per-core independent",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{rmw(0, 1), mk(), ld(1)},
+				{rmw(1, 1), mk(), ld(0)},
+			},
+		},
+		{
+			Name: "rmw-mp",
+			Doc:  "message passing where the flag publish is a lock-prefixed RMW",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), rmw(1, 1), mk()},
+				{ld(1), ld(0)},
+			},
+		},
+		{
+			Name: "fence-drain",
+			Doc:  "fences after every store force store-buffer drains between persist epochs; prefix order is unchanged",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mf(), mk(), st(1, 1), mf(), mk()},
+				{ld(0), ld(1)},
+			},
+		},
+		{
+			Name: "chain",
+			Doc:  "four marker-separated stores on one core: durable states are exactly the program-order prefixes",
+			Vars: []string{"x", "y", "z", "w"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk(), st(2, 1), mk(), st(3, 1), mk()},
+			},
+		},
+		{
+			Name: "drain-storm",
+			Doc:  "three cores, two sequential epochs each: maximizes concurrent AGB drains so harvested crash points land mid-drain",
+			Vars: []string{"a", "b", "c", "d", "e", "f"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{st(2, 1), mk(), st(3, 1), mk()},
+				{st(4, 1), mk(), st(5, 1), mk()},
+			},
+		},
+		{
+			Name: "waw-cross",
+			Doc:  "conflicting writers: the overwritten version must persist before the overwriter (WAW persist dependency)",
+			Vars: []string{"x"},
+			Cores: [][]Op{
+				{st(0, 1), mk()},
+				{st(0, 2), mk()},
+			},
+		},
+		{
+			Name: "waw-chain",
+			Doc:  "two cores writing the same two variables in the same order: WAW dependencies interleave with per-core prefixes",
+			Vars: []string{"x", "y"},
+			Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{st(0, 2), mk(), st(1, 2), mk()},
+			},
+		},
+	}
+}
+
+// Generate builds the corpus: every shape validated, its Allowed set
+// computed by the reference model, and Forbidden curated from the
+// complement of observable per-variable values.
+func Generate() ([]*Test, error) {
+	tests := shapes()
+	names := map[string]bool{}
+	for _, t := range tests {
+		if names[t.Name] {
+			return nil, fmt.Errorf("litmus: duplicate corpus test %q", t.Name)
+		}
+		names[t.Name] = true
+		allowed, err := t.AllowedOutcomes()
+		if err != nil {
+			return nil, err
+		}
+		t.Allowed = allowed
+		t.Forbidden = complementSample(t, allowed, maxForbidden)
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return tests, nil
+}

@@ -1,0 +1,399 @@
+package litmus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// OpKind is the kind of one litmus-program operation.
+type OpKind uint8
+
+const (
+	// OpStore writes Val to Var.
+	OpStore OpKind = iota
+	// OpLoad reads Var (loads steer coherence traffic and persist
+	// dependencies; the oracle observes durable state, not registers).
+	OpLoad
+	// OpMFence drains the store buffer (x86 MFENCE).
+	OpMFence
+	// OpRMW is a lock-prefixed read-modify-write, modeled as an atomic
+	// fenced store: the store buffer drains, Val is written to Var, and the
+	// write is globally visible before the next operation issues.
+	OpRMW
+	// OpMarker closes the core's current atomic group (§II-D), ending the
+	// persist epoch: stores on either side of a marker never persist
+	// atomically together.
+	OpMarker
+)
+
+// Op is one operation of a per-core litmus program.
+type Op struct {
+	Kind OpKind
+	// Var indexes Test.Vars (stores, loads, RMW).
+	Var int
+	// Val is the value written (stores, RMW). Values must be unique per
+	// variable across the whole test so durable outcomes decode uniquely;
+	// 0 is reserved for the initial contents.
+	Val int
+}
+
+// Test is one litmus test: named shared variables, a program per core, and
+// the declared durable-outcome oracle.
+type Test struct {
+	Name string
+	Doc  string
+	// Vars names the shared variables; variable i lives in its own
+	// cacheline.
+	Vars  []string
+	Cores [][]Op
+	// Allowed is the exact set of durable outcomes the Px86 strict-
+	// persistency model permits (canonical encodings, sorted). Conformance
+	// requires the machine's reachable set to equal it.
+	Allowed []string
+	// Forbidden curates the interesting disallowed outcomes — the shapes
+	// the shape's name is about. Reaching one fails with a sharper message
+	// than a generic not-in-Allowed; the sets must be disjoint.
+	Forbidden []string
+}
+
+// ---- op string form ("st x 1", "ld x", "mf", "rmw x 2", "mk") ----
+
+// format renders the op in the corpus wire form.
+func (o Op) format(vars []string) string {
+	switch o.Kind {
+	case OpStore:
+		return fmt.Sprintf("st %s %d", vars[o.Var], o.Val)
+	case OpLoad:
+		return fmt.Sprintf("ld %s", vars[o.Var])
+	case OpMFence:
+		return "mf"
+	case OpRMW:
+		return fmt.Sprintf("rmw %s %d", vars[o.Var], o.Val)
+	case OpMarker:
+		return "mk"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o.Kind))
+	}
+}
+
+func parseOp(s string, vars []string) (Op, error) {
+	varIndex := func(name string) (int, error) {
+		for i, v := range vars {
+			if v == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("litmus: unknown variable %q", name)
+	}
+	f := strings.Fields(s)
+	if len(f) == 0 {
+		return Op{}, fmt.Errorf("litmus: empty op")
+	}
+	switch f[0] {
+	case "st", "rmw":
+		if len(f) != 3 {
+			return Op{}, fmt.Errorf("litmus: %q wants `%s VAR VAL`", s, f[0])
+		}
+		v, err := varIndex(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		val, err := strconv.Atoi(f[2])
+		if err != nil || val <= 0 {
+			return Op{}, fmt.Errorf("litmus: %q: value must be a positive integer", s)
+		}
+		k := OpStore
+		if f[0] == "rmw" {
+			k = OpRMW
+		}
+		return Op{Kind: k, Var: v, Val: val}, nil
+	case "ld":
+		if len(f) != 2 {
+			return Op{}, fmt.Errorf("litmus: %q wants `ld VAR`", s)
+		}
+		v, err := varIndex(f[1])
+		if err != nil {
+			return Op{}, err
+		}
+		return Op{Kind: OpLoad, Var: v}, nil
+	case "mf":
+		return Op{Kind: OpMFence}, nil
+	case "mk":
+		return Op{Kind: OpMarker}, nil
+	default:
+		return Op{}, fmt.Errorf("litmus: unknown op %q", s)
+	}
+}
+
+// ---- JSON wire form (the golden corpus files) ----
+
+type wireTest struct {
+	Name      string     `json:"name"`
+	Doc       string     `json:"doc,omitempty"`
+	Vars      []string   `json:"vars"`
+	Cores     [][]string `json:"cores"`
+	Allowed   []string   `json:"allowed"`
+	Forbidden []string   `json:"forbidden,omitempty"`
+}
+
+// MarshalJSON renders the test in the corpus wire form (deterministic, so
+// golden files are byte-stable).
+func (t *Test) MarshalJSON() ([]byte, error) {
+	w := wireTest{Name: t.Name, Doc: t.Doc, Vars: t.Vars,
+		Allowed: t.Allowed, Forbidden: t.Forbidden}
+	for _, prog := range t.Cores {
+		var ops []string
+		for _, op := range prog {
+			ops = append(ops, op.format(t.Vars))
+		}
+		w.Cores = append(w.Cores, ops)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses the corpus wire form.
+func (t *Test) UnmarshalJSON(data []byte) error {
+	var w wireTest
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*t = Test{Name: w.Name, Doc: w.Doc, Vars: w.Vars,
+		Allowed: w.Allowed, Forbidden: w.Forbidden}
+	for _, prog := range w.Cores {
+		ops := make([]Op, 0, len(prog))
+		for _, s := range prog {
+			op, err := parseOp(s, w.Vars)
+			if err != nil {
+				return fmt.Errorf("test %q: %w", w.Name, err)
+			}
+			ops = append(ops, op)
+		}
+		t.Cores = append(t.Cores, ops)
+	}
+	return nil
+}
+
+// Validate reports structural errors: missing names, out-of-range variable
+// indices, non-unique store values, programs whose trailing stores no
+// marker ever closes (such stores can never persist under RunWithCrash, so
+// the full image would be unreachable and conformance vacuously broken).
+func (t *Test) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("litmus: test without a name")
+	}
+	if len(t.Vars) == 0 || len(t.Vars) > 8 {
+		return fmt.Errorf("litmus: %s: want 1..8 variables, have %d", t.Name, len(t.Vars))
+	}
+	if len(t.Cores) == 0 || len(t.Cores) > 4 {
+		return fmt.Errorf("litmus: %s: want 1..4 cores, have %d", t.Name, len(t.Cores))
+	}
+	seen := map[int]map[int]bool{}
+	for c, prog := range t.Cores {
+		open := false
+		for _, op := range prog {
+			switch op.Kind {
+			case OpStore, OpRMW:
+				if op.Var < 0 || op.Var >= len(t.Vars) {
+					return fmt.Errorf("litmus: %s core %d: variable index %d out of range", t.Name, c, op.Var)
+				}
+				if op.Val <= 0 {
+					return fmt.Errorf("litmus: %s core %d: store value %d must be positive", t.Name, c, op.Val)
+				}
+				if seen[op.Var] == nil {
+					seen[op.Var] = map[int]bool{}
+				}
+				if seen[op.Var][op.Val] {
+					return fmt.Errorf("litmus: %s: duplicate value %d for %s", t.Name, op.Val, t.Vars[op.Var])
+				}
+				seen[op.Var][op.Val] = true
+				open = true
+			case OpLoad:
+				if op.Var < 0 || op.Var >= len(t.Vars) {
+					return fmt.Errorf("litmus: %s core %d: variable index %d out of range", t.Name, c, op.Var)
+				}
+			case OpMarker:
+				open = false
+			}
+		}
+		if open {
+			return fmt.Errorf("litmus: %s core %d: trailing stores need a closing marker (mk)", t.Name, c)
+		}
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("litmus: %s: no stores — nothing to persist", t.Name)
+	}
+	for _, f := range t.Forbidden {
+		for _, a := range t.Allowed {
+			if f == a {
+				return fmt.Errorf("litmus: %s: outcome %q both allowed and forbidden", t.Name, f)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- outcome encoding ----
+
+// encodeOutcome renders per-variable values in canonical form: "x=0 y=1".
+func encodeOutcome(vars []string, vals []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = v + "=" + vals[i]
+	}
+	return strings.Join(parts, " ")
+}
+
+// sortedKeys returns a sorted copy of the set's members.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- lowering to a machine workload ----
+
+// Perturb is one interleaving perturbation: per-core lead-in compute skew
+// plus an optional seed for random inter-op compute jitter. The zero value
+// is the unperturbed lowering.
+type Perturb struct {
+	Skew   []uint32 `json:"skew,omitempty"`
+	Jitter int64    `json:"jitter,omitempty"`
+}
+
+func (p Perturb) String() string {
+	if len(p.Skew) == 0 && p.Jitter == 0 {
+		return "none"
+	}
+	if p.Jitter != 0 {
+		return fmt.Sprintf("jitter=%d", p.Jitter)
+	}
+	parts := make([]string, len(p.Skew))
+	for i, s := range p.Skew {
+		parts[i] = strconv.FormatUint(uint64(s), 10)
+	}
+	return "skew=" + strings.Join(parts, ",")
+}
+
+type varVal struct{ v, val int }
+
+// lowered is one machine-executable rendering of a test.
+type lowered struct {
+	t     *Test
+	w     *trace.Workload
+	lines []mem.Line
+	// vals maps the machine store version to the litmus (variable, value)
+	// it encodes.
+	vals map[mem.Version]varVal
+}
+
+// lineOf maps variable i to its cacheline (one full line per variable,
+// consecutive lines spread across the LLC banks).
+func lineOf(i int) mem.Line { return mem.LineOf(trace.SharedBase) + mem.Line(i) }
+
+// lower renders the test as a per-core mem.Op workload under the given
+// perturbation. Stores and RMWs mint machine versions in core-local store
+// order, which is exactly how coreUnit numbers them.
+func (t *Test) lower(p Perturb) *lowered {
+	lo := &lowered{t: t, vals: map[mem.Version]varVal{},
+		w: &trace.Workload{Profile: trace.Profile{Name: "litmus/" + t.Name}}}
+	for i := range t.Vars {
+		lo.lines = append(lo.lines, lineOf(i))
+	}
+	for c, prog := range t.Cores {
+		var jr *jitterRand
+		if p.Jitter != 0 {
+			jr = newJitterRand(p.Jitter*1_000_003 + int64(c)*7907)
+		}
+		var ops []mem.Op
+		if c < len(p.Skew) && p.Skew[c] > 0 {
+			ops = append(ops, mem.Op{Kind: mem.OpCompute, Arg: p.Skew[c]})
+		}
+		var seq uint64
+		var syncID uint32
+		store := func(op Op) {
+			seq++
+			lo.vals[mem.Version{Core: c, Seq: seq}] = varVal{op.Var, op.Val}
+			ops = append(ops, mem.Op{Kind: mem.OpStore, Addr: lo.lines[op.Var].Base()})
+		}
+		for _, op := range prog {
+			if jr != nil {
+				if d := jr.delay(); d > 0 {
+					ops = append(ops, mem.Op{Kind: mem.OpCompute, Arg: d})
+				}
+			}
+			switch op.Kind {
+			case OpStore:
+				store(op)
+			case OpLoad:
+				ops = append(ops, mem.Op{Kind: mem.OpLoad, Addr: lo.lines[op.Var].Base()})
+			case OpMFence:
+				syncID++
+				ops = append(ops, mem.Op{Kind: mem.OpSync, Arg: syncID})
+			case OpRMW:
+				// Lock prefix: drain, atomic store, drain — the write is
+				// globally ordered before anything younger issues.
+				syncID++
+				ops = append(ops, mem.Op{Kind: mem.OpSync, Arg: syncID})
+				store(op)
+				syncID++
+				ops = append(ops, mem.Op{Kind: mem.OpSync, Arg: syncID})
+			case OpMarker:
+				ops = append(ops, mem.Op{Kind: mem.OpMarker})
+			}
+		}
+		lo.w.Cores = append(lo.w.Cores, ops)
+	}
+	return lo
+}
+
+// outcome decodes a machine outcome (per-line durable versions) into the
+// litmus encoding. Versions no litmus store minted — possible only when a
+// deliberate CrashFault corrupted the image — decode as "?version", which
+// no allowed set contains.
+func (lo *lowered) outcome(out []mem.Version) string {
+	vals := make([]string, len(lo.t.Vars))
+	for i, ver := range out {
+		switch vv, ok := lo.vals[ver]; {
+		case ver.IsInitial():
+			vals[i] = "0"
+		case ok && vv.v == i:
+			vals[i] = strconv.Itoa(vv.val)
+		default:
+			vals[i] = "?" + ver.String()
+		}
+	}
+	return encodeOutcome(lo.t.Vars, vals)
+}
+
+// jitterRand is a tiny deterministic splitmix64 stream for inter-op delays
+// (math/rand would also do; this keeps lowering allocation-light and the
+// stream stable across Go versions).
+type jitterRand struct{ s uint64 }
+
+func newJitterRand(seed int64) *jitterRand { return &jitterRand{s: uint64(seed)*2654435769 + 1} }
+
+func (j *jitterRand) next() uint64 {
+	j.s += 0x9e3779b97f4a7c15
+	z := j.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// delay yields 0 half the time, else 1..64 cycles.
+func (j *jitterRand) delay() uint32 {
+	v := j.next()
+	if v&1 == 0 {
+		return 0
+	}
+	return 1 + uint32((v>>1)%64)
+}

@@ -1,0 +1,251 @@
+package litmus
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestOpFormatParseRoundTrip(t *testing.T) {
+	vars := []string{"x", "y"}
+	ops := []Op{st(0, 1), st(1, 7), ld(0), ld(1), mf(), rmw(1, 3), mk()}
+	for _, op := range ops {
+		s := op.format(vars)
+		got, err := parseOp(s, vars)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if got != op {
+			t.Errorf("round trip %q: got %+v, want %+v", s, got, op)
+		}
+	}
+	for _, bad := range []string{"", "st x", "st x 0", "st x -1", "st q 1", "ld", "hlt", "rmw x"} {
+		if _, err := parseOp(bad, vars); err == nil {
+			t.Errorf("parse %q: want error", bad)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tests, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range tests {
+		data, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := new(Test)
+		if err := json.Unmarshal(data, got); err != nil {
+			t.Fatalf("%s: %v", want.Name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip mismatch\n got %+v\nwant %+v", want.Name, got, want)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	valid := func() *Test {
+		return &Test{Name: "ok", Vars: []string{"x"},
+			Cores: [][]Op{{st(0, 1), mk()}}, Allowed: []string{"x=0", "x=1"}}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("baseline must validate: %v", err)
+	}
+	cases := []struct {
+		name  string
+		wreck func(*Test)
+	}{
+		{"no name", func(t *Test) { t.Name = "" }},
+		{"no vars", func(t *Test) { t.Vars = nil }},
+		{"too many cores", func(t *Test) {
+			t.Cores = [][]Op{{st(0, 1), mk()}, {}, {}, {}, {}}
+		}},
+		{"var out of range", func(t *Test) { t.Cores[0][0].Var = 3 }},
+		{"zero store value", func(t *Test) { t.Cores[0][0].Val = 0 }},
+		{"duplicate value", func(t *Test) {
+			t.Cores = append(t.Cores, []Op{st(0, 1), mk()})
+		}},
+		{"trailing unclosed store", func(t *Test) { t.Cores[0] = t.Cores[0][:1] }},
+		{"no stores", func(t *Test) { t.Cores[0] = []Op{ld(0)} }},
+		{"allowed and forbidden overlap", func(t *Test) { t.Forbidden = []string{"x=1"} }},
+	}
+	for _, tc := range cases {
+		tt := valid()
+		tc.wreck(tt)
+		if err := tt.Validate(); err == nil {
+			t.Errorf("%s: want validation error", tc.name)
+		}
+	}
+}
+
+// TestModelKnownOracles pins the reference model on shapes whose allowed
+// sets are derivable by hand.
+func TestModelKnownOracles(t *testing.T) {
+	cases := []struct {
+		name string
+		test *Test
+		want []string
+	}{
+		{
+			name: "sb: independent single-store epochs",
+			test: &Test{Name: "t", Vars: []string{"x", "y"}, Cores: [][]Op{
+				{st(0, 1), mk(), ld(1)},
+				{st(1, 1), mk(), ld(0)},
+			}},
+			want: []string{"x=0 y=0", "x=0 y=1", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			name: "mp: same-core prefix order",
+			test: &Test{Name: "t", Vars: []string{"x", "y"}, Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk()},
+				{ld(1), ld(0)},
+			}},
+			want: []string{"x=0 y=0", "x=1 y=0", "x=1 y=1"},
+		},
+		{
+			name: "epoch: two-store atomicity",
+			test: &Test{Name: "t", Vars: []string{"x", "y"}, Cores: [][]Op{
+				{st(0, 1), st(1, 1), mk()},
+			}},
+			want: []string{"x=0 y=0", "x=1 y=1"},
+		},
+		{
+			name: "chain: prefixes only",
+			test: &Test{Name: "t", Vars: []string{"x", "y", "z"}, Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1), mk(), st(2, 1), mk()},
+			}},
+			want: []string{"x=0 y=0 z=0", "x=1 y=0 z=0", "x=1 y=1 z=0", "x=1 y=1 z=1"},
+		},
+		{
+			name: "waw: coherence-ordered overwrites",
+			test: &Test{Name: "t", Vars: []string{"x"}, Cores: [][]Op{
+				{st(0, 1), mk()},
+				{st(0, 2), mk()},
+			}},
+			want: []string{"x=0", "x=1", "x=2"},
+		},
+		{
+			name: "unclosed trailing store never persists",
+			test: &Test{Name: "t", Vars: []string{"x", "y"}, Cores: [][]Op{
+				{st(0, 1), mk(), st(1, 1)},
+			}},
+			want: []string{"x=0 y=0", "x=1 y=0"},
+		},
+	}
+	for _, tc := range cases {
+		got, err := tc.test.AllowedOutcomes()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s:\n got %v\nwant %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestComplementSampleDisjoint(t *testing.T) {
+	tests, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		in := map[string]bool{}
+		for _, a := range tt.Allowed {
+			in[a] = true
+		}
+		for _, f := range tt.Forbidden {
+			if in[f] {
+				t.Errorf("%s: %q both allowed and forbidden", tt.Name, f)
+			}
+		}
+	}
+}
+
+// TestLowering checks the version map the outcome decoder relies on: the
+// k-th store of core c must be minted as version {Core: c, Seq: k}, with
+// fences, markers, and perturbation compute ops minting nothing.
+func TestLowering(t *testing.T) {
+	tt := &Test{Name: "t", Vars: []string{"x", "y"}, Cores: [][]Op{
+		{st(0, 1), mf(), mk(), st(1, 2), mk()},
+		{rmw(1, 3), mk()},
+	}}
+	lo := tt.lower(Perturb{Skew: []uint32{5, 0}})
+	if got := len(lo.w.Cores); got != 2 {
+		t.Fatalf("lowered %d cores, want 2", got)
+	}
+	if lo.w.Cores[0][0].Kind != mem.OpCompute || lo.w.Cores[0][0].Arg != 5 {
+		t.Errorf("skewed core must lead with compute(5), got %+v", lo.w.Cores[0][0])
+	}
+	want := map[mem.Version]varVal{
+		{Core: 0, Seq: 1}: {0, 1},
+		{Core: 0, Seq: 2}: {1, 2},
+		{Core: 1, Seq: 1}: {1, 3},
+	}
+	if !reflect.DeepEqual(lo.vals, want) {
+		t.Errorf("version map:\n got %v\nwant %v", lo.vals, want)
+	}
+	// RMW lowers to sync, store, sync.
+	rmwOps := lo.w.Cores[1]
+	kinds := []mem.OpKind{rmwOps[0].Kind, rmwOps[1].Kind, rmwOps[2].Kind}
+	if !reflect.DeepEqual(kinds, []mem.OpKind{mem.OpSync, mem.OpStore, mem.OpSync}) {
+		t.Errorf("rmw lowering kinds = %v", kinds)
+	}
+	// Outcome decoding: initial, known version, alien version.
+	out := lo.outcome([]mem.Version{{}, {Core: 0, Seq: 2}})
+	if out != "x=0 y=2" {
+		t.Errorf("outcome = %q, want %q", out, "x=0 y=2")
+	}
+	alien := lo.outcome([]mem.Version{{Core: 7, Seq: 9}, {}})
+	if alien != "x=?c7.s9 y=0" {
+		t.Errorf("alien outcome = %q", alien)
+	}
+}
+
+func TestShrinkReducesFailingTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking explores many candidate tests")
+	}
+	// A fat MP variant with bystander ops; inject a fault so it fails, then
+	// demand shrinking strips the bystanders while staying failing.
+	tt := &Test{Name: "fat-mp", Vars: []string{"x", "y", "z"}, Cores: [][]Op{
+		{st(0, 1), mk(), st(1, 1), mk()},
+		{ld(1), ld(0)},
+		{st(2, 1), mk(), ld(2)},
+	}}
+	allowed, err := tt.AllowedOutcomes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt.Allowed = allowed
+	o := Default()
+	o.Fault = mustFault(t, "undurable-prefix")
+	o.Coverage = false
+	shrunk, res := Shrink(tt, o)
+	if shrunk == nil {
+		t.Fatal("fault injection must reproduce a soundness violation to shrink")
+	}
+	if res.Conforms() {
+		t.Fatal("shrunk result claims conformance")
+	}
+	before := opCount(tt)
+	after := opCount(shrunk)
+	if after >= before {
+		t.Errorf("shrink kept %d of %d ops", after, before)
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Errorf("shrunk test invalid: %v", err)
+	}
+}
+
+func opCount(t *Test) int {
+	n := 0
+	for _, prog := range t.Cores {
+		n += len(prog)
+	}
+	return n
+}

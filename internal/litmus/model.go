@@ -1,0 +1,381 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// This file is the Px86 strict-persistency reference model: an exhaustive
+// enumerator of the durable outcomes a TSO machine with coherence-ordered,
+// group-atomic persists may expose after a crash.
+//
+// Semantics. Each core executes its program in order through a FIFO store
+// buffer (TSO: loads may complete while older stores are still buffered,
+// and forward from the core's own pending stores). Stores between two
+// markers form one persist unit — the atomic group §II-D markers delimit —
+// and a crash recovers a set S of units that is
+//
+//   - complete: only marker-closed units whose stores all committed;
+//   - per-core prefix-closed: units drain oldest-first per core;
+//   - dependency-closed: a unit that overwrote another unit's line (WAW)
+//     or whose core read another unit's value (RF read inclusion, §III-A)
+//     persists only after it.
+//
+// The recovered image applies S in coherence order: each variable holds the
+// newest committed value among units in S (or its initial contents). The
+// model enumerates every interleaving of issue and store-buffer-commit
+// events, and for each terminal state every valid S, unioning the images.
+// Memoization on (program counters, commit counts, per-variable write
+// sequences, dependency edges) keeps the walk polynomial for litmus-sized
+// programs.
+
+// modelStateLimit bounds the memoized state count; fuzz-generated tests
+// that exceed it report an error rather than running away.
+const modelStateLimit = 400_000
+
+type mstore struct {
+	id   int // global store id
+	v    int // variable
+	val  int
+	win  int // global window (persist unit) id
+	core int
+}
+
+type mwindow struct {
+	core   int
+	closed bool
+}
+
+type mprog struct {
+	ops []Op
+	// storeAt maps the core-local store ordinal to the global store id.
+	storeAt []int
+	// winOf maps op index to the global window open at that op (-1 for
+	// fences/markers outside any window).
+	winOf []int
+	// storesIssued[i] counts store/RMW ops among ops[:i].
+	storesIssued []int
+}
+
+type model struct {
+	t       *Test
+	progs   []mprog
+	stores  []mstore
+	windows []mwindow
+	// winSeq lists each core's windows in creation order.
+	winSeq [][]int
+
+	seen   map[string]bool
+	out    map[string]bool
+	states int
+}
+
+// AllowedOutcomes enumerates the durable outcomes the strict-persistency
+// model permits for the test, sorted canonically. It errors if the state
+// space exceeds the model limit.
+func (t *Test) AllowedOutcomes() ([]string, error) {
+	m, err := newModel(t)
+	if err != nil {
+		return nil, err
+	}
+	st := m.initial()
+	if err := m.walk(st); err != nil {
+		return nil, err
+	}
+	return sortedKeys(m.out), nil
+}
+
+func newModel(t *Test) (*model, error) {
+	m := &model{t: t, seen: map[string]bool{}, out: map[string]bool{},
+		winSeq: make([][]int, len(t.Cores))}
+	for c, prog := range t.Cores {
+		p := mprog{ops: prog,
+			winOf:        make([]int, len(prog)),
+			storesIssued: make([]int, len(prog)+1),
+		}
+		cur := -1
+		for i, op := range prog {
+			p.storesIssued[i+1] = p.storesIssued[i]
+			switch op.Kind {
+			case OpStore, OpRMW, OpLoad:
+				if cur == -1 {
+					cur = len(m.windows)
+					m.windows = append(m.windows, mwindow{core: c})
+					m.winSeq[c] = append(m.winSeq[c], cur)
+				}
+				p.winOf[i] = cur
+				if op.Kind != OpLoad {
+					p.storeAt = append(p.storeAt, len(m.stores))
+					m.stores = append(m.stores, mstore{
+						id: len(m.stores), v: op.Var, val: op.Val, win: cur, core: c})
+					p.storesIssued[i+1]++
+				}
+			case OpMarker:
+				if cur != -1 {
+					m.windows[cur].closed = true
+					cur = -1
+				}
+				p.winOf[i] = -1
+			default: // OpMFence
+				p.winOf[i] = cur
+			}
+		}
+		m.progs = append(m.progs, p)
+	}
+	if len(m.windows) > 30 {
+		return nil, fmt.Errorf("litmus: %s: %d persist units exceed the model's limit", t.Name, len(m.windows))
+	}
+	return m, nil
+}
+
+// mst is one model state. Slices are copied on every branch; litmus state
+// spaces are tiny, clarity wins.
+type mst struct {
+	issue     []int   // per-core next op index
+	committed []int   // per-core count of stores committed to memory
+	seq       [][]int // per-variable committed store ids, in commit order
+	deps      []uint32
+}
+
+func (m *model) initial() *mst {
+	return &mst{
+		issue:     make([]int, len(m.progs)),
+		committed: make([]int, len(m.progs)),
+		seq:       make([][]int, len(m.t.Vars)),
+		deps:      make([]uint32, len(m.windows)),
+	}
+}
+
+func (st *mst) clone() *mst {
+	n := &mst{
+		issue:     append([]int(nil), st.issue...),
+		committed: append([]int(nil), st.committed...),
+		seq:       make([][]int, len(st.seq)),
+		deps:      append([]uint32(nil), st.deps...),
+	}
+	for i, s := range st.seq {
+		n.seq[i] = append([]int(nil), s...)
+	}
+	return n
+}
+
+func (st *mst) key() string {
+	b := make([]byte, 0, 64)
+	for i := range st.issue {
+		b = append(b, byte(st.issue[i]), byte(st.committed[i]))
+	}
+	b = append(b, '/')
+	for _, s := range st.seq {
+		for _, id := range s {
+			b = append(b, byte(id))
+		}
+		b = append(b, ',')
+	}
+	b = append(b, '/')
+	for _, d := range st.deps {
+		b = strconv.AppendUint(b, uint64(d), 36)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// walk explores every interleaving from st.
+func (m *model) walk(st *mst) error {
+	k := st.key()
+	if m.seen[k] {
+		return nil
+	}
+	m.seen[k] = true
+	m.states++
+	if m.states > modelStateLimit {
+		return fmt.Errorf("litmus: %s: model state space exceeds %d states", m.t.Name, modelStateLimit)
+	}
+
+	terminal := true
+	for c := range m.progs {
+		p := &m.progs[c]
+		// Commit the core's oldest pending buffered store.
+		if st.committed[c] < p.storesIssued[st.issue[c]] {
+			terminal = false
+			n := st.clone()
+			m.commitStore(n, c)
+			if err := m.walk(n); err != nil {
+				return err
+			}
+		}
+		// Issue the core's next op.
+		if st.issue[c] >= len(p.ops) {
+			continue
+		}
+		terminal = false
+		op := p.ops[st.issue[c]]
+		sbEmpty := st.committed[c] == p.storesIssued[st.issue[c]]
+		switch op.Kind {
+		case OpMFence:
+			if !sbEmpty {
+				continue // fence waits for the store buffer to drain
+			}
+		case OpRMW:
+			if !sbEmpty {
+				continue
+			}
+		}
+		n := st.clone()
+		switch op.Kind {
+		case OpLoad:
+			m.issueLoad(n, c, op)
+		case OpRMW:
+			// Atomic: the store is issued and globally committed in one
+			// indivisible step.
+			n.issue[c]++
+			m.commitStore(n, c)
+			if err := m.walk(n); err != nil {
+				return err
+			}
+			continue
+		}
+		n.issue[c]++
+		if err := m.walk(n); err != nil {
+			return err
+		}
+	}
+	if terminal {
+		m.emit(st)
+	}
+	return nil
+}
+
+// issueLoad resolves the value a load observes and records the read-
+// inclusion dependency: the reader's open persist unit must persist after
+// the producing unit (§III-A). Forwarding from the core's own pending
+// stores and reads of the core's own committed values add no edge — program
+// order already covers them — and reads of initial contents depend on
+// nothing.
+func (m *model) issueLoad(st *mst, c int, op Op) {
+	p := &m.progs[c]
+	for ord := p.storesIssued[st.issue[c]] - 1; ord >= st.committed[c]; ord-- {
+		if m.stores[p.storeAt[ord]].v == op.Var {
+			return // store-buffer forwarding
+		}
+	}
+	if s := st.seq[op.Var]; len(s) > 0 {
+		prod := m.stores[s[len(s)-1]]
+		if reader := p.winOf[st.issue[c]]; prod.core != c && reader != prod.win {
+			st.deps[reader] |= 1 << uint(prod.win)
+		}
+	}
+}
+
+// commitStore retires core c's oldest buffered store to memory, recording
+// the write-after-write dependency on the unit it overwrites.
+func (m *model) commitStore(st *mst, c int) {
+	s := m.stores[m.progs[c].storeAt[st.committed[c]]]
+	if prev := st.seq[s.v]; len(prev) > 0 {
+		p := m.stores[prev[len(prev)-1]]
+		if p.win != s.win {
+			st.deps[s.win] |= 1 << uint(p.win)
+		}
+	}
+	st.seq[s.v] = append(st.seq[s.v], s.id)
+	st.committed[c]++
+}
+
+// emit enumerates every valid durable cut of a terminal state and records
+// its image. Cuts are chosen as a per-core prefix of marker-closed windows,
+// then filtered by dependency closure.
+func (m *model) emit(st *mst) {
+	// maxPrefix[c] = number of leading closed windows of core c.
+	maxPrefix := make([]int, len(m.progs))
+	for c, wins := range m.winSeq {
+		for _, w := range wins {
+			if !m.windows[w].closed {
+				break
+			}
+			maxPrefix[c]++
+		}
+	}
+	prefix := make([]int, len(m.progs))
+	var choose func(c int)
+	choose = func(c int) {
+		if c == len(m.progs) {
+			var S uint32
+			for cc, n := range prefix {
+				for i := 0; i < n; i++ {
+					S |= 1 << uint(m.winSeq[cc][i])
+				}
+			}
+			for w := range m.windows {
+				if S&(1<<uint(w)) != 0 && st.deps[w]&^S != 0 {
+					return // dependency not in the cut
+				}
+			}
+			m.record(st, S)
+			return
+		}
+		for n := 0; n <= maxPrefix[c]; n++ {
+			prefix[c] = n
+			choose(c + 1)
+		}
+	}
+	choose(0)
+}
+
+func (m *model) record(st *mst, S uint32) {
+	vals := make([]string, len(m.t.Vars))
+	for v := range vals {
+		vals[v] = "0"
+		s := st.seq[v]
+		for i := len(s) - 1; i >= 0; i-- {
+			w := m.stores[s[i]].win
+			if S&(1<<uint(w)) != 0 {
+				vals[v] = strconv.Itoa(m.stores[s[i]].val)
+				break
+			}
+		}
+	}
+	m.out[encodeOutcome(m.t.Vars, vals)] = true
+}
+
+// complementSample returns up to n outcomes NOT in allowed, drawn from the
+// cross product of per-variable observed values — useful for curating
+// Forbidden sets in generated tests.
+func complementSample(t *Test, allowed []string, n int) []string {
+	vals := make([][]int, len(t.Vars))
+	for i := range vals {
+		vals[i] = []int{0}
+	}
+	for _, prog := range t.Cores {
+		for _, op := range prog {
+			if op.Kind == OpStore || op.Kind == OpRMW {
+				vals[op.Var] = append(vals[op.Var], op.Val)
+			}
+		}
+	}
+	in := map[string]bool{}
+	for _, a := range allowed {
+		in[a] = true
+	}
+	var out []string
+	cur := make([]string, len(t.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if len(out) >= n {
+			return
+		}
+		if i == len(t.Vars) {
+			o := encodeOutcome(t.Vars, append([]string(nil), cur...))
+			if !in[o] {
+				out = append(out, o)
+			}
+			return
+		}
+		sort.Ints(vals[i])
+		for _, v := range vals[i] {
+			cur[i] = strconv.Itoa(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,69 @@
+package litmus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Report is the machine-readable conformance record (results/litmus.json):
+// every exploration result across the swept axes plus the mutation-kill
+// ledger. The JSON form is deterministic for fixed inputs.
+type Report struct {
+	// Axes names the swept configurations ("wheel", "heap",
+	// "faults:nvm-transient", ...) in sweep order.
+	Axes    []string  `json:"axes,omitempty"`
+	Results []*Result `json:"results"`
+	Kills   []Kill    `json:"kills,omitempty"`
+
+	Tests      int `json:"tests"`
+	Conforming int `json:"conforming"`
+	Violating  int `json:"violating"`
+	Killed     int `json:"killed"`
+}
+
+// Add appends a result and updates the tallies.
+func (rep *Report) Add(r *Result) {
+	rep.Results = append(rep.Results, r)
+	rep.Tests++
+	if r.Conforms() {
+		rep.Conforming++
+	} else {
+		rep.Violating++
+	}
+}
+
+// AddKills appends the mutation ledger.
+func (rep *Report) AddKills(kills []Kill) {
+	rep.Kills = append(rep.Kills, kills...)
+	for _, k := range kills {
+		if k.Killed {
+			rep.Killed++
+		}
+	}
+}
+
+// Summary renders a one-line human summary.
+func (rep *Report) Summary() string {
+	s := fmt.Sprintf("litmus: %d explorations, %d conforming, %d violating",
+		rep.Tests, rep.Conforming, rep.Violating)
+	if len(rep.Kills) > 0 {
+		s += fmt.Sprintf("; mutation: %d/%d faults killed", rep.Killed, len(rep.Kills))
+	}
+	return s
+}
+
+// WriteJSONFile writes the report, creating parent directories.
+func (rep *Report) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

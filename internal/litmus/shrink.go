@@ -1,0 +1,128 @@
+package litmus
+
+// Shrinking: when a test fails conformance, the raw reproduction is an
+// 8-op-per-core program and a crash cycle. Shrink greedily deletes cores
+// and ops while the failure still reproduces, recomputing the model's
+// allowed set for every candidate so the reproduction stays honest — the
+// shrunk test fails for the same structural reason, not because its oracle
+// went stale.
+
+// reproduces re-oracles the candidate against the model and reports whether
+// exploration still finds a soundness violation (coverage is ignored while
+// shrinking: the interesting reproductions are states that should not
+// exist, and a shrunk program legitimately reaches fewer states).
+func reproduces(t *Test, o Options) (*Result, bool) {
+	if t.Validate() != nil {
+		return nil, false
+	}
+	allowed, err := t.AllowedOutcomes()
+	if err != nil {
+		return nil, false
+	}
+	c := t.clone()
+	c.Allowed = allowed
+	c.Forbidden = nil
+	o.Coverage = false
+	r := Explore(c, o)
+	return r, !r.Conforms()
+}
+
+func (t *Test) clone() *Test {
+	n := &Test{Name: t.Name, Doc: t.Doc,
+		Vars:      append([]string(nil), t.Vars...),
+		Allowed:   append([]string(nil), t.Allowed...),
+		Forbidden: append([]string(nil), t.Forbidden...)}
+	for _, prog := range t.Cores {
+		n.Cores = append(n.Cores, append([]Op(nil), prog...))
+	}
+	return n
+}
+
+// dropCore returns the test without core c.
+func dropCore(t *Test, c int) *Test {
+	n := t.clone()
+	n.Cores = append(n.Cores[:c], n.Cores[c+1:]...)
+	return n
+}
+
+// dropOp returns the test without op i of core c.
+func dropOp(t *Test, c, i int) *Test {
+	n := t.clone()
+	prog := n.Cores[c]
+	n.Cores[c] = append(prog[:i], prog[i+1:]...)
+	return n
+}
+
+// compactVars drops variables no op references, remapping indices.
+func compactVars(t *Test) *Test {
+	used := make([]bool, len(t.Vars))
+	for _, prog := range t.Cores {
+		for _, op := range prog {
+			if op.Kind != OpMFence && op.Kind != OpMarker {
+				used[op.Var] = true
+			}
+		}
+	}
+	remap := make([]int, len(t.Vars))
+	n := t.clone()
+	n.Vars = nil
+	for i, u := range used {
+		if u {
+			remap[i] = len(n.Vars)
+			n.Vars = append(n.Vars, t.Vars[i])
+		}
+	}
+	if len(n.Vars) == len(t.Vars) {
+		return t
+	}
+	for _, prog := range n.Cores {
+		for j := range prog {
+			if prog[j].Kind != OpMFence && prog[j].Kind != OpMarker {
+				prog[j].Var = remap[prog[j].Var]
+			}
+		}
+	}
+	return n
+}
+
+// Shrink minimizes a non-conforming test: greedily deleting whole cores,
+// then individual ops, then unused variables, as long as exploration under
+// the (re-oracled) candidate still finds a soundness violation. It returns
+// the shrunk test and its failing Result, or (nil, nil) when the original
+// does not reproduce a soundness violation under the given options —
+// coverage-only failures have nothing to shrink.
+func Shrink(t *Test, o Options) (*Test, *Result) {
+	cur := t.clone()
+	best, ok := reproduces(cur, o)
+	if !ok {
+		return nil, nil
+	}
+	for improved := true; improved; {
+		improved = false
+		for c := 0; c < len(cur.Cores) && len(cur.Cores) > 1; c++ {
+			if r, ok := reproduces(dropCore(cur, c), o); ok {
+				cur, best = dropCore(cur, c), r
+				improved = true
+				c--
+			}
+		}
+		for c := 0; c < len(cur.Cores); c++ {
+			for i := 0; i < len(cur.Cores[c]); i++ {
+				if r, ok := reproduces(dropOp(cur, c, i), o); ok {
+					cur, best = dropOp(cur, c, i), r
+					improved = true
+					i--
+				}
+			}
+		}
+	}
+	cur = compactVars(cur)
+	cur.Name = t.Name + "-shrunk"
+	allowed, err := cur.AllowedOutcomes()
+	if err != nil {
+		return nil, nil
+	}
+	cur.Allowed = allowed
+	cur.Forbidden = nil
+	return cur, best
+}

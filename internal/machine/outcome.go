@@ -1,0 +1,40 @@
+package machine
+
+import (
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// Outcome is the canonical durable-state encoding of a crash image
+// restricted to a caller-chosen set of lines: the recovered version of each
+// line, in the caller's order. A zero Version means the line's pre-run
+// (initial) contents were recovered. The litmus conformance oracle compares
+// these against the Px86 reference model's allowed outcome sets; Key gives
+// a stable string form usable as a set member.
+type Outcome []mem.Version
+
+// DurableOutcome extracts the recovered durable version of each requested
+// line from the crash image. Lines the recovery never produced (absent from
+// the image) report the initial version.
+func (cs *CrashState) DurableOutcome(lines []mem.Line) Outcome {
+	out := make(Outcome, len(lines))
+	for i, l := range lines {
+		out[i] = cs.Image[l]
+	}
+	return out
+}
+
+// Key returns the canonical encoding of the outcome: the versions joined
+// with "|" in order ("v0" for initial contents). Two outcomes are equal iff
+// their keys are equal.
+func (o Outcome) Key() string {
+	var b strings.Builder
+	for i, v := range o {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

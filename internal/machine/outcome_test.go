@@ -1,0 +1,32 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestDurableOutcomeKey(t *testing.T) {
+	cs := &CrashState{Image: map[mem.Line]mem.Version{
+		mem.Line(1): {Core: 0, Seq: 2},
+		mem.Line(3): {Core: 1, Seq: 1},
+	}}
+	out := cs.DurableOutcome([]mem.Line{1, 2, 3})
+	if len(out) != 3 {
+		t.Fatalf("outcome length %d, want 3", len(out))
+	}
+	if !out[1].IsInitial() {
+		t.Errorf("unwritten line must recover initial, got %v", out[1])
+	}
+	if got, want := out.Key(), "c0.s2|v0|c1.s1"; got != want {
+		t.Errorf("Key() = %q, want %q", got, want)
+	}
+	// Key equality iff outcome equality.
+	other := cs.DurableOutcome([]mem.Line{3, 2, 1})
+	if other.Key() == out.Key() {
+		t.Error("distinct line orders must have distinct keys")
+	}
+	if (Outcome{}).Key() != "" {
+		t.Errorf("empty outcome key = %q", (Outcome{}).Key())
+	}
+}
