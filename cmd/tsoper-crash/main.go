@@ -8,6 +8,8 @@
 //
 //	tsoper-crash -bench radix -system tsoper -crashes 50 -scale 0.3
 //	    sweep one benchmark x system cell, printing every crash point
+//	tsoper-crash -program producer-consumer-ring -crashes 30
+//	    sweep a workload-VM program (library name or JSON file) instead
 //	tsoper-crash -campaign smoke -parallel 4 -json smoke.json
 //	    the CI campaign: adversarial workloads x {tsoper, stw},
 //	    event-targeted crash points, parallel workers
@@ -28,7 +30,9 @@ import (
 
 	"repro/internal/crashmc"
 	"repro/internal/machine"
+	"repro/internal/program"
 	"repro/internal/trace"
+	"repro/tsoper"
 )
 
 func main() {
@@ -49,6 +53,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tsoper-crash", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "radix", "comma-separated benchmark names")
+	progFlag := fs.String("program", "", "comma-separated library programs (or JSON files) to crash-sweep instead of -bench")
 	system := fs.String("system", "tsoper", "comma-separated strict systems: tsoper, stw")
 	crashes := fs.Int("crashes", 40, "crash points per benchmark x system tuple (> 0)")
 	step := fs.Uint64("step", 1500, "cycles between uniform crash points (> 0)")
@@ -64,7 +69,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	report, err := dispatch(fs, stdout, *bench, *system, *crashes, *first, *step,
+	report, err := dispatch(fs, stdout, *bench, *progFlag, *system, *crashes, *first, *step,
 		*scale, *seed, *strategy, *campaign, *parallel, *shrink)
 	var uerr usageError
 	if errors.As(err, &uerr) {
@@ -106,7 +111,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 }
 
 // dispatch validates the mode arguments and runs the selected campaign.
-func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, system string, crashes int,
+func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string, crashes int,
 	first, step uint64, scale float64, seed int64, strategy, campaign string,
 	parallel int, shrink bool) (*crashmc.Report, error) {
 	if crashes <= 0 {
@@ -126,9 +131,13 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, system string, crashes 
 		return nil, usagef("unknown strategy %q (want events, uniform, or random)", strategy)
 	}
 
+	if programs != "" && campaign != "" {
+		return nil, usagef("-program applies to the sweep mode, not -campaign %s", campaign)
+	}
+
 	switch campaign {
 	case "":
-		return runSweep(stdout, bench, system, crashes, first, step, scale, seed, strat, parallel, shrink)
+		return runSweep(stdout, bench, programs, system, crashes, first, step, scale, seed, strat, parallel, shrink)
 	case "smoke":
 		points := 50 // x 2 adversaries x 2 systems = 200 injections
 		crashesSet := false
@@ -158,17 +167,29 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, system string, crashes 
 }
 
 // runSweep is the legacy single-cell mode, generalized to comma-separated
-// benchmark/system lists, with the per-crash-point output lines preserved.
-func runSweep(stdout io.Writer, benches, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink bool) (*crashmc.Report, error) {
+// benchmark/system lists (or workload-VM programs), with the
+// per-crash-point output lines preserved.
+func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink bool) (*crashmc.Report, error) {
 	var profiles []trace.Profile
-	for _, name := range strings.Split(benches, ",") {
-		p, ok := trace.ByName(strings.TrimSpace(name))
-		if !ok {
-			if p, ok = crashmc.Adversary(strings.TrimSpace(name)); !ok {
-				return nil, usagef("unknown benchmark %q", name)
+	var progs []*program.Program
+	if programs != "" {
+		for _, name := range strings.Split(programs, ",") {
+			p, err := tsoper.LoadProgram(strings.TrimSpace(name))
+			if err != nil {
+				return nil, usageError{err}
 			}
+			progs = append(progs, p)
 		}
-		profiles = append(profiles, p)
+	} else {
+		for _, name := range strings.Split(benches, ",") {
+			p, ok := trace.ByName(strings.TrimSpace(name))
+			if !ok {
+				if p, ok = crashmc.Adversary(strings.TrimSpace(name)); !ok {
+					return nil, usagef("unknown benchmark %q", name)
+				}
+			}
+			profiles = append(profiles, p)
+		}
 	}
 	var kinds []machine.SystemKind
 	for _, name := range strings.Split(systems, ",") {
@@ -184,6 +205,7 @@ func runSweep(stdout io.Writer, benches, systems string, crashes int, first, ste
 	report, err := crashmc.Run(crashmc.Spec{
 		Name:       "sweep",
 		Benchmarks: profiles,
+		Programs:   progs,
 		Systems:    kinds,
 		Scale:      scale,
 		Seed:       seed,

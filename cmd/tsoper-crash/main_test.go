@@ -23,10 +23,17 @@ func TestExitCodes(t *testing.T) {
 		{name: "unknown strategy", argv: []string{"-strategy", "psychic"}, want: 2, stderr: "unknown strategy"},
 		{name: "unknown campaign", argv: []string{"-campaign", "lunch"}, want: 2, stderr: "unknown campaign"},
 		{name: "unknown benchmark", argv: []string{"-bench", "doom"}, want: 2, stderr: "unknown benchmark"},
+		{name: "unknown program", argv: []string{"-program", "no-such-program"}, want: 2, stderr: "neither a library program"},
+		{name: "program with campaign", argv: []string{"-program", "radix", "-campaign", "smoke"}, want: 2, stderr: "sweep mode"},
 		{name: "non-strict system", argv: []string{"-system", "bsp"}, want: 2, stderr: "strict system"},
 		{
 			name: "clean sweep",
 			argv: []string{"-bench", "radix", "-system", "tsoper", "-crashes", "2", "-scale", "0.05"},
+			want: 0, slow: true,
+		},
+		{
+			name: "clean program sweep",
+			argv: []string{"-program", "producer-consumer-ring", "-system", "tsoper", "-crashes", "2"},
 			want: 0, slow: true,
 		},
 	}

@@ -9,15 +9,18 @@
 //	tsoper-experiments -exp fig11 -workers 4 -artifacts results
 //
 // Experiments: tableI, protocol, fig11, fig12, fig13, fig14, fig15, lists,
-// agbsweep, evict, agborg, epochs, all.
+// agbsweep, evict, agborg, epochs, whisper, slccost, all.
 //
 // -artifacts DIR additionally writes each experiment's text output to
 // DIR/<exp>.txt so figure data lands in versionable files.
+//
+// Exit status: 0 clean, 1 runtime failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,34 +28,42 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment list")
-	scale := flag.Float64("scale", 0.5, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
-	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 22)")
-	serial := flag.Bool("serial", false, "disable parallel simulation")
-	workers := flag.Int("workers", 0, "simulation worker count (0 = auto: GOMAXPROCS, or 1 with -serial)")
-	artifacts := flag.String("artifacts", "", "also write each experiment's output to this directory")
-	scheduler := flag.String("scheduler", "wheel", "event-queue implementation: wheel or heap")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsoper-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "comma-separated experiment list")
+	scale := fs.Float64("scale", 0.5, "workload scale factor (> 0)")
+	seed := fs.Int64("seed", 42, "workload seed")
+	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all 22)")
+	serial := fs.Bool("serial", false, "disable parallel simulation")
+	workers := fs.Int("workers", 0, "simulation worker count (0 = auto: GOMAXPROCS, or 1 with -serial)")
+	artifacts := fs.String("artifacts", "", "also write each experiment's output to this directory")
+	scheduler := fs.String("scheduler", "wheel", "event-queue implementation: wheel or heap")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+
+	if *scale <= 0 {
+		return usageErr("-scale must be positive, got %g", *scale)
+	}
 	sched, err := sim.ParseSchedulerKind(*scheduler)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return usageErr("%v", err)
 	}
 	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial, Workers: *workers, Scheduler: sched}
-	if *benches != "" {
-		o.Benchmarks = strings.Split(*benches, ",")
-	}
-	if *artifacts != "" {
-		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
 
 	known := map[string]func(harness.Options) string{
 		"tableI":   func(harness.Options) string { return harness.TableIText() },
@@ -73,6 +84,16 @@ func main() {
 	order := []string{"tableI", "protocol", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"lists", "agbsweep", "evict", "agborg", "epochs", "whisper", "slccost"}
 
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			b = strings.TrimSpace(b)
+			if _, ok := trace.ByName(b); !ok {
+				return usageErr("unknown benchmark %q", b)
+			}
+			o.Benchmarks = append(o.Benchmarks, b)
+		}
+	}
+
 	var todo []string
 	if *exp == "all" {
 		todo = order
@@ -80,23 +101,30 @@ func main() {
 		for _, e := range strings.Split(*exp, ",") {
 			e = strings.TrimSpace(e)
 			if _, ok := known[e]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s, all)\n", e, strings.Join(order, ", "))
-				os.Exit(1)
+				return usageErr("unknown experiment %q (known: %s, all)", e, strings.Join(order, ", "))
 			}
 			todo = append(todo, e)
+		}
+	}
+
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 
 	for _, e := range todo {
 		start := time.Now()
 		out := known[e](o)
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e, time.Since(start).Seconds(), out)
+		fmt.Fprintf(stdout, "==== %s (%.1fs) ====\n%s\n", e, time.Since(start).Seconds(), out)
 		if *artifacts != "" {
 			path := filepath.Join(*artifacts, e+".txt")
 			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 		}
 	}
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CLI contract: 0 clean, 1 runtime failure, 2 usage.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		argv   []string
+		want   int
+		slow   bool
+		stderr string
+		stdout string
+	}{
+		{name: "bad flag", argv: []string{"-nonsense"}, want: 2},
+		{name: "non-positive scale", argv: []string{"-scale", "0"}, want: 2, stderr: "-scale must be positive"},
+		{name: "unknown scheduler", argv: []string{"-scheduler", "abacus"}, want: 2},
+		{name: "unknown experiment", argv: []string{"-exp", "fig99"}, want: 2, stderr: "unknown experiment"},
+		{name: "unknown benchmark", argv: []string{"-exp", "fig11", "-bench", "doom"}, want: 2, stderr: "unknown benchmark"},
+		{name: "tableI only", argv: []string{"-exp", "tableI"}, want: 0, stdout: "==== tableI"},
+		{
+			name: "small fig11 run",
+			argv: []string{"-exp", "fig11", "-bench", "radix", "-scale", "0.02"},
+			want: 0, slow: true, stdout: "==== fig11",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("runs real simulations")
+			}
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			got := run(tc.argv, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", tc.argv, got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+			if tc.stdout != "" && !strings.Contains(stdout.String(), tc.stdout) {
+				t.Errorf("stdout %q does not mention %q", stdout.String(), tc.stdout)
+			}
+		})
+	}
+}
+
+// TestArtifacts checks -artifacts writes one file per experiment.
+func TestArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-exp", "tableI,protocol", "-artifacts", dir}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	for _, name := range []string{"tableI.txt", "protocol.txt"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		if len(b) == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+}

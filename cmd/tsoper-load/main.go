@@ -12,6 +12,11 @@
 // With -require-hit, the run fails unless the server reports at least one
 // cache hit — the CI smoke assertion.
 //
+// -programs mixes workload-VM jobs into the load: each named library
+// program (see tsoper-sim -list) joins both the duplicate pool and the
+// unique rotation, so program-typed submissions exercise the canonical-hash
+// cache path alongside profile jobs.
+//
 // Exit status: 0 clean, 1 failed jobs / byte mismatches / missing cache
 // hits, 2 usage error.
 package main
@@ -28,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/program"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
@@ -44,6 +50,7 @@ func main() {
 	jobs := flag.Int("jobs", 16, "jobs per concurrency level (> 0)")
 	dup := flag.Int("dup", 4, "every dup'th job reuses the duplicate pool (0 = all unique)")
 	benches := flag.String("bench", "radix,fft,ocean_cp", "comma-separated benchmark mix")
+	programs := flag.String("programs", "", "comma-separated library programs to mix in as program-typed jobs")
 	system := flag.String("system", "tsoper", "persistency system for every job")
 	scale := flag.Float64("scale", 0.05, "workload scale factor (> 0)")
 	seedBase := flag.Int64("seed-base", 1000, "first seed for unique jobs")
@@ -74,6 +81,24 @@ func main() {
 		benchList[i] = strings.TrimSpace(benchList[i])
 	}
 
+	// Job templates: one per benchmark, plus one program-typed template per
+	// requested library program. A template becomes a concrete spec by
+	// stamping a seed (program jobs carry no scale — their size is spelled
+	// out by their instructions).
+	templates := make([]service.JobSpec, 0, len(benchList))
+	for _, b := range benchList {
+		templates = append(templates, service.JobSpec{Bench: b, System: *system, Scale: *scale})
+	}
+	if *programs != "" {
+		for _, name := range strings.Split(*programs, ",") {
+			p, err := program.ByName(strings.TrimSpace(name))
+			if err != nil {
+				usageErr("%v", err)
+			}
+			templates = append(templates, service.JobSpec{Program: p, System: *system})
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	c := client.New(*addr, nil)
@@ -82,11 +107,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	// The duplicate pool: one spec per benchmark, fixed seed, shared across
+	// The duplicate pool: one spec per template, fixed seed, shared across
 	// all levels so later levels exercise the cache the earlier ones filled.
-	pool := make([]service.JobSpec, len(benchList))
-	for i, b := range benchList {
-		pool[i] = service.JobSpec{Bench: b, System: *system, Scale: *scale, Seed: *seedBase - 1}
+	pool := make([]service.JobSpec, len(templates))
+	for i, tmpl := range templates {
+		pool[i] = tmpl
+		pool[i].Seed = *seedBase - 1
 	}
 
 	var (
@@ -102,12 +128,8 @@ func main() {
 		if *dup > 0 && idx%*dup == 0 {
 			spec = pool[(idx / *dup)%len(pool)]
 		} else {
-			spec = service.JobSpec{
-				Bench:  benchList[idx%len(benchList)],
-				System: *system,
-				Scale:  *scale,
-				Seed:   nextSeed.Add(1),
-			}
+			spec = templates[idx%len(templates)]
+			spec.Seed = nextSeed.Add(1)
 		}
 		start := time.Now()
 		body, st, err := c.Run(ctx, spec)

@@ -8,9 +8,13 @@
 // Submit jobs with curl:
 //
 //	curl -s localhost:7433/v1/jobs -d '{"bench":"radix","system":"tsoper"}'
+//	curl -s localhost:7433/v1/jobs -d '{"program":{...},"system":"tsoper"}'
 //
-// or drive it with tsoper-load. SIGTERM/SIGINT drain gracefully: admission
-// stops, queued and in-flight jobs finish, then the process exits 0.
+// or drive it with tsoper-load. Program jobs (PROGRAMS.md) are
+// cost-estimated before admission — over-budget programs are rejected with
+// 429 carrying the estimate — and cached under the program's canonical
+// hash. SIGTERM/SIGINT drain gracefully: admission stops, queued and
+// in-flight jobs finish, then the process exits 0.
 package main
 
 import (
@@ -35,16 +39,18 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "admission queue bound; overflow gets 429 + Retry-After")
 	cacheEntries := flag.Int("cache", 256, "content-addressed result cache entries (LRU)")
 	jobTimeout := flag.Uint64("job-timeout", 0, "per-job stall-watchdog horizon in simulation cycles (0 = default)")
+	maxProgramOps := flag.Int("max-program-ops", 0, "program-job admission budget in trace ops; over-budget programs get 429 + estimate (0 = default 4Mi)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max wait for in-flight jobs at shutdown")
 	flag.Parse()
 	log.SetPrefix("tsoper-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	srv := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		JobTimeout:   sim.Time(*jobTimeout),
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheEntries,
+		JobTimeout:    sim.Time(*jobTimeout),
+		MaxProgramOps: *maxProgramOps,
 	})
 	srv.Start()
 

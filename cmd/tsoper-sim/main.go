@@ -4,12 +4,18 @@
 // Usage:
 //
 //	tsoper-sim -bench radix -system tsoper -scale 0.5 -seed 42 [-stats]
+//	tsoper-sim -program producer-consumer-ring -system tsoper
+//	tsoper-sim -program my-workload.json -estimate
 //	tsoper-sim -bench radix -trace-out radix.json -metrics-out radix-metrics.json
 //	tsoper-sim -metrics-diff old-metrics.json new-metrics.json
 //
-// -trace-out writes a Perfetto-compatible timeline (open it in
-// ui.perfetto.dev); -metrics-out writes the unified metrics snapshot;
-// -metrics-diff compares two snapshots without running anything.
+// -program runs a workload-VM program instead of a benchmark profile: an
+// embedded library name (see -list) or a JSON program file (PROGRAMS.md
+// documents the wire format). -estimate prints the program's up-front cost
+// estimate without simulating. -trace-out writes a Perfetto-compatible
+// timeline (open it in ui.perfetto.dev); -metrics-out writes the unified
+// metrics snapshot; -metrics-diff compares two snapshots without running
+// anything.
 //
 // Systems: baseline, hw-rp, bsp, bsp+slc, bsp+slc+agb, stw, tsoper.
 // Benchmarks: the 22 PARSEC 3.0 / Splash-3 stand-ins (see -list).
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,71 +36,87 @@ import (
 	"repro/tsoper"
 )
 
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	bench := flag.String("bench", "radix", "benchmark name")
-	system := flag.String("system", "tsoper", "persistency system")
-	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	seed := flag.Int64("seed", 42, "workload seed")
-	list := flag.Bool("list", false, "list benchmarks and systems, then exit")
-	full := flag.Bool("stats", false, "dump the full metric registry")
-	saveTrace := flag.String("save-trace", "", "write the generated workload trace to this file")
-	loadTrace := flag.String("load-trace", "", "replay a workload trace from this file instead of generating")
-	traceOut := flag.String("trace-out", "", "write a Perfetto timeline trace (JSON) to this file")
-	metricsOut := flag.String("metrics-out", "", "write the unified metrics snapshot (JSON) to this file")
-	metricsDiff := flag.Bool("metrics-diff", false, "diff two metrics snapshots given as positional args, then exit")
-	schedFlag := flag.String("scheduler", "wheel", "event scheduler: wheel or heap (reference)")
-	flag.Parse()
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsoper-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "radix", "benchmark name")
+	progArg := fs.String("program", "", "run a workload program: a library name or a JSON file (overrides -bench)")
+	estimate := fs.Bool("estimate", false, "print the program's cost estimate and exit without simulating (requires -program)")
+	system := fs.String("system", "tsoper", "persistency system")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	seed := fs.Int64("seed", 42, "workload seed")
+	list := fs.Bool("list", false, "list benchmarks, programs, and systems, then exit")
+	full := fs.Bool("stats", false, "dump the full metric registry")
+	saveTrace := fs.String("save-trace", "", "write the generated workload trace to this file")
+	loadTrace := fs.String("load-trace", "", "replay a workload trace from this file instead of generating")
+	traceOut := fs.String("trace-out", "", "write a Perfetto timeline trace (JSON) to this file")
+	metricsOut := fs.String("metrics-out", "", "write the unified metrics snapshot (JSON) to this file")
+	metricsDiff := fs.Bool("metrics-diff", false, "diff two metrics snapshots given as positional args, then exit")
+	schedFlag := fs.String("scheduler", "wheel", "event scheduler: wheel or heap (reference)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
 
 	// Usage validation, mirroring tsoper-crash: malformed invocations exit
 	// 2 before any work happens.
 	if *saveTrace != "" && *loadTrace != "" {
-		usageErr("-save-trace and -load-trace are mutually exclusive (replaying never generates)")
+		return usageErr("-save-trace and -load-trace are mutually exclusive (replaying never generates)")
 	}
 	if *scale <= 0 {
-		usageErr("-scale must be positive, got %g", *scale)
+		return usageErr("-scale must be positive, got %g", *scale)
+	}
+	if *estimate && *progArg == "" {
+		return usageErr("-estimate requires -program")
+	}
+	if *progArg != "" && (*saveTrace != "" || *loadTrace != "") {
+		return usageErr("-program is incompatible with -save-trace/-load-trace (programs are already portable workloads)")
 	}
 	sched, err := tsoper.ParseScheduler(*schedFlag)
 	if err != nil {
-		usageErr("%v", err)
+		return usageErr("%v", err)
 	}
 
 	if *metricsDiff {
-		if flag.NArg() != 2 {
-			usageErr("usage: tsoper-sim -metrics-diff OLD.json NEW.json")
+		if fs.NArg() != 2 {
+			return usageErr("usage: tsoper-sim -metrics-diff OLD.json NEW.json")
 		}
-		if err := diffMetrics(flag.Arg(0), flag.Arg(1)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := diffMetrics(stdout, fs.Arg(0), fs.Arg(1)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
-		fmt.Println("benchmarks:")
+		fmt.Fprintln(stdout, "benchmarks:")
 		for _, p := range tsoper.Benchmarks() {
 			input := "small"
 			if p.LargeInput {
 				input = "large"
 			}
-			fmt.Printf("  %-14s (%s input, %d ops/core)\n", p.Name, input, p.OpsPerCore)
+			fmt.Fprintf(stdout, "  %-14s (%s input, %d ops/core)\n", p.Name, input, p.OpsPerCore)
 		}
-		fmt.Println("systems:")
+		fmt.Fprintln(stdout, "programs (library):")
+		for _, name := range tsoper.LibraryPrograms() {
+			fmt.Fprintf(stdout, "  %s\n", name)
+		}
+		fmt.Fprintln(stdout, "systems:")
 		for _, s := range tsoper.Systems() {
-			fmt.Printf("  %s\n", s)
+			fmt.Fprintf(stdout, "  %s\n", s)
 		}
-		return
+		return 0
 	}
 
-	p, ok := tsoper.Benchmark(*bench)
-	if !ok {
-		usageErr("unknown benchmark %q (try -list)", *bench)
-	}
 	var kind tsoper.System
 	found := false
 	for _, s := range tsoper.Systems() {
@@ -103,7 +126,38 @@ func main() {
 		}
 	}
 	if !found {
-		usageErr("unknown system %q (try -list)", *system)
+		return usageErr("unknown system %q (try -list)", *system)
+	}
+
+	var prog *tsoper.Program
+	var p tsoper.Profile
+	if *progArg != "" {
+		prog, err = tsoper.LoadProgram(*progArg)
+		if err != nil {
+			return usageErr("%v", err)
+		}
+	} else {
+		var ok bool
+		p, ok = tsoper.Benchmark(*bench)
+		if !ok {
+			return usageErr("unknown benchmark %q (try -list)", *bench)
+		}
+	}
+
+	if *estimate {
+		est, err := tsoper.EstimateProgram(prog, kind, tsoper.RunOptions{})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: %s\n", prog.Name, est)
+		doc, err := json.MarshalIndent(est, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(doc))
+		return 0
 	}
 
 	// A -trace-out flag attaches a recording telemetry bus to the machine.
@@ -117,54 +171,58 @@ func main() {
 	}
 
 	var r *tsoper.Results
-	if *loadTrace != "" {
+	opts := tsoper.RunOptions{Scale: *scale, Seed: *seed, Scheduler: sched, Config: cfgOverride}
+	switch {
+	case *loadTrace != "":
 		r, err = runSavedTrace(*loadTrace, kind, sched, cfgOverride)
-	} else {
+	case prog != nil:
+		r, err = tsoper.RunProgram(prog, kind, opts)
+	default:
 		if *saveTrace != "" {
 			if err := saveWorkload(p, *scale, *seed, *saveTrace); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 		}
-		r, err = tsoper.Run(p, kind, tsoper.RunOptions{
-			Scale: *scale, Seed: *seed, Scheduler: sched, Config: cfgOverride})
+		r, err = tsoper.Run(p, kind, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if sink != nil {
 		if err := writeFile(*traceOut, sink.WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open in ui.perfetto.dev)\n", sink.Len(), *traceOut)
+		fmt.Fprintf(stderr, "trace: %d events -> %s (open in ui.perfetto.dev)\n", sink.Len(), *traceOut)
 	}
 	if *metricsOut != "" {
 		if err := writeFile(*metricsOut, r.Snapshot().WriteJSON); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "metrics: %s\n", *metricsOut)
+		fmt.Fprintf(stderr, "metrics: %s\n", *metricsOut)
 	}
-	fmt.Println(r)
-	fmt.Printf("  execution cycles     %d\n", r.Cycles)
-	fmt.Printf("  drain-complete cycle %d\n", r.DrainCycles)
-	fmt.Printf("  loads / stores       %d / %d (+%d syncs)\n", r.Loads, r.Stores, r.SyncOps)
-	fmt.Printf("  coherence writes     %d\n", r.CoherenceWrites)
-	fmt.Printf("  persist writes       %d (total incl. final flush: %d)\n", r.PersistWrites, r.TotalPersistWrites)
-	fmt.Printf("  NVM writes           %d\n", r.NVMWrites)
+	fmt.Fprintln(stdout, r)
+	fmt.Fprintf(stdout, "  execution cycles     %d\n", r.Cycles)
+	fmt.Fprintf(stdout, "  drain-complete cycle %d\n", r.DrainCycles)
+	fmt.Fprintf(stdout, "  loads / stores       %d / %d (+%d syncs)\n", r.Loads, r.Stores, r.SyncOps)
+	fmt.Fprintf(stdout, "  coherence writes     %d\n", r.CoherenceWrites)
+	fmt.Fprintf(stdout, "  persist writes       %d (total incl. final flush: %d)\n", r.PersistWrites, r.TotalPersistWrites)
+	fmt.Fprintf(stdout, "  NVM writes           %d\n", r.NVMWrites)
 	if len(r.Groups) > 0 {
-		fmt.Printf("  atomic groups        %d (mean size %.2f, p90 %d, max %d)\n",
+		fmt.Fprintf(stdout, "  atomic groups        %d (mean size %.2f, p90 %d, max %d)\n",
 			len(r.Groups), r.AGSizes.Mean(), r.AGSizes.Percentile(90), r.AGSizes.Max())
 	}
-	fmt.Printf("  list lengths         coherence %.2f, persist %.2f\n", r.CoherenceListLen, r.PersistListLen)
-	fmt.Printf("  evict buffer         max occupancy %d, stalls %d\n", r.EvictBufMax, r.EvictBufStalls)
-	fmt.Printf("  AGB stalls           %d\n", r.AGBStalls)
+	fmt.Fprintf(stdout, "  list lengths         coherence %.2f, persist %.2f\n", r.CoherenceListLen, r.PersistListLen)
+	fmt.Fprintf(stdout, "  evict buffer         max occupancy %d, stalls %d\n", r.EvictBufMax, r.EvictBufStalls)
+	fmt.Fprintf(stdout, "  AGB stalls           %d\n", r.AGBStalls)
 	if *full {
-		fmt.Println("--- full metrics ---")
-		fmt.Print(r.Set.String())
+		fmt.Fprintln(stdout, "--- full metrics ---")
+		fmt.Fprint(stdout, r.Set.String())
 	}
+	return 0
 }
 
 // saveWorkload generates and stores the exact workload the run would use.
@@ -219,7 +277,7 @@ func writeFile(path string, render func(io.Writer) error) error {
 }
 
 // diffMetrics prints the differences between two metrics snapshots.
-func diffMetrics(oldPath, newPath string) error {
+func diffMetrics(stdout io.Writer, oldPath, newPath string) error {
 	read := func(path string) (*telemetry.Snapshot, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -236,7 +294,7 @@ func diffMetrics(oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s/%s -> %s/%s\n", oldS.System, oldS.Benchmark, newS.System, newS.Benchmark)
-	fmt.Print(telemetry.FormatDiff(oldS.Diff(newS)))
+	fmt.Fprintf(stdout, "%s/%s -> %s/%s\n", oldS.System, oldS.Benchmark, newS.System, newS.Benchmark)
+	fmt.Fprint(stdout, telemetry.FormatDiff(oldS.Diff(newS)))
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -59,6 +60,11 @@ type Spec struct {
 	// (STW or TSOPER) — the checker refuses anything else.
 	Benchmarks []trace.Profile
 	Systems    []machine.SystemKind
+	// Programs adds workload-VM programs to the tuple grid alongside the
+	// profile benchmarks. Each is compiled for the tuple's machine shape
+	// with the campaign seed (Scale does not apply — programs size
+	// themselves), then crash-swept exactly like a profile workload.
+	Programs []*program.Program
 	// Scale multiplies each profile's OpsPerCore (<= 0 means 1.0).
 	Scale float64
 	// Seed drives workload generation and random sweeps.
@@ -104,12 +110,30 @@ func (s Spec) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// tuple is one benchmark x system cell with its resolved crash points.
+// tuple is one workload x system cell with its resolved crash points. The
+// workload is a scaled profile benchmark or a compiled program, never both.
 type tuple struct {
-	bench  trace.Profile // already scaled
+	name   string
+	bench  trace.Profile    // profile tuples: already scaled
+	prog   *program.Program // program tuples
 	system machine.SystemKind
 	cfg    machine.Config
 	points []uint64
+}
+
+// workload materializes the tuple's deterministic op streams for a machine
+// configuration.
+func (tp *tuple) workload(cfg machine.Config, seed int64) *trace.Workload {
+	if tp.prog != nil {
+		w, err := tp.prog.Compile(program.Env{Cores: cfg.Cores, Ranks: cfg.NVM.Ranks}, seed)
+		if err != nil {
+			// Spec validation compiled the program once already, so a
+			// failure here is a campaign-construction bug, not user input.
+			panic("crashmc: " + err.Error())
+		}
+		return w
+	}
+	return trace.Generate(tp.bench, cfg.Cores, seed)
 }
 
 // Run executes the campaign: resolves crash points per tuple (instrumented
@@ -118,8 +142,8 @@ type tuple struct {
 // deterministic, so the report is identical for identical specs regardless
 // of worker count.
 func Run(spec Spec) (*Report, error) {
-	if len(spec.Benchmarks) == 0 || len(spec.Systems) == 0 {
-		return nil, errors.New("crashmc: campaign needs at least one benchmark and one system")
+	if len(spec.Benchmarks)+len(spec.Programs) == 0 || len(spec.Systems) == 0 {
+		return nil, errors.New("crashmc: campaign needs at least one workload and one system")
 	}
 	if spec.Points <= 0 {
 		return nil, errors.New("crashmc: campaign needs a positive crash-point budget")
@@ -130,10 +154,22 @@ func Run(spec Spec) (*Report, error) {
 		}
 	}
 
-	tuples := make([]*tuple, 0, len(spec.Benchmarks)*len(spec.Systems))
+	tuples := make([]*tuple, 0, (len(spec.Benchmarks)+len(spec.Programs))*len(spec.Systems))
 	for _, b := range spec.Benchmarks {
 		for _, k := range spec.Systems {
-			tuples = append(tuples, &tuple{bench: b.Scale(spec.scale()), system: k, cfg: spec.config(k)})
+			scaled := b.Scale(spec.scale())
+			tuples = append(tuples, &tuple{name: scaled.Name, bench: scaled, system: k, cfg: spec.config(k)})
+		}
+	}
+	for _, p := range spec.Programs {
+		for _, k := range spec.Systems {
+			cfg := spec.config(k)
+			// Reject unrunnable programs up front (validation and machine
+			// fit) so worker goroutines never see a compile failure.
+			if _, err := p.Compile(program.Env{Cores: cfg.Cores, Ranks: cfg.NVM.Ranks}, spec.Seed); err != nil {
+				return nil, fmt.Errorf("crashmc: %w", err)
+			}
+			tuples = append(tuples, &tuple{name: p.Name, prog: p, system: k, cfg: cfg})
 		}
 	}
 	runParallel(len(tuples), spec.workers(), func(i int) {
@@ -172,15 +208,25 @@ func (spec Spec) resolvePoints(tp *tuple, idx int64) []uint64 {
 	case StrategyUniform:
 		return UniformPoints(first, step, spec.Points)
 	case StrategyRandom:
-		_, horizon := Harvest(tp.bench, tp.cfg, spec.Seed, 1)
+		_, horizon := spec.harvest(tp, 1)
 		return RandomPoints(horizon, spec.Points, spec.Seed+idx*7919)
 	default: // StrategyEvents
-		points, horizon := Harvest(tp.bench, tp.cfg, spec.Seed, spec.Points)
+		points, horizon := spec.harvest(tp, spec.Points)
 		if missing := spec.Points - len(points); missing > 0 {
 			points = append(points, RandomPoints(horizon, missing, spec.Seed+idx*7919)...)
 		}
 		return points
 	}
+}
+
+// harvest instruments one full run of the tuple's workload and returns its
+// persistency-transition cycles plus the run horizon.
+func (spec Spec) harvest(tp *tuple, budget int) ([]uint64, uint64) {
+	points, horizon, err := HarvestWorkload(tp.cfg, tp.workload(tp.cfg, spec.Seed), budget)
+	if err != nil {
+		panic("crashmc: " + err.Error())
+	}
+	return points, horizon
 }
 
 // runOne performs a single crash injection and checks the recovered state.
@@ -191,11 +237,11 @@ func (spec Spec) runOne(tp *tuple, at uint64) Injection {
 	if err != nil {
 		panic("crashmc: " + err.Error())
 	}
-	w := trace.Generate(tp.bench, cfg.Cores, spec.Seed)
+	w := tp.workload(cfg, spec.Seed)
 	cs := m.RunWithCrash(w, sim.Time(at))
 
 	inj := Injection{
-		Benchmark: tp.bench.Name,
+		Benchmark: tp.name,
 		System:    tp.system.String(),
 		Seed:      spec.Seed,
 		At:        at,
@@ -217,7 +263,10 @@ func (spec Spec) runOne(tp *tuple, at uint64) Injection {
 		if errors.As(err, &v) {
 			inj.Rule = v.Rule
 		}
-		if spec.Shrink {
+		// Shrinking re-generates candidate workloads from the profile, so
+		// program tuples report unshrunk (the program JSON is already the
+		// minimal reproducer to hand around).
+		if spec.Shrink && tp.prog == nil {
 			f := Failure{
 				Profile:          tp.bench,
 				System:           tp.system.String(),
@@ -246,7 +295,7 @@ func (spec Spec) assemble(tuples []*tuple, injections []Injection) *Report {
 	}
 	byTuple := map[string]*TupleSummary{}
 	for _, tp := range tuples {
-		ts := &TupleSummary{Benchmark: tp.bench.Name, System: tp.system.String(), Points: len(tp.points)}
+		ts := &TupleSummary{Benchmark: tp.name, System: tp.system.String(), Points: len(tp.points)}
 		byTuple[ts.Benchmark+"/"+ts.System] = ts
 		r.Tuples = append(r.Tuples, ts)
 	}

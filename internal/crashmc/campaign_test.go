@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/program"
 )
 
 func smokeSpec() Spec {
@@ -167,5 +168,84 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if back.Injections != report.Injections || back.Name != report.Name {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// Workload-VM programs are first-class campaign subjects: a sweep over
+// library programs must recover to consistent cuts at every harvested
+// crash point, catch the machine mid-persist, and stay deterministic
+// across worker counts.
+func TestProgramCampaignClean(t *testing.T) {
+	var progs []*program.Program
+	for _, name := range []string{"producer-consumer-ring", "log-structured-writer"} {
+		p, err := program.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	spec := Spec{
+		Name:     "programs",
+		Programs: progs,
+		Systems:  []machine.SystemKind{machine.TSOPER},
+		Seed:     42,
+		Points:   25,
+		Strategy: StrategyEvents,
+		Parallel: 4,
+		Detail:   true,
+	}
+	report, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) > 0 {
+		t.Fatalf("program campaign found violations:\n%s", report.Violations[0].Violation)
+	}
+	if report.Injections < 2*25 {
+		t.Fatalf("program campaign ran %d injections, want >= 50", report.Injections)
+	}
+	if report.PartialStates == 0 {
+		t.Fatal("program campaign never caught the machine mid-persist")
+	}
+	for _, ts := range report.Tuples {
+		if ts.Benchmark != "producer-consumer-ring" && ts.Benchmark != "log-structured-writer" {
+			t.Fatalf("unexpected tuple name %q", ts.Benchmark)
+		}
+	}
+
+	// Worker count must not leak into the artifact: serial == parallel.
+	serial := spec
+	serial.Parallel = 1
+	again, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := report.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := again.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("program campaign report depends on worker count")
+	}
+}
+
+// Programs that cannot compile for the campaign's machine shape are
+// rejected up front, not mid-campaign.
+func TestProgramCampaignRejectsUnfit(t *testing.T) {
+	wide := &program.Program{Version: program.Version, Name: "too-wide"}
+	for i := 0; i < 16; i++ { // Table I machines have 8 cores
+		wide.Cores = append(wide.Cores, program.CoreProg{Instrs: []program.Instr{{Op: program.OpFence}}})
+	}
+	spec := Spec{
+		Name:     "unfit",
+		Programs: []*program.Program{wide},
+		Systems:  []machine.SystemKind{machine.TSOPER},
+		Points:   5,
+	}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("16-core program accepted for an 8-core machine")
 	}
 }

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// envFor maps a machine configuration onto the program compiler's target
+// shape: the config's core count and NVM rank interleave.
+func envFor(cfg machine.Config) program.Env {
+	return program.Env{Cores: cfg.Cores, Ranks: cfg.NVM.Ranks}
+}
+
+// RunProgram simulates a workload program under one system with the Table I
+// configuration. Options.Scale is ignored — a program's size is spelled out
+// by its instructions (the profile instruction carries its own scale).
+func RunProgram(p *program.Program, kind machine.SystemKind, o Options) *machine.Results {
+	r, err := RunProgramConfigChecked(p, machine.TableI(kind), o)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return r
+}
+
+// RunProgramChecked is the job-shaped RunProgram.
+func RunProgramChecked(p *program.Program, kind machine.SystemKind, o Options) (*machine.Results, error) {
+	return RunProgramConfigChecked(p, machine.TableI(kind), o)
+}
+
+// RunProgramConfigChecked compiles the program for the configuration's
+// shape and runs it, returning validation, compile, configuration, and
+// wedged-run failures as errors. Determinism matches the profile path: the
+// result is a pure function of (program, config, seed, scheduler).
+func RunProgramConfigChecked(p *program.Program, cfg machine.Config, o Options) (*machine.Results, error) {
+	if o.Scheduler != sim.SchedulerWheel {
+		cfg.Scheduler = o.Scheduler
+	}
+	if o.Timeout > 0 {
+		cfg.WatchdogHorizon = o.Timeout
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	w, err := p.Compile(envFor(cfg), o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return m.RunChecked(w)
+}
+
+// EstimateProgram is the admission-control view: the program's cost for the
+// configuration's machine shape, with no compilation or simulation.
+func EstimateProgram(p *program.Program, cfg machine.Config) (program.Estimate, error) {
+	return p.Estimate(envFor(cfg))
+}

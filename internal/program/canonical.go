@@ -1,0 +1,159 @@
+package program
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the program's normal form. Canonicalization applies
+// only rewrites that provably preserve Compile's output byte-for-byte
+// (compile_test.go cross-checks this on the library), so two programs with
+// the same canonical form are interchangeable workloads:
+//
+//   - cosmetic content is dropped (Doc) and defaults are made explicit
+//     (region "shared", stride "seq", default widths, lock stores 1,
+//     profile scale 1);
+//   - single-iteration loops are inlined, and a loop whose body reduces to
+//     one mergeable instruction collapses to that instruction with the
+//     multiplied count;
+//   - adjacent mergeable instructions (same op and parameters) merge with
+//     summed counts — sound because each core lowers through one
+//     continuous RNG/cursor stream, so "burst 60 then burst 40" draws the
+//     same addresses as "burst 100";
+//   - trailing empty cores are dropped (idle either way).
+//
+// The input is not modified.
+func (p *Program) Canonical() (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	q := &Program{Version: Version, Name: p.Name}
+	for _, cp := range p.Cores {
+		q.Cores = append(q.Cores, CoreProg{Instrs: canonicalInstrs(cp.Instrs)})
+	}
+	for len(q.Cores) > 1 && len(q.Cores[len(q.Cores)-1].Instrs) == 0 {
+		q.Cores = q.Cores[:len(q.Cores)-1]
+	}
+	return q, nil
+}
+
+// Hash is the program's content address: the SHA-256 of its canonical
+// JSON form. Programs that lower to identical workloads share a hash.
+func (p *Program) Hash() (string, error) {
+	c, err := p.Canonical()
+	if err != nil {
+		return "", err
+	}
+	doc, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("program: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func canonicalInstrs(instrs []Instr) []Instr {
+	out := make([]Instr, 0, len(instrs))
+	for _, in := range instrs {
+		for _, c := range canonicalInstr(in) {
+			out = appendMerged(out, c)
+		}
+	}
+	return out
+}
+
+// canonicalInstr normalizes one instruction, possibly expanding to several
+// (inlined loops) — always already-canonical instructions.
+func canonicalInstr(in Instr) []Instr {
+	switch in.Op {
+	case OpStoreBurst, OpLoadScan:
+		in.Region = regionOrDefault(in.Region)
+		in.Lines = regionWidth(in.Region, in.Lines)
+		if in.Stride == "" {
+			in.Stride = StrideSeq
+		}
+	case OpLock:
+		in.Stores = in.csStores()
+	case OpProfile:
+		in.Scale = in.profileScale()
+	case OpCrash:
+		// crash keeps its own op: it lowers like epoch but campaigns read
+		// the intent, so the distinction is semantic, not cosmetic.
+	case OpLoop:
+		body := canonicalInstrs(in.Body)
+		if in.Times == 1 {
+			return body
+		}
+		if len(body) == 1 && mergeable(body[0]) {
+			if total := body[0].Count * in.Times; total <= MaxCount {
+				single := body[0]
+				single.Count = total
+				return []Instr{single}
+			}
+		}
+		in.Body = body
+	}
+	return []Instr{in}
+}
+
+// mergeable reports whether the instruction merges with an identical
+// neighbor by summing counts. Sound only for ops whose lowering draws
+// Count items from a continuous per-core stream.
+func mergeable(in Instr) bool {
+	switch in.Op {
+	case OpStoreBurst, OpLoadScan, OpHandoff, OpRankStream:
+		return true
+	}
+	return false
+}
+
+// appendMerged appends c, merging into the previous instruction when both
+// are mergeable and differ only in count.
+func appendMerged(out []Instr, c Instr) []Instr {
+	if n := len(out); n > 0 && mergeable(c) {
+		prev := out[n-1]
+		if sameParams(prev, c) && prev.Count+c.Count <= MaxCount {
+			out[n-1].Count = prev.Count + c.Count
+			return out
+		}
+	}
+	return append(out, c)
+}
+
+// sameParams reports whether two mergeable instructions differ only in
+// count. (Instr itself is not comparable — loops carry a Body slice — but
+// mergeable ops never use Body.)
+func sameParams(a, b Instr) bool {
+	return a.Op == b.Op && a.Region == b.Region && a.Lines == b.Lines &&
+		a.Stride == b.Stride && a.Line == b.Line && a.Rank == b.Rank
+}
+
+func regionOrDefault(r string) string {
+	if r == "" {
+		return RegionShared
+	}
+	return r
+}
+
+// Default region widths in cachelines.
+const (
+	DefaultSharedLines  = 512
+	DefaultHotLines     = 8
+	DefaultPrivateLines = 512
+)
+
+func regionWidth(region string, lines int) int {
+	if lines > 0 {
+		return lines
+	}
+	switch region {
+	case RegionHot:
+		return DefaultHotLines
+	case RegionPrivate:
+		return DefaultPrivateLines
+	default:
+		return DefaultSharedLines
+	}
+}

@@ -1,0 +1,209 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Env is the machine shape compilation targets. Both values come from the
+// machine configuration, so they are already part of every result cache
+// key that includes the config's canonical form.
+type Env struct {
+	// Cores is the machine's core count; the program may use at most this
+	// many, and the compiled workload always has exactly this many streams
+	// (missing cores are idle).
+	Cores int
+	// Ranks is the NVM rank count rank_stream instructions target
+	// (line -> rank is line mod Ranks, the machine's address interleave).
+	Ranks int
+}
+
+// DefaultEnv is the Table I shape: 8 cores, 8 NVM ranks.
+func DefaultEnv() Env { return Env{Cores: 8, Ranks: 8} }
+
+func (e Env) check() error {
+	if e.Cores <= 0 || e.Ranks <= 0 {
+		return fmt.Errorf("program: invalid env (%d cores, %d ranks)", e.Cores, e.Ranks)
+	}
+	return nil
+}
+
+// Address layout. Programs share the synthetic profiles' regions (so the
+// profile instruction composes with the rest), with rank streams placed in
+// a dedicated per-core region far above the private heaps.
+const (
+	rankStreamBase   mem.Addr = 0xC000_0000
+	rankStreamStride mem.Addr = 0x0100_0000
+)
+
+// Compile lowers the program onto per-core op streams for the given
+// machine shape, deterministically in (program, env, seed). The result is
+// a plain trace.Workload: the machine, scheduler, telemetry, and checker
+// run it unchanged.
+func (p *Program) Compile(env Env, seed int64) (*trace.Workload, error) {
+	if err := env.check(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Cores) > env.Cores {
+		return nil, fmt.Errorf("program: %q uses %d cores but the machine has %d", p.Name, len(p.Cores), env.Cores)
+	}
+	w := &trace.Workload{
+		Profile: trace.Profile{Name: p.Name},
+		Cores:   make([][]mem.Op, env.Cores),
+	}
+	for c := range w.Cores {
+		w.Cores[c] = []mem.Op{}
+	}
+	for c, cp := range p.Cores {
+		lc := newLowerer(c, env, seed)
+		if err := lc.lower(cp.Instrs); err != nil {
+			return nil, err
+		}
+		w.Cores[c] = lc.ops
+	}
+	return w, nil
+}
+
+// lowerer is one core's compilation state. All cursors and the RNG are
+// continuous across the instruction sequence — the property that makes the
+// canonical form's burst merging sound.
+type lowerer struct {
+	core int
+	env  Env
+	seed int64
+	rng  *rand.Rand
+	ops  []mem.Op
+
+	syncID  uint32
+	epochID uint32
+	// cursor is the per-region sequential-stride position.
+	cursor map[string]int
+	// handoff alternates store/load continuously across handoff instrs.
+	handoff int
+	// rankNext is the next sequential slot per target rank.
+	rankNext map[int]int
+}
+
+func newLowerer(core int, env Env, seed int64) *lowerer {
+	return &lowerer{
+		core: core,
+		env:  env,
+		seed: seed,
+		// A distinct stream family from trace.genCore's (7919/104729/+1),
+		// so a program never aliases a profile's draws.
+		rng:      rand.New(rand.NewSource(seed*6271 + int64(core)*31337 + 977)),
+		cursor:   make(map[string]int),
+		rankNext: make(map[int]int),
+	}
+}
+
+func (l *lowerer) lower(instrs []Instr) error {
+	for _, in := range instrs {
+		if err := l.lowerInstr(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lowerInstr(in Instr) error {
+	switch in.Op {
+	case OpStoreBurst:
+		for i := 0; i < in.Count; i++ {
+			l.emit(mem.Op{Kind: mem.OpStore, Addr: l.regionAddr(in)})
+		}
+	case OpLoadScan:
+		for i := 0; i < in.Count; i++ {
+			l.emit(mem.Op{Kind: mem.OpLoad, Addr: l.regionAddr(in)})
+		}
+	case OpHandoff:
+		line := mem.LineOf(trace.SharedBase) + mem.Line(in.Line)
+		addr := line.Base() + mem.Addr(l.core%8)*8
+		for i := 0; i < in.Count; i++ {
+			kind := mem.OpStore
+			if l.handoff%2 == 1 {
+				kind = mem.OpLoad
+			}
+			l.handoff++
+			l.emit(mem.Op{Kind: kind, Addr: addr})
+		}
+	case OpFence:
+		l.syncID++
+		l.emit(mem.Op{Kind: mem.OpSync, Arg: l.syncID})
+	case OpLock:
+		l.syncID++
+		l.emit(mem.Op{Kind: mem.OpSync, Arg: l.syncID}) // acquire
+		line := mem.LineOf(trace.SharedBase) + mem.Line(in.Line)
+		for i := 0; i < in.csStores(); i++ {
+			off := mem.Addr(l.rng.Intn(mem.LineSize/8)) * 8
+			l.emit(mem.Op{Kind: mem.OpStore, Addr: line.Base() + off})
+		}
+		l.syncID++
+		l.emit(mem.Op{Kind: mem.OpSync, Arg: l.syncID}) // release
+	case OpRankStream:
+		rank := in.Rank % l.env.Ranks
+		base := mem.LineOf(rankStreamBase + mem.Addr(l.core)*rankStreamStride)
+		// Advance base to the first line of the target rank, then stride by
+		// the rank count so every line maps to that rank.
+		first := base + mem.Line((uint64(rank)+uint64(l.env.Ranks)-uint64(base)%uint64(l.env.Ranks))%uint64(l.env.Ranks))
+		for i := 0; i < in.Count; i++ {
+			k := l.rankNext[rank]
+			l.rankNext[rank] = k + 1
+			line := first + mem.Line(k*l.env.Ranks)
+			l.emit(mem.Op{Kind: mem.OpStore, Addr: line.Base()})
+		}
+	case OpEpoch, OpCrash:
+		l.epochID++
+		l.emit(mem.Op{Kind: mem.OpMarker, Arg: l.epochID})
+	case OpCompute:
+		l.emit(mem.Op{Kind: mem.OpCompute, Arg: uint32(in.Cycles)})
+	case OpLoop:
+		for i := 0; i < in.Times; i++ {
+			if err := l.lower(in.Body); err != nil {
+				return err
+			}
+		}
+	case OpProfile:
+		prof, _ := trace.ByName(in.Profile)
+		prof = prof.Scale(in.profileScale())
+		l.ops = append(l.ops, trace.GenerateCore(prof, l.core, l.env.Cores, l.seedForProfile())...)
+	default:
+		return fmt.Errorf("program: unhandled op %q", in.Op) // Validate gates
+	}
+	return nil
+}
+
+// seedForProfile recovers the run seed from the core RNG's construction so
+// profile instructions reproduce trace.Generate exactly.
+func (l *lowerer) seedForProfile() int64 { return l.seed }
+
+func (l *lowerer) emit(op mem.Op) { l.ops = append(l.ops, op) }
+
+// regionAddr picks the next address of a burst/scan: sequential cursor or
+// random draw over the instruction's region, with a random word offset.
+func (l *lowerer) regionAddr(in Instr) mem.Addr {
+	width := regionWidth(regionOrDefault(in.Region), in.Lines)
+	var base mem.Line
+	switch regionOrDefault(in.Region) {
+	case RegionPrivate:
+		base = mem.LineOf(trace.PrivateBase + mem.Addr(l.core)*trace.PrivateStride)
+	default: // shared and hot share the base; hot is just a narrow width
+		base = mem.LineOf(trace.SharedBase)
+	}
+	var idx int
+	if in.Stride == StrideRand {
+		idx = l.rng.Intn(width)
+	} else {
+		key := regionOrDefault(in.Region)
+		idx = l.cursor[key] % width
+		l.cursor[key]++
+	}
+	off := mem.Addr(l.rng.Intn(mem.LineSize/8)) * 8
+	return (base + mem.Line(idx)).Base() + off
+}

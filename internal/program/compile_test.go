@@ -1,0 +1,214 @@
+package program
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestCompileDeterministic(t *testing.T) {
+	t.Parallel()
+	p := mustDecode(t, sampleJSON)
+	a, err := p.Compile(DefaultEnv(), 7)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	b, err := p.Compile(DefaultEnv(), 7)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same (program, env, seed) compiled differently")
+	}
+	c, err := p.Compile(DefaultEnv(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if reflect.DeepEqual(a.Cores, c.Cores) {
+		t.Fatalf("different seeds compiled identically")
+	}
+}
+
+// TestCompileCanonicalInvariant is the soundness proof behind the content
+// address: a program and its canonical form must compile to byte-identical
+// op streams, on crafted merge-heavy cases and on the whole library.
+func TestCompileCanonicalInvariant(t *testing.T) {
+	t.Parallel()
+	crafted := []Program{
+		prog1("m",
+			Instr{Op: OpStoreBurst, Count: 33},
+			Instr{Op: OpStoreBurst, Count: 67},
+			Instr{Op: OpLoadScan, Count: 10, Region: RegionHot, Stride: StrideRand},
+			Instr{Op: OpLoadScan, Count: 10, Region: RegionHot, Stride: StrideRand}),
+		prog1("m", Instr{Op: OpLoop, Times: 5, Body: []Instr{
+			{Op: OpHandoff, Count: 3, Line: 4},
+		}}),
+		prog1("m", Instr{Op: OpLoop, Times: 1, Body: []Instr{
+			{Op: OpFence},
+			{Op: OpRankStream, Count: 6, Rank: 2},
+			{Op: OpRankStream, Count: 6, Rank: 2},
+		}}),
+		// Interleaved: merging must not disturb the continuous handoff
+		// parity or region cursors that span the merge boundary.
+		prog1("m",
+			Instr{Op: OpHandoff, Count: 3, Line: 1},
+			Instr{Op: OpHandoff, Count: 2, Line: 1},
+			Instr{Op: OpStoreBurst, Count: 5, Region: RegionPrivate},
+			Instr{Op: OpHandoff, Count: 4, Line: 1}),
+	}
+	for name, p := range Library() {
+		crafted = append(crafted, *p)
+		_ = name
+	}
+	for i := range crafted {
+		p := &crafted[i]
+		c, err := p.Canonical()
+		if err != nil {
+			t.Fatalf("case %d (%s): Canonical: %v", i, p.Name, err)
+		}
+		for _, seed := range []int64{1, 42} {
+			wp, err := p.Compile(DefaultEnv(), seed)
+			if err != nil {
+				t.Fatalf("case %d (%s): Compile surface: %v", i, p.Name, err)
+			}
+			wc, err := c.Compile(DefaultEnv(), seed)
+			if err != nil {
+				t.Fatalf("case %d (%s): Compile canonical: %v", i, p.Name, err)
+			}
+			if !reflect.DeepEqual(wp, wc) {
+				t.Fatalf("case %d (%s) seed %d: canonical form compiles differently", i, p.Name, seed)
+			}
+		}
+	}
+}
+
+func TestCompileShapes(t *testing.T) {
+	t.Parallel()
+	p := prog1("shape", Instr{Op: OpStoreBurst, Count: 4})
+	w, err := p.Compile(Env{Cores: 4, Ranks: 8}, 1)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(w.Cores) != 4 {
+		t.Fatalf("workload has %d cores, want the machine's 4", len(w.Cores))
+	}
+	for c := 1; c < 4; c++ {
+		if len(w.Cores[c]) != 0 {
+			t.Fatalf("unprogrammed core %d got %d ops", c, len(w.Cores[c]))
+		}
+	}
+	if w.Profile.Name != "shape" {
+		t.Fatalf("workload benchmark name %q, want program name", w.Profile.Name)
+	}
+
+	wide := Program{Version: 1, Name: "wide", Cores: make([]CoreProg, 9)}
+	for i := range wide.Cores {
+		wide.Cores[i] = CoreProg{Instrs: []Instr{{Op: OpFence}}}
+	}
+	if _, err := wide.Compile(DefaultEnv(), 1); err == nil {
+		t.Fatalf("9-core program compiled for an 8-core machine")
+	}
+	if _, err := p.Compile(Env{}, 1); err == nil {
+		t.Fatalf("zero env accepted")
+	}
+}
+
+func TestRankStreamTargetsRank(t *testing.T) {
+	t.Parallel()
+	const ranks = 8
+	for rank := 0; rank < ranks; rank++ {
+		p := prog1("r", Instr{Op: OpRankStream, Count: 16, Rank: rank})
+		w, err := p.Compile(Env{Cores: 2, Ranks: ranks}, 3)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		for _, op := range w.Cores[0] {
+			if op.Kind != mem.OpStore {
+				t.Fatalf("rank_stream emitted %v", op.Kind)
+			}
+			if got := uint64(mem.LineOf(op.Addr)) % ranks; got != uint64(rank) {
+				t.Fatalf("line %v maps to rank %d, want %d", mem.LineOf(op.Addr), got, rank)
+			}
+		}
+	}
+}
+
+func TestHandoffAlternates(t *testing.T) {
+	t.Parallel()
+	p := prog1("h",
+		Instr{Op: OpHandoff, Count: 3, Line: 5},
+		Instr{Op: OpHandoff, Count: 3, Line: 5})
+	w, err := p.Compile(DefaultEnv(), 1)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ops := w.Cores[0]
+	if len(ops) != 6 {
+		t.Fatalf("got %d ops, want 6", len(ops))
+	}
+	for i, op := range ops {
+		want := mem.OpStore
+		if i%2 == 1 {
+			want = mem.OpLoad
+		}
+		if op.Kind != want {
+			t.Fatalf("op %d is %v, want %v (parity must run across instruction boundaries)", i, op.Kind, want)
+		}
+		if op.Addr != ops[0].Addr {
+			t.Fatalf("handoff wandered off its line")
+		}
+	}
+}
+
+// TestProfileInstructionIdentity proves the load-bearing golden property:
+// a program of per-core `profile` instructions compiles to exactly the op
+// streams trace.Generate produces — for every profile in the catalog.
+func TestProfileInstructionIdentity(t *testing.T) {
+	t.Parallel()
+	const cores, seed = 8, 12345
+	for _, prof := range trace.Benchmarks() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			t.Parallel()
+			scaled := prof.Scale(0.1)
+			want := trace.Generate(scaled, cores, seed)
+
+			p := Program{Version: 1, Name: prof.Name}
+			for c := 0; c < cores; c++ {
+				p.Cores = append(p.Cores, CoreProg{Instrs: []Instr{
+					{Op: OpProfile, Profile: prof.Name, Scale: 0.1},
+				}})
+			}
+			got, err := p.Compile(Env{Cores: cores, Ranks: 8}, seed)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if got.Profile.Name != want.Profile.Name {
+				t.Fatalf("benchmark name %q != %q", got.Profile.Name, want.Profile.Name)
+			}
+			if !reflect.DeepEqual(got.Cores, want.Cores) {
+				t.Fatalf("compiled op streams differ from trace.Generate")
+			}
+		})
+	}
+}
+
+func BenchmarkProgramCompile(b *testing.B) {
+	p, err := ByName("work-stealing-deque")
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := p.Estimate(DefaultEnv())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(est.Ops))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Compile(DefaultEnv(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

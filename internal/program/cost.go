@@ -1,0 +1,162 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Estimate is a program's up-front cost: exact trace-op counts (the
+// compiler emits precisely these many operations) and an order-of-magnitude
+// simulated-cycle estimate. The cycle model is deliberately simple — fixed
+// per-op costs summed per core, critical path across cores, plus a drain
+// term — because its consumer is admission control, not prediction: it only
+// has to rank programs by weight monotonically enough to reject the
+// over-budget ones before a worker is committed.
+type Estimate struct {
+	// Ops is the total trace-op count across all cores (exact).
+	Ops int `json:"ops"`
+	// Stores, Loads, Syncs, Markers, Computes break Ops down (exact for
+	// instruction programs; profile instructions use the profile's store
+	// fraction, so their split is an expectation).
+	Stores   int `json:"stores"`
+	Loads    int `json:"loads"`
+	Syncs    int `json:"syncs"`
+	Markers  int `json:"markers"`
+	Computes int `json:"computes"`
+	// Cycles estimates the simulated execution horizon: the heaviest
+	// core's summed op costs plus the end-of-run drain term.
+	Cycles uint64 `json:"cycles"`
+}
+
+// Per-op cycle costs (order-of-magnitude, see PROGRAMS.md "Cost model").
+// Loads block the in-order core for a round trip; stores retire through the
+// buffer and mostly cost issue slots; syncs drain the store buffer; rank
+// streams always miss and pay NVM-bound persists.
+const (
+	costLoad       = 40
+	costStore      = 14
+	costSharedMul  = 2 // contended shared/hot traffic costs roughly double
+	costSync       = 160
+	costMarker     = 14
+	costRankStore  = 46
+	costDrainFixed = 4000
+)
+
+// Estimate computes the program's cost for a machine shape without
+// compiling it (no op slices are materialized).
+func (p *Program) Estimate(env Env) (Estimate, error) {
+	if err := env.check(); err != nil {
+		return Estimate{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	var total Estimate
+	var worst uint64
+	for _, cp := range p.Cores {
+		var core Estimate
+		estimateInstrs(cp.Instrs, &core)
+		total.add(core)
+		if core.Cycles > worst {
+			worst = core.Cycles
+		}
+	}
+	total.Cycles = worst + costDrainFixed
+	return total, nil
+}
+
+func (e *Estimate) add(o Estimate) {
+	e.Ops += o.Ops
+	e.Stores += o.Stores
+	e.Loads += o.Loads
+	e.Syncs += o.Syncs
+	e.Markers += o.Markers
+	e.Computes += o.Computes
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("%d ops (%d stores, %d loads, %d syncs, %d markers), ~%d cycles",
+		e.Ops, e.Stores, e.Loads, e.Syncs, e.Markers, e.Cycles)
+}
+
+func estimateInstrs(instrs []Instr, e *Estimate) {
+	for _, in := range instrs {
+		estimateInstr(in, e)
+	}
+}
+
+func estimateInstr(in Instr, e *Estimate) {
+	shared := regionOrDefault(in.Region) != RegionPrivate
+	switch in.Op {
+	case OpStoreBurst:
+		e.Ops += in.Count
+		e.Stores += in.Count
+		e.Cycles += uint64(in.Count) * mulShared(costStore, shared)
+	case OpLoadScan:
+		e.Ops += in.Count
+		e.Loads += in.Count
+		e.Cycles += uint64(in.Count) * mulShared(costLoad, shared)
+	case OpHandoff:
+		e.Ops += in.Count
+		e.Stores += (in.Count + 1) / 2
+		e.Loads += in.Count / 2
+		e.Cycles += uint64(in.Count) * uint64(costLoad+costStore) / 2 * costSharedMul
+	case OpFence:
+		e.Ops++
+		e.Syncs++
+		e.Cycles += costSync
+	case OpLock:
+		cs := in.csStores()
+		e.Ops += cs + 2
+		e.Syncs += 2
+		e.Stores += cs
+		e.Cycles += 2*costSync + uint64(cs)*costStore*costSharedMul
+	case OpRankStream:
+		e.Ops += in.Count
+		e.Stores += in.Count
+		e.Cycles += uint64(in.Count) * costRankStore
+	case OpEpoch, OpCrash:
+		e.Ops++
+		e.Markers++
+		e.Cycles += costMarker
+	case OpCompute:
+		e.Ops++
+		e.Computes++
+		e.Cycles += uint64(in.Cycles)
+	case OpLoop:
+		var body Estimate
+		estimateInstrs(in.Body, &body)
+		e.Ops += body.Ops * in.Times
+		e.Stores += body.Stores * in.Times
+		e.Loads += body.Loads * in.Times
+		e.Syncs += body.Syncs * in.Times
+		e.Markers += body.Markers * in.Times
+		e.Computes += body.Computes * in.Times
+		e.Cycles += body.Cycles * uint64(in.Times)
+	case OpProfile:
+		prof, ok := trace.ByName(in.Profile)
+		if !ok {
+			return // Validate already rejected; keep estimate total-safe
+		}
+		prof = prof.Scale(in.profileScale())
+		n := prof.OpsPerCore
+		e.Ops += n
+		stores := int(float64(n) * prof.StoreFrac)
+		e.Stores += stores
+		e.Loads += n - stores
+		if prof.SyncPeriod > 0 {
+			e.Syncs += n / prof.SyncPeriod
+		}
+		// Profiles mix compute bursts and contended traffic; the blended
+		// per-op cost sits between a private store and a shared load.
+		e.Cycles += uint64(n) * (costLoad + costStore)
+	}
+}
+
+func mulShared(c uint64, shared bool) uint64 {
+	if shared {
+		return c * costSharedMul
+	}
+	return c
+}

@@ -1,0 +1,135 @@
+package program
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzProgram throws arbitrary bytes at the wire decoder and asserts the
+// package's load-bearing invariants on everything that survives
+// validation:
+//
+//   - decode → validate never panics, whatever the input;
+//   - a valid program cost-estimates, and the estimate's op count is exact:
+//     compilation emits precisely Estimate.Ops trace ops;
+//   - canonicalization is sound (the canonical program compiles to
+//     byte-identical op streams), idempotent, and hash-stable (a program
+//     and its canonical form share a content address);
+//   - the canonical form of a valid program is itself valid.
+//
+// Validation bounds (MaxOpsPerCore et al.) are what make it safe to
+// compile attacker-shaped inputs here — the fuzzer is also a test that
+// those bounds actually gate materialization.
+func FuzzProgram(f *testing.F) {
+	for _, name := range LibraryNames() {
+		b, err := libraryFS.ReadFile("library/" + name + ".json")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version":1,"name":"tiny","cores":[{"instrs":[{"op":"store_burst","count":3}]}]}`))
+	f.Add([]byte(`{"version":1,"name":"loopy","cores":[{"instrs":[{"op":"loop","times":4,"body":[{"op":"handoff","count":2,"line":5},{"op":"epoch"}]}]}]}`))
+	f.Add([]byte(`{"version":1,"name":"ranky","cores":[{"instrs":[{"op":"rank_stream","count":9,"rank":3},{"op":"crash"}]}]}`))
+	f.Add([]byte(`{"version":2,"name":"future","cores":[]}`))
+	f.Add([]byte(`{"op":"not a program"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		if p.Validate() != nil {
+			return
+		}
+
+		env := DefaultEnv()
+		est, err := p.Estimate(env)
+		if err != nil {
+			t.Fatalf("valid program failed to estimate: %v", err)
+		}
+		if est.Ops < 0 || est.Ops > MaxCores*MaxOpsPerCore {
+			t.Fatalf("estimate out of bounds: %d ops", est.Ops)
+		}
+		// The breakdown is exact only for pure instruction programs: a
+		// profile instruction's syncs are emitted among its OpsPerCore ops,
+		// so its split is an expectation, not a partition.
+		if !anyProfileInstr(p) {
+			if got := est.Stores + est.Loads + est.Syncs + est.Markers + est.Computes; got != est.Ops {
+				t.Fatalf("estimate breakdown sums to %d, total says %d", got, est.Ops)
+			}
+		}
+
+		c, err := p.Canonical()
+		if err != nil {
+			t.Fatalf("valid program failed to canonicalize: %v", err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("canonical form is invalid: %v", err)
+		}
+		cc, err := c.Canonical()
+		if err != nil {
+			t.Fatalf("canonical form failed to re-canonicalize: %v", err)
+		}
+		h1, err := p.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := c.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h3, err := cc.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 || h2 != h3 {
+			t.Fatalf("hash not stable under canonicalization: %s / %s / %s", h1, h2, h3)
+		}
+
+		// Compiling every fuzz input would let a single large-but-valid
+		// program dominate the time budget; the op-count and soundness
+		// invariants only need modest programs to be exercised densely.
+		if len(p.Cores) > env.Cores || est.Ops > 1<<14 {
+			return
+		}
+		w, err := p.Compile(env, 42)
+		if err != nil {
+			t.Fatalf("valid program failed to compile: %v", err)
+		}
+		total := 0
+		for _, ops := range w.Cores {
+			total += len(ops)
+		}
+		if total != est.Ops {
+			t.Fatalf("compiled to %d ops, estimate promised %d", total, est.Ops)
+		}
+		cw, err := c.Compile(env, 42)
+		if err != nil {
+			t.Fatalf("canonical form failed to compile: %v", err)
+		}
+		if !reflect.DeepEqual(w.Cores, cw.Cores) {
+			t.Fatal("canonicalization changed the compiled op streams")
+		}
+	})
+}
+
+// anyProfileInstr reports whether the program contains a profile
+// instruction at any loop depth.
+func anyProfileInstr(p *Program) bool {
+	var walk func(instrs []Instr) bool
+	walk = func(instrs []Instr) bool {
+		for _, in := range instrs {
+			if in.Op == OpProfile || walk(in.Body) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, cp := range p.Cores {
+		if walk(cp.Instrs) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package program
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// The golden program library. Four entries (radix, ocean_cp, dedup,
+// swaptions) byte-reproduce their legacy synthetic profiles through the
+// `profile` instruction — identity_test.go proves snapshot equality — and
+// the rest are scenarios the profile generator cannot express.
+//
+//go:embed library/*.json
+var libraryFS embed.FS
+
+// LibraryNames lists the embedded programs, sorted.
+func LibraryNames() []string {
+	entries, err := fs.ReadDir(libraryFS, "library")
+	if err != nil {
+		panic(fmt.Sprintf("program: embedded library unreadable: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Library loads every embedded program, keyed by name.
+func Library() map[string]*Program {
+	out := make(map[string]*Program)
+	for _, name := range LibraryNames() {
+		p, err := ByName(name)
+		if err != nil {
+			panic(fmt.Sprintf("program: embedded library: %v", err))
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// ByName loads one embedded program. The name must match both the file
+// stem and the program's own Name field (library_test.go enforces this).
+func ByName(name string) (*Program, error) {
+	b, err := libraryFS.ReadFile("library/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("program: no library program %q (have: %s)", name, strings.Join(LibraryNames(), ", "))
+	}
+	p, err := DecodeBytes(b)
+	if err != nil {
+		return nil, fmt.Errorf("program: library %q: %w", name, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("program: library %q: %w", name, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,185 @@
+// Package program is the simulator's workload virtual machine: typed
+// instructions composed into per-core programs that are submitted *as data*
+// (a JSON wire format), strictly validated, cost-estimated up front, and
+// compiled deterministically onto the per-core `mem.Op` streams the machine
+// already consumes.
+//
+// The design follows the MDM (Merklized Data Machine) shape from skyd's
+// SIP-0001: a small set of typed instructions, each with a declared cost,
+// batched into an atomic program. New workload scenarios become new JSON
+// documents rather than new engine code; the instruction set itself is the
+// only extension point. Three properties are load-bearing:
+//
+//   - Determinism: Compile(program, env, seed) always yields the identical
+//     workload, so program results are cacheable and differential-testable
+//     exactly like profile results.
+//   - Canonical form: programs have a normal form (defaults made explicit,
+//     trivial loops inlined, adjacent mergeable bursts merged, cosmetic
+//     fields dropped) whose SHA-256 is the program's content address. Two surface programs that
+//     lower to the same op streams share a hash — and therefore share a
+//     service cache entry.
+//   - Cost: every instruction has a static cost, so a program's trace-op
+//     count and a simulated-cycle estimate are known before any simulation
+//     runs. The service uses this for admission control.
+//
+// Persist/crash semantics: the `epoch` and `crash` instructions lower to
+// §II-D marker stores (mem.OpMarker), which close the writing core's open
+// atomic group. Under the Px86/"Taming x86-TSO Persistency" reading these
+// are the per-thread persist-ordering points: everything sequenced before
+// the marker persists before anything after it, so programs with markers
+// remain valid inputs to the litmus and crashmc oracles — a crash injected
+// anywhere leaves a durable image the checker can still classify.
+package program
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Version is the wire-format version this package reads and writes.
+const Version = 1
+
+// Op names the instruction kinds. The set is extensible: adding a kind is a
+// new case in validate/lower/cost, no protocol change.
+const (
+	// OpStoreBurst issues Count stores over a region (shared | hot |
+	// private), walking sequentially or at random.
+	OpStoreBurst = "store_burst"
+	// OpLoadScan issues Count loads over a region.
+	OpLoadScan = "load_scan"
+	// OpHandoff alternates store/load on one fixed shared line — cores
+	// that name the same line form a sharing handoff chain (the pattern
+	// that grows SLC sharing lists and persist-before dependencies).
+	OpHandoff = "handoff"
+	// OpFence is a synchronization point (mem.OpSync): the store buffer
+	// drains and relaxed systems close their SFR.
+	OpFence = "fence"
+	// OpLock is a lock/unlock RMW pair: sync (acquire), Stores critical-
+	// section stores to the named shared line's neighborhood, sync
+	// (release) — the same bracketing the synthetic profiles use.
+	OpLock = "lock"
+	// OpRankStream issues Count stores whose lines all map to NVM rank
+	// Rank under the machine's address interleave, concentrating persist
+	// traffic on one memory channel.
+	OpRankStream = "rank_stream"
+	// OpEpoch is a persist marker (mem.OpMarker, §II-D): it closes the
+	// core's open atomic group so AG boundaries align with the program's
+	// recovery epochs.
+	OpEpoch = "epoch"
+	// OpCrash is an epoch marker that additionally declares "a crash here
+	// is interesting": it lowers identically to OpEpoch (the freeze is
+	// what makes the durable frontier well-defined at this point) and
+	// marks the spot for crash-point harvesting in campaign tooling.
+	OpCrash = "crash"
+	// OpCompute stands for Cycles non-memory cycles.
+	OpCompute = "compute"
+	// OpLoop repeats Body Times times. Loops are sugar: the canonical
+	// form is fully flattened.
+	OpLoop = "loop"
+	// OpProfile generates this core's slice of a legacy synthetic profile
+	// (trace.GenerateCore), byte-reproducing the pre-VM workloads.
+	OpProfile = "profile"
+)
+
+// Instr is one instruction. Exactly the fields its Op uses may be set;
+// Validate rejects extraneous ones so wire programs stay unambiguous.
+type Instr struct {
+	Op string `json:"op"`
+
+	// Count is the op count for store_burst / load_scan / handoff /
+	// rank_stream.
+	Count int `json:"count,omitempty"`
+	// Region targets store_burst / load_scan: "shared", "hot" (the first
+	// HotLines of the shared region), or "private" (per-core). Default
+	// "shared".
+	Region string `json:"region,omitempty"`
+	// Lines is the region width in cachelines (default 512 shared/private,
+	// 8 hot).
+	Lines int `json:"lines,omitempty"`
+	// Stride is "seq" (default) or "rand".
+	Stride string `json:"stride,omitempty"`
+	// Line is the fixed shared-line index for handoff and lock.
+	Line int `json:"line,omitempty"`
+	// Rank is the target NVM rank for rank_stream.
+	Rank int `json:"rank,omitempty"`
+	// Stores is the critical-section store count for lock (default 1).
+	Stores int `json:"stores,omitempty"`
+	// Cycles is the compute-burst length for compute.
+	Cycles int `json:"cycles,omitempty"`
+	// Times and Body define loop.
+	Times int     `json:"times,omitempty"`
+	Body  []Instr `json:"body,omitempty"`
+	// Profile names the legacy synthetic profile for profile; Scale
+	// multiplies its OpsPerCore (0 or 1 = full size).
+	Profile string  `json:"profile,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+}
+
+// CoreProg is one core's instruction sequence.
+type CoreProg struct {
+	Instrs []Instr `json:"instrs"`
+}
+
+// Program is a complete workload program: one instruction sequence per
+// core. A machine with more cores than the program leaves the extra cores
+// idle; a program with more cores than the machine is a compile error.
+type Program struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	// Doc is a human note; it is cosmetic and excluded from the canonical
+	// form (two programs differing only in Doc share a content address).
+	Doc   string     `json:"doc,omitempty"`
+	Cores []CoreProg `json:"cores"`
+}
+
+// Decode reads one program from JSON, strictly: unknown fields and trailing
+// garbage are errors, and the wire version must match.
+func Decode(r io.Reader) (*Program, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Program
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("program: decoding: %w", err)
+	}
+	if err := checkTrailing(dec); err != nil {
+		return nil, err
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("program: unsupported wire version %d (want %d)", p.Version, Version)
+	}
+	return &p, nil
+}
+
+// DecodeBytes is Decode over a byte slice.
+func DecodeBytes(b []byte) (*Program, error) {
+	return Decode(strings.NewReader(string(b)))
+}
+
+func checkTrailing(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("program: trailing data after program document")
+	}
+	return nil
+}
+
+// Encode writes the program as indented JSON (the library file format).
+func (p *Program) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+func (p *Program) String() string {
+	return fmt.Sprintf("program %q (%d cores, %d ops)", p.Name, len(p.Cores), p.mustOps())
+}
+
+// mustOps is String's best-effort op count (0 if the program is invalid).
+func (p *Program) mustOps() int {
+	est, err := p.Estimate(DefaultEnv())
+	if err != nil {
+		return 0
+	}
+	return est.Ops
+}

@@ -1,0 +1,276 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+// A small well-formed program used across tests.
+const sampleJSON = `{
+  "version": 1,
+  "name": "sample",
+  "doc": "two cores, a bit of everything",
+  "cores": [
+    { "instrs": [
+      { "op": "store_burst", "count": 10, "region": "private" },
+      { "op": "fence" },
+      { "op": "loop", "times": 3, "body": [
+        { "op": "handoff", "count": 4, "line": 2 },
+        { "op": "epoch" }
+      ] }
+    ] },
+    { "instrs": [
+      { "op": "lock", "line": 2, "stores": 2 },
+      { "op": "rank_stream", "count": 8, "rank": 1 },
+      { "op": "compute", "cycles": 100 },
+      { "op": "crash" }
+    ] }
+  ]
+}`
+
+func mustDecode(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := DecodeBytes([]byte(src))
+	if err != nil {
+		t.Fatalf("DecodeBytes: %v", err)
+	}
+	return p
+}
+
+func TestDecodeStrict(t *testing.T) {
+	t.Parallel()
+	p := mustDecode(t, sampleJSON)
+	if p.Name != "sample" || len(p.Cores) != 2 {
+		t.Fatalf("decoded %q with %d cores", p.Name, len(p.Cores))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown field", `{"version":1,"name":"x","bogus":1,"cores":[{"instrs":[]}]}`, "bogus"},
+		{"unknown instr field", `{"version":1,"name":"x","cores":[{"instrs":[{"op":"fence","frobnicate":2}]}]}`, "frobnicate"},
+		{"trailing garbage", `{"version":1,"name":"x","cores":[{"instrs":[]}]} {"more":true}`, "trailing"},
+		{"wrong version", `{"version":2,"name":"x","cores":[{"instrs":[]}]}`, "version"},
+		{"not json", `hello`, "decoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeBytes([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		p    Program
+		want string
+	}{
+		{"no name", Program{Version: 1, Cores: []CoreProg{{}}}, "name"},
+		{"no cores", Program{Version: 1, Name: "x"}, "at least one core"},
+		{"unknown op", prog1("x", Instr{Op: "warp"}), `unknown op "warp"`},
+		{"extraneous field", prog1("x", Instr{Op: OpFence, Count: 3}), "does not take count"},
+		{"loop field on burst", prog1("x", Instr{Op: OpStoreBurst, Count: 1, Times: 2}), "does not take times"},
+		{"zero count", prog1("x", Instr{Op: OpLoadScan}), "count must be"},
+		{"bad region", prog1("x", Instr{Op: OpStoreBurst, Count: 1, Region: "lunar"}), "region must be"},
+		{"bad stride", prog1("x", Instr{Op: OpStoreBurst, Count: 1, Stride: "diag"}), "stride must be"},
+		{"negative rank", prog1("x", Instr{Op: OpRankStream, Count: 1, Rank: -1}), "rank must be"},
+		{"zero cycles", prog1("x", Instr{Op: OpCompute}), "cycles must be"},
+		{"empty loop", prog1("x", Instr{Op: OpLoop, Times: 2}), "non-empty body"},
+		{"zero times", prog1("x", Instr{Op: OpLoop, Body: []Instr{{Op: OpFence}}}), "times must be"},
+		{"unknown profile", prog1("x", Instr{Op: OpProfile, Profile: "quake"}), `unknown profile "quake"`},
+		{"huge scale", prog1("x", Instr{Op: OpProfile, Profile: "radix", Scale: 99}), "scale must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateOpBudget(t *testing.T) {
+	t.Parallel()
+	// Nested loops that flatten to (2^16)^2 ops must be rejected without
+	// the validator materializing anything.
+	over := prog1("x", Instr{Op: OpLoop, Times: MaxLoopTimes, Body: []Instr{
+		{Op: OpLoop, Times: MaxLoopTimes, Body: []Instr{{Op: OpFence}}},
+	}})
+	err := over.Validate()
+	if err == nil || !strings.Contains(err.Error(), "per-core limit") {
+		t.Fatalf("Validate = %v, want per-core limit error", err)
+	}
+
+	deep := Instr{Op: OpFence}
+	for i := 0; i <= MaxLoopDepth; i++ {
+		deep = Instr{Op: OpLoop, Times: 1, Body: []Instr{deep}}
+	}
+	deepProg := prog1("x", deep)
+	err = deepProg.Validate()
+	if err == nil || !strings.Contains(err.Error(), "nest deeper") {
+		t.Fatalf("Validate = %v, want nesting error", err)
+	}
+}
+
+func prog1(name string, instrs ...Instr) Program {
+	return Program{Version: 1, Name: name, Cores: []CoreProg{{Instrs: instrs}}}
+}
+
+func TestCanonicalMergesAndHashes(t *testing.T) {
+	t.Parallel()
+	// Three surface forms of "100 sequential shared stores".
+	flat := prog1("w", Instr{Op: OpStoreBurst, Count: 100})
+	split := prog1("w",
+		Instr{Op: OpStoreBurst, Count: 60, Region: RegionShared, Stride: StrideSeq},
+		Instr{Op: OpStoreBurst, Count: 40})
+	looped := prog1("w", Instr{Op: OpLoop, Times: 2, Body: []Instr{
+		{Op: OpStoreBurst, Count: 50},
+	}})
+
+	want, err := flat.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	for i, p := range []Program{split, looped} {
+		got, err := p.Hash()
+		if err != nil {
+			t.Fatalf("variant %d Hash: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("variant %d hash %s != flat hash %s", i, got, want)
+		}
+	}
+
+	// Doc is cosmetic.
+	doc := flat
+	doc.Doc = "an essay"
+	if got, _ := doc.Hash(); got != want {
+		t.Fatalf("Doc changed the hash")
+	}
+
+	// Different parameters must NOT merge.
+	other := prog1("w", Instr{Op: OpStoreBurst, Count: 100, Region: RegionHot})
+	if got, _ := other.Hash(); got == want {
+		t.Fatalf("hot-region burst collided with shared-region burst")
+	}
+
+	// Canonical form is a fixed point.
+	c, err := split.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	cc, err := c.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical(Canonical): %v", err)
+	}
+	if len(cc.Cores[0].Instrs) != 1 || cc.Cores[0].Instrs[0].Count != 100 {
+		t.Fatalf("canonical form = %+v, want one count-100 burst", cc.Cores[0].Instrs)
+	}
+}
+
+func TestCanonicalDropsTrailingIdleCores(t *testing.T) {
+	t.Parallel()
+	p := Program{Version: 1, Name: "x", Cores: []CoreProg{
+		{Instrs: []Instr{{Op: OpFence}}},
+		{},
+		{},
+	}}
+	c, err := p.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	if len(c.Cores) != 1 {
+		t.Fatalf("canonical kept %d cores, want 1", len(c.Cores))
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	t.Parallel()
+	p := mustDecode(t, sampleJSON)
+	est, err := p.Estimate(DefaultEnv())
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	// Core 0: 10 + 1 + 3*(4+1) = 26; core 1: (2+2) + 8 + 1 + 1 = 14.
+	if est.Ops != 40 {
+		t.Fatalf("Ops = %d, want 40", est.Ops)
+	}
+	if est.Syncs != 1+2 {
+		t.Fatalf("Syncs = %d, want 3", est.Syncs)
+	}
+	if est.Markers != 3+1 {
+		t.Fatalf("Markers = %d, want 4", est.Markers)
+	}
+	if est.Computes != 1 {
+		t.Fatalf("Computes = %d, want 1", est.Computes)
+	}
+	if est.Cycles <= costDrainFixed {
+		t.Fatalf("Cycles = %d, want > drain floor", est.Cycles)
+	}
+
+	// The estimate's op count must equal the compiled op count, exactly.
+	w, err := p.Compile(DefaultEnv(), 1)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	total := 0
+	for _, ops := range w.Cores {
+		total += len(ops)
+	}
+	if total != est.Ops {
+		t.Fatalf("compiled %d ops but estimated %d", total, est.Ops)
+	}
+}
+
+func TestEstimateMatchesCompileForLibrary(t *testing.T) {
+	t.Parallel()
+	for name, p := range Library() {
+		est, err := p.Estimate(DefaultEnv())
+		if err != nil {
+			t.Fatalf("%s: Estimate: %v", name, err)
+		}
+		w, err := p.Compile(DefaultEnv(), 42)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", name, err)
+		}
+		total := 0
+		for _, ops := range w.Cores {
+			total += len(ops)
+		}
+		if total != est.Ops {
+			t.Errorf("%s: compiled %d ops, estimated %d", name, total, est.Ops)
+		}
+	}
+}
+
+func TestLibraryWellFormed(t *testing.T) {
+	t.Parallel()
+	names := LibraryNames()
+	if len(names) < 7 {
+		t.Fatalf("library has %d programs, want >= 7: %v", len(names), names)
+	}
+	for _, name := range names {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("library file %q declares name %q", name, p.Name)
+		}
+		if _, err := p.Hash(); err != nil {
+			t.Errorf("%s: Hash: %v", name, err)
+		}
+	}
+	if _, err := ByName("no-such-program"); err == nil {
+		t.Fatalf("ByName of a missing program succeeded")
+	}
+}

@@ -1,0 +1,258 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Validation limits. They bound what a hostile wire program can make the
+// compiler materialize, so validation alone is enough to admit a program
+// into memory-bounded machinery (the fuzzer leans on this).
+const (
+	// MaxCores bounds the per-core program count.
+	MaxCores = 64
+	// MaxOpsPerCore bounds one core's flattened trace-op count.
+	MaxOpsPerCore = 1 << 21
+	// MaxLoopDepth bounds loop nesting.
+	MaxLoopDepth = 8
+	// MaxLoopTimes bounds one loop's repeat count.
+	MaxLoopTimes = 1 << 16
+	// MaxCount bounds one burst/scan/handoff/stream instruction.
+	MaxCount = 1 << 20
+	// MaxRegionLines bounds a region width.
+	MaxRegionLines = 1 << 16
+	// MaxComputeCycles bounds one compute burst.
+	MaxComputeCycles = 1 << 20
+)
+
+// ValidationError pinpoints the offending instruction.
+type ValidationError struct {
+	// Path locates the problem, e.g. "cores[2].instrs[3]".
+	Path string
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Path == "" {
+		return "program: " + e.Msg
+	}
+	return fmt.Sprintf("program: %s: %s", e.Path, e.Msg)
+}
+
+func errAt(path, format string, args ...any) error {
+	return &ValidationError{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the whole program: name, core count, per-instruction
+// field discipline (exactly the fields an op uses may be set), bounds, and
+// that every core's flattened op count stays under MaxOpsPerCore.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return errAt("", "program needs a name")
+	}
+	if len(p.Name) > 128 {
+		return errAt("", "name longer than 128 bytes")
+	}
+	if len(p.Cores) == 0 {
+		return errAt("", "program needs at least one core")
+	}
+	if len(p.Cores) > MaxCores {
+		return errAt("", "%d cores exceeds the %d-core limit", len(p.Cores), MaxCores)
+	}
+	for c, cp := range p.Cores {
+		path := fmt.Sprintf("cores[%d]", c)
+		ops, err := validateInstrs(cp.Instrs, path+".instrs", 0)
+		if err != nil {
+			return err
+		}
+		if ops > MaxOpsPerCore {
+			return errAt(path, "flattens to %d trace ops, over the per-core limit %d", ops, MaxOpsPerCore)
+		}
+	}
+	return nil
+}
+
+// validateInstrs validates a sequence and returns its flattened op count.
+func validateInstrs(instrs []Instr, path string, depth int) (int, error) {
+	ops := 0
+	for i := range instrs {
+		n, err := instrs[i].validate(fmt.Sprintf("%s[%d]", path, i), depth)
+		if err != nil {
+			return 0, err
+		}
+		ops += n
+		if ops > MaxOpsPerCore {
+			// Clamp: the caller reports the limit; avoid overflow on
+			// pathological nesting.
+			return MaxOpsPerCore + 1, nil
+		}
+	}
+	return ops, nil
+}
+
+// fieldMask names the optional fields an instruction may set.
+type fieldMask struct {
+	count, region, lines, stride, line, rank, stores, cycles, loop, profile bool
+}
+
+var masks = map[string]fieldMask{
+	OpStoreBurst: {count: true, region: true, lines: true, stride: true},
+	OpLoadScan:   {count: true, region: true, lines: true, stride: true},
+	OpHandoff:    {count: true, line: true},
+	OpFence:      {},
+	OpLock:       {stores: true, line: true},
+	OpRankStream: {count: true, rank: true},
+	OpEpoch:      {},
+	OpCrash:      {},
+	OpCompute:    {cycles: true},
+	OpLoop:       {loop: true},
+	OpProfile:    {profile: true},
+}
+
+// validate checks one instruction and returns its flattened op count.
+func (in *Instr) validate(path string, depth int) (int, error) {
+	mask, ok := masks[in.Op]
+	if !ok {
+		return 0, errAt(path, "unknown op %q", in.Op)
+	}
+	// Field discipline: reject any field the op does not use. A strict
+	// surface keeps canonicalization honest — a stray field can never
+	// silently change (or fail to change) meaning.
+	switch {
+	case in.Count != 0 && !mask.count:
+		return 0, errAt(path, "%s does not take count", in.Op)
+	case in.Region != "" && !mask.region:
+		return 0, errAt(path, "%s does not take region", in.Op)
+	case in.Lines != 0 && !mask.lines:
+		return 0, errAt(path, "%s does not take lines", in.Op)
+	case in.Stride != "" && !mask.stride:
+		return 0, errAt(path, "%s does not take stride", in.Op)
+	case in.Line != 0 && !mask.line:
+		return 0, errAt(path, "%s does not take line", in.Op)
+	case in.Rank != 0 && !mask.rank:
+		return 0, errAt(path, "%s does not take rank", in.Op)
+	case in.Stores != 0 && !mask.stores:
+		return 0, errAt(path, "%s does not take stores", in.Op)
+	case in.Cycles != 0 && !mask.cycles:
+		return 0, errAt(path, "%s does not take cycles", in.Op)
+	case (in.Times != 0 || in.Body != nil) && !mask.loop:
+		return 0, errAt(path, "%s does not take times/body", in.Op)
+	case (in.Profile != "" || in.Scale != 0) && !mask.profile:
+		return 0, errAt(path, "%s does not take profile/scale", in.Op)
+	}
+
+	switch in.Op {
+	case OpStoreBurst, OpLoadScan:
+		if in.Count <= 0 || in.Count > MaxCount {
+			return 0, errAt(path, "count must be in [1, %d], got %d", MaxCount, in.Count)
+		}
+		if err := checkRegion(path, in.Region); err != nil {
+			return 0, err
+		}
+		if in.Lines < 0 || in.Lines > MaxRegionLines {
+			return 0, errAt(path, "lines must be in [0, %d], got %d", MaxRegionLines, in.Lines)
+		}
+		if in.Stride != "" && in.Stride != StrideSeq && in.Stride != StrideRand {
+			return 0, errAt(path, "stride must be %q or %q, got %q", StrideSeq, StrideRand, in.Stride)
+		}
+		return in.Count, nil
+	case OpHandoff:
+		if in.Count <= 0 || in.Count > MaxCount {
+			return 0, errAt(path, "count must be in [1, %d], got %d", MaxCount, in.Count)
+		}
+		if in.Line < 0 || in.Line >= MaxRegionLines {
+			return 0, errAt(path, "line must be in [0, %d), got %d", MaxRegionLines, in.Line)
+		}
+		return in.Count, nil
+	case OpFence:
+		return 1, nil
+	case OpLock:
+		if in.Stores < 0 || in.Stores > MaxCount {
+			return 0, errAt(path, "stores must be in [0, %d], got %d", MaxCount, in.Stores)
+		}
+		if in.Line < 0 || in.Line >= MaxRegionLines {
+			return 0, errAt(path, "line must be in [0, %d), got %d", MaxRegionLines, in.Line)
+		}
+		return in.csStores() + 2, nil
+	case OpRankStream:
+		if in.Count <= 0 || in.Count > MaxCount {
+			return 0, errAt(path, "count must be in [1, %d], got %d", MaxCount, in.Count)
+		}
+		if in.Rank < 0 || in.Rank >= 64 {
+			return 0, errAt(path, "rank must be in [0, 64), got %d", in.Rank)
+		}
+		return in.Count, nil
+	case OpEpoch, OpCrash:
+		return 1, nil
+	case OpCompute:
+		if in.Cycles <= 0 || in.Cycles > MaxComputeCycles {
+			return 0, errAt(path, "cycles must be in [1, %d], got %d", MaxComputeCycles, in.Cycles)
+		}
+		return 1, nil
+	case OpLoop:
+		if depth >= MaxLoopDepth {
+			return 0, errAt(path, "loops nest deeper than %d", MaxLoopDepth)
+		}
+		if in.Times <= 0 || in.Times > MaxLoopTimes {
+			return 0, errAt(path, "times must be in [1, %d], got %d", MaxLoopTimes, in.Times)
+		}
+		if len(in.Body) == 0 {
+			return 0, errAt(path, "loop needs a non-empty body")
+		}
+		body, err := validateInstrs(in.Body, path+".body", depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if body > MaxOpsPerCore/in.Times {
+			return MaxOpsPerCore + 1, nil
+		}
+		return body * in.Times, nil
+	case OpProfile:
+		prof, ok := trace.ByName(in.Profile)
+		if !ok {
+			return 0, errAt(path, "unknown profile %q", in.Profile)
+		}
+		if in.Scale < 0 {
+			return 0, errAt(path, "scale must be non-negative, got %g", in.Scale)
+		}
+		if in.Scale > 16 {
+			return 0, errAt(path, "scale must be at most 16, got %g", in.Scale)
+		}
+		return prof.Scale(in.profileScale()).OpsPerCore, nil
+	}
+	return 0, errAt(path, "unhandled op %q", in.Op) // unreachable: masks gate
+}
+
+// Region and stride names.
+const (
+	RegionShared  = "shared"
+	RegionHot     = "hot"
+	RegionPrivate = "private"
+	StrideSeq     = "seq"
+	StrideRand    = "rand"
+)
+
+func checkRegion(path, region string) error {
+	switch region {
+	case "", RegionShared, RegionHot, RegionPrivate:
+		return nil
+	}
+	return errAt(path, "region must be %q, %q or %q, got %q", RegionShared, RegionHot, RegionPrivate, region)
+}
+
+// csStores is the lock's critical-section store count (default 1).
+func (in *Instr) csStores() int {
+	if in.Stores == 0 {
+		return 1
+	}
+	return in.Stores
+}
+
+// profileScale is the profile instruction's scale (default 1).
+func (in *Instr) profileScale() float64 {
+	if in.Scale == 0 {
+		return 1
+	}
+	return in.Scale
+}

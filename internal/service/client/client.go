@@ -5,6 +5,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 // Client talks to one server. The zero HTTPClient means http.DefaultClient.
@@ -37,9 +39,14 @@ func New(base string, hc *http.Client) *Client {
 func (c *Client) Base() string { return c.base }
 
 // APIError is a non-2xx response. RetryAfter is populated on 429.
+// Message is the decoded `error` field when the body is an error document,
+// the raw body text otherwise; Body always keeps the raw bytes so callers
+// can decode structured rejection documents (e.g. the over-budget 429's
+// cost estimate).
 type APIError struct {
 	Status     int
 	Message    string
+	Body       []byte
 	RetryAfter time.Duration
 }
 
@@ -85,7 +92,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 }
 
 func newAPIError(resp *http.Response, raw []byte) *APIError {
-	apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	apiErr := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw)), Body: raw}
 	var doc struct {
 		Error string `json:"error"`
 	}
@@ -209,6 +216,70 @@ func (c *Client) Run(ctx context.Context, spec service.JobSpec) ([]byte, service
 		body, err := c.Result(ctx, st.ID)
 		return body, st, err
 	}
+}
+
+// Events consumes a job's SSE stream: onProgress is invoked for every
+// "progress" sample, and the terminal JobStatus from the closing "state"
+// event is returned. A stream that ends without a state event, or carries
+// an event whose data is not valid JSON for its type, is an error — the
+// server frames every event it sends, so malformed framing means the
+// stream cannot be trusted.
+func (c *Client) Events(ctx context.Context, id string, onProgress func(telemetry.Progress)) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return service.JobStatus{}, newAPIError(resp, raw)
+	}
+
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			event = ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				var p telemetry.Progress
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					return service.JobStatus{}, fmt.Errorf("service: malformed progress event %q: %w", data, err)
+				}
+				if onProgress != nil {
+					onProgress(p)
+				}
+			case "state":
+				var st service.JobStatus
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return service.JobStatus{}, fmt.Errorf("service: malformed state event %q: %w", data, err)
+				}
+				return st, nil
+			default:
+				return service.JobStatus{}, fmt.Errorf("service: unexpected SSE event %q", event)
+			}
+		default:
+			return service.JobStatus{}, fmt.Errorf("service: malformed SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return service.JobStatus{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return service.JobStatus{}, err
+	}
+	return service.JobStatus{}, errors.New("service: event stream ended without a terminal state event")
 }
 
 // Metrics fetches the server's metrics snapshot.

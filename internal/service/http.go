@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"repro/internal/program"
 )
 
 // The HTTP surface:
@@ -80,9 +82,25 @@ func (h *httpHandler) submit(w http.ResponseWriter, r *http.Request) {
 	case outcomeQueueFull:
 		w.Header().Set("Retry-After", strconv.Itoa(int(h.s.retryAfter().Seconds())))
 		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs)", h.s.queue.Cap())
+	case outcomeOverBudget:
+		// Unlike queue-full, this is not transient: the same program will be
+		// rejected again, so no Retry-After — the body carries the estimate
+		// so the client can right-size the program instead.
+		writeJSON(w, http.StatusTooManyRequests, overBudgetResponse{
+			Error:    fmt.Sprintf("program estimated at %d trace ops, over the %d-op admission budget", j.plan.est.Ops, h.s.cfg.MaxProgramOps),
+			Estimate: j.plan.est,
+			Budget:   h.s.cfg.MaxProgramOps,
+		})
 	case outcomeDraining:
 		writeError(w, http.StatusServiceUnavailable, "draining")
 	}
+}
+
+// overBudgetResponse is the 429 body for cost-rejected program jobs.
+type overBudgetResponse struct {
+	Error    string           `json:"error"`
+	Estimate program.Estimate `json:"estimate"`
+	Budget   int              `json:"budget"`
 }
 
 func (h *httpHandler) job(w http.ResponseWriter, r *http.Request) (*job, bool) {

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"repro/internal/faultplan"
+	"repro/internal/harness"
 	"repro/internal/machine"
+	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -17,10 +19,17 @@ import (
 // JobSpec is the wire form of one simulation request. Zero values mean the
 // defaults the one-shot CLIs use (full scale, seed 42, Table I config,
 // wheel scheduler, no faults), so the smallest useful spec is
-// {"bench":"radix","system":"tsoper"}.
+// {"bench":"radix","system":"tsoper"}. A spec names either a benchmark
+// profile (Bench) or carries an inline workload program (Program), never
+// both.
 type JobSpec struct {
 	// Bench names the workload profile (see tsoper-sim -list).
-	Bench string `json:"bench"`
+	Bench string `json:"bench,omitempty"`
+	// Program is an inline workload program (see PROGRAMS.md). Program jobs
+	// are cost-estimated before admission and cached under the program's
+	// canonical hash, so resubmitting an equivalent surface form — merged
+	// bursts, unrolled loops, different doc strings — is a cache hit.
+	Program *program.Program `json:"program,omitempty"`
 	// System names the persistency system (baseline … tsoper).
 	System string `json:"system"`
 	// Scale multiplies the profile's OpsPerCore (0 or 1 = full size).
@@ -37,6 +46,8 @@ type JobSpec struct {
 // plan is a resolved, runnable spec plus its content address.
 type plan struct {
 	bench     trace.Profile
+	prog      *program.Program // non-nil for program jobs
+	est       program.Estimate // program jobs: admission cost
 	cfg       machine.Config
 	scale     float64
 	seed      int64
@@ -52,12 +63,34 @@ type keyDoc struct {
 	Config  json.RawMessage `json:"config"` // machine.Config.CanonicalJSON
 }
 
+// programKeyDoc is the program job's preimage: the program enters through
+// its canonical hash, so equivalent surface forms share the key.
+type programKeyDoc struct {
+	ProgramHash string          `json:"program_hash"`
+	Seed        int64           `json:"seed"`
+	Config      json.RawMessage `json:"config"`
+}
+
 // resolve validates the spec against the roster and builds the machine
 // configuration and cache key.
 func (s JobSpec) resolve() (plan, error) {
-	p, ok := trace.ByName(s.Bench)
-	if !ok {
-		return plan{}, fmt.Errorf("service: unknown benchmark %q", s.Bench)
+	var p trace.Profile
+	if s.Program != nil {
+		if s.Bench != "" {
+			return plan{}, fmt.Errorf("service: spec names bench %q and carries a program; pick one", s.Bench)
+		}
+		if s.Scale != 0 && s.Scale != 1 {
+			return plan{}, fmt.Errorf("service: scale does not apply to program jobs (the profile instruction carries its own)")
+		}
+		if err := s.Program.Validate(); err != nil {
+			return plan{}, fmt.Errorf("service: %w", err)
+		}
+	} else {
+		var ok bool
+		p, ok = trace.ByName(s.Bench)
+		if !ok {
+			return plan{}, fmt.Errorf("service: unknown benchmark %q", s.Bench)
+		}
 	}
 	var kind machine.SystemKind
 	found := false
@@ -96,6 +129,17 @@ func (s JobSpec) resolve() (plan, error) {
 		cfg.Faults = &spec
 	}
 
+	if s.Program != nil {
+		est, err := harness.EstimateProgram(s.Program, cfg)
+		if err != nil {
+			return plan{}, fmt.Errorf("service: %w", err)
+		}
+		key, err := programCacheKey(s.Program, seed, cfg)
+		if err != nil {
+			return plan{}, err
+		}
+		return plan{prog: s.Program, est: est, cfg: cfg, scale: scale, seed: seed, scheduler: sched, key: key}, nil
+	}
 	key, err := cacheKey(p.Scale(scale), seed, cfg)
 	if err != nil {
 		return plan{}, err
@@ -120,6 +164,24 @@ func cacheKey(p trace.Profile, seed int64, cfg machine.Config) (string, error) {
 		return "", fmt.Errorf("service: %w", err)
 	}
 	doc, err := json.Marshal(keyDoc{Profile: p, Seed: seed, Config: cc})
+	if err != nil {
+		return "", fmt.Errorf("service: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// programCacheKey hashes (canonical program hash, seed, canonical config).
+func programCacheKey(p *program.Program, seed int64, cfg machine.Config) (string, error) {
+	ph, err := p.Hash()
+	if err != nil {
+		return "", fmt.Errorf("service: %w", err)
+	}
+	cc, err := cfg.CanonicalJSON()
+	if err != nil {
+		return "", fmt.Errorf("service: %w", err)
+	}
+	doc, err := json.Marshal(programKeyDoc{ProgramHash: ph, Seed: seed, Config: cc})
 	if err != nil {
 		return "", fmt.Errorf("service: %w", err)
 	}

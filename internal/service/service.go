@@ -51,6 +51,11 @@ type Config struct {
 	// RetainDone caps retained terminal job records (default 4096); the
 	// oldest are forgotten first. Results live on in the cache.
 	RetainDone int
+	// MaxProgramOps is the admission budget for program jobs: a program
+	// whose up-front cost estimate exceeds this many trace ops is rejected
+	// with 429 before it can occupy a worker (default 4Mi ops, roughly 80×
+	// a full-scale profile job).
+	MaxProgramOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetainDone <= 0 {
 		c.RetainDone = 4096
+	}
+	if c.MaxProgramOps <= 0 {
+		c.MaxProgramOps = 4 << 20
 	}
 	return c
 }
@@ -164,6 +172,10 @@ const (
 	outcomeDeduped
 	outcomeQueueFull
 	outcomeDraining
+	// outcomeOverBudget rejects a program job whose cost estimate exceeds
+	// Config.MaxProgramOps — admission control from static cost, no
+	// simulation spent.
+	outcomeOverBudget
 )
 
 // submit admits one resolved job. It returns the job record (authoritative
@@ -172,6 +184,12 @@ func (s *Server) submit(spec JobSpec) (*job, submitOutcome, error) {
 	plan, err := spec.resolve()
 	if err != nil {
 		return nil, 0, err
+	}
+
+	if plan.prog != nil && plan.est.Ops > s.cfg.MaxProgramOps {
+		s.metrics.rejected.Add(1)
+		// Return the job shell so the HTTP layer can surface the estimate.
+		return &job{spec: spec, plan: plan}, outcomeOverBudget, nil
 	}
 
 	s.mu.Lock()
@@ -290,12 +308,19 @@ func (s *Server) runJob(j *job) {
 	})
 	cfg := j.plan.cfg
 	cfg.Telemetry = telemetry.NewBus(sink)
-	res, err := harness.RunConfigChecked(j.plan.bench, cfg, harness.Options{
+	opts := harness.Options{
 		Scale:     j.plan.scale,
 		Seed:      j.plan.seed,
 		Scheduler: j.plan.scheduler,
 		Timeout:   s.cfg.JobTimeout,
-	})
+	}
+	var res *machine.Results
+	var err error
+	if j.plan.prog != nil {
+		res, err = harness.RunProgramConfigChecked(j.plan.prog, cfg, opts)
+	} else {
+		res, err = harness.RunConfigChecked(j.plan.bench, cfg, opts)
+	}
 
 	var body []byte
 	if err == nil {

@@ -89,6 +89,13 @@ func Generate(p Profile, nCores int, seed int64) *Workload {
 	return w
 }
 
+// GenerateCore produces the op stream Generate would give core `core` of an
+// nCores-wide run — the single-core entry point the program compiler's
+// `profile` instruction uses to byte-reproduce legacy synthetic workloads.
+func GenerateCore(p Profile, core, nCores int, seed int64) []mem.Op {
+	return genCore(p, core, nCores, seed)
+}
+
 func genCore(p Profile, core, nCores int, seed int64) []mem.Op {
 	rng := rand.New(rand.NewSource(seed*7919 + int64(core)*104729 + 1))
 	ops := make([]mem.Op, 0, p.OpsPerCore+p.OpsPerCore/8)

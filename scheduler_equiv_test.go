@@ -137,6 +137,55 @@ func TestSchedulerEquivalenceLitmus(t *testing.T) {
 	}
 }
 
+// TestSchedulerEquivalencePrograms sweeps the genuinely-new workload-VM
+// library programs — the scenarios the profile generator cannot express —
+// under heap vs wheel. Programs compile to ordinary per-core op streams, so
+// the same byte-identity bar applies: full snapshot, coherence order, and
+// durable image.
+func TestSchedulerEquivalencePrograms(t *testing.T) {
+	for _, name := range []string{"producer-consumer-ring", "work-stealing-deque", "log-structured-writer"} {
+		p, err := tsoper.LoadProgram(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range equivSeeds {
+			sys := equivSystems[i%len(equivSystems)]
+			seed := seed
+			t.Run(fmt.Sprintf("%s/%s/seed%d", name, sys, seed), func(t *testing.T) {
+				t.Parallel()
+				runProg := func(kind sim.SchedulerKind) (*tsoper.Results, []byte) {
+					r, err := tsoper.RunProgram(p, sys, tsoper.RunOptions{Seed: seed, Scheduler: kind})
+					if err != nil {
+						t.Fatalf("%s/%s (scheduler %s): %v", name, sys, kind, err)
+					}
+					var buf bytes.Buffer
+					if err := r.Snapshot().WriteJSON(&buf); err != nil {
+						t.Fatalf("snapshot: %v", err)
+					}
+					return r, buf.Bytes()
+				}
+				rh, sh := runProg(tsoper.SchedulerHeap)
+				rw, sw := runProg(tsoper.SchedulerWheel)
+				if !bytes.Equal(sh, sw) {
+					for i, d := range rh.Snapshot().Diff(rw.Snapshot()) {
+						if i >= 20 {
+							break
+						}
+						t.Errorf("diverged: %+v", d)
+					}
+					t.Fatalf("heap and wheel snapshots differ (%d bytes vs %d)", len(sh), len(sw))
+				}
+				if !reflect.DeepEqual(rh.LineOrder, rw.LineOrder) {
+					t.Fatal("per-line coherence serialization order differs between schedulers")
+				}
+				if !reflect.DeepEqual(rh.Durable, rw.Durable) {
+					t.Fatal("durable NVM image differs between schedulers")
+				}
+			})
+		}
+	}
+}
+
 // TestSchedulerEquivalenceAdversaries sweeps the crashmc adversarial
 // profiles under the pressure configuration (tiny AGB, tiny AG limit,
 // two-entry eviction buffers) — the regime where event ordering bugs in a

@@ -24,9 +24,12 @@ package tsoper
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/internal/checker"
 	"repro/internal/machine"
+	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -166,3 +169,75 @@ func Crash(p Profile, system System, at uint64, o RunOptions) (*CrashState, erro
 // per core and under persist-before dependencies, per-line FIFO respected.
 // It returns nil when the state is consistent.
 func Check(cs *CrashState) error { return checker.Check(cs) }
+
+// Program is a workload VM program (see internal/program and PROGRAMS.md).
+type Program = program.Program
+
+// ProgramEstimate is a program's up-front cost estimate.
+type ProgramEstimate = program.Estimate
+
+// LoadProgram resolves a name-or-path: an embedded library name first
+// ("radix", "producer-consumer-ring", …), then a JSON file on disk.
+func LoadProgram(nameOrPath string) (*Program, error) {
+	if p, err := program.ByName(nameOrPath); err == nil {
+		return p, nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %q is neither a library program (have: %s) nor a readable file: %w",
+			nameOrPath, strings.Join(program.LibraryNames(), ", "), err)
+	}
+	defer f.Close()
+	p, err := program.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %s: %w", nameOrPath, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("tsoper: %s: %w", nameOrPath, err)
+	}
+	return p, nil
+}
+
+// LibraryPrograms lists the embedded golden program library.
+func LibraryPrograms() []string { return program.LibraryNames() }
+
+// CompileProgram lowers a program for the configuration's machine shape —
+// the workload a RunProgram call with the same inputs would execute.
+func CompileProgram(p *Program, cfg Config, seed int64) (*Workload, error) {
+	w, err := p.Compile(program.Env{Cores: cfg.Cores, Ranks: cfg.NVM.Ranks}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %w", err)
+	}
+	return w, nil
+}
+
+// EstimateProgram computes a program's cost for a system's Table I shape
+// (or RunOptions.Config when set) without compiling or simulating.
+func EstimateProgram(p *Program, system System, o RunOptions) (ProgramEstimate, error) {
+	cfg := o.config(system)
+	est, err := p.Estimate(program.Env{Cores: cfg.Cores, Ranks: cfg.NVM.Ranks})
+	if err != nil {
+		return ProgramEstimate{}, fmt.Errorf("tsoper: %w", err)
+	}
+	return est, nil
+}
+
+// RunProgram compiles a workload program and simulates it to completion,
+// mirroring Run. RunOptions.Scale is ignored: programs size themselves.
+func RunProgram(p *Program, system System, o RunOptions) (*Results, error) {
+	cfg := o.config(system)
+	cfg.System = system
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %w", err)
+	}
+	w, err := CompileProgram(p, cfg, o.seed())
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.RunChecked(w)
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %w", err)
+	}
+	return res, nil
+}
