@@ -1,0 +1,160 @@
+// Command tsoper-gateway fronts N tsoper-serve nodes as one sharded
+// simulation service: jobs are rendezvous-hash-routed by their content
+// address across replica candidates, with per-node health probing and
+// circuit breaking, transparent failover, and peer cache-fill (a node's
+// cached result is served before any compute is placed anywhere).
+//
+//	tsoper-gateway -addr :7500 \
+//	  -backends n0=http://127.0.0.1:7501,n1=http://127.0.0.1:7502
+//
+// Backends are name=url pairs (names become job-ID prefixes and rendezvous
+// identities; keep them stable across node restarts) or bare URLs, which
+// get positional names n0, n1, … The gateway speaks the same API as a
+// single node, so existing clients and tsoper-load work unchanged; point
+// tsoper-load -cluster at it for per-node routing reports.
+//
+// Exit status: 0 clean shutdown, 2 usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseBackends turns "n0=http://a,n1=http://b" (or bare URLs) into a
+// roster with unique, stable names.
+func parseBackends(s string) ([]cluster.Backend, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no backends configured (-backends)")
+	}
+	var out []cluster.Backend
+	for i, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("empty -backends entry at position %d", i)
+		}
+		b := cluster.Backend{Name: fmt.Sprintf("n%d", i), URL: entry}
+		if name, url, ok := strings.Cut(entry, "="); ok {
+			if name == "" || url == "" {
+				return nil, fmt.Errorf("bad -backends entry %q (want name=url)", entry)
+			}
+			b = cluster.Backend{Name: name, URL: url}
+		}
+		if !strings.HasPrefix(b.URL, "http://") && !strings.HasPrefix(b.URL, "https://") {
+			return nil, fmt.Errorf("backend %s URL %q must start with http:// or https://", b.Name, b.URL)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsoper-gateway", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":7500", "listen address")
+	backends := fs.String("backends", "", "comma-separated backend nodes: name=url or bare url")
+	replicas := fs.Int("replicas", 2, "replica candidates per job key (> 0)")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "health-probe period")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "per-probe and cache-fill timeout")
+	failThreshold := fs.Int("fail-threshold", 3, "consecutive failures tripping a node's breaker (> 0)")
+	cooldown := fs.Duration("cooldown", 500*time.Millisecond, "first re-admission cooldown (doubles per trip)")
+	cooldownMax := fs.Duration("cooldown-max", 15*time.Second, "re-admission cooldown ceiling")
+	attempts := fs.Int("attempts", 4, "failover attempts per submission (> 0)")
+	retryBase := fs.Duration("retry-base", 50*time.Millisecond, "first failover backoff")
+	retryCap := fs.Duration("retry-cap", time.Second, "failover backoff ceiling")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per proxied backend call")
+	seed := fs.Uint64("seed", 1, "backoff-jitter seed (deterministic schedules)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+	if *replicas <= 0 {
+		return usage("-replicas must be positive, got %d", *replicas)
+	}
+	if *failThreshold <= 0 {
+		return usage("-fail-threshold must be positive, got %d", *failThreshold)
+	}
+	if *attempts <= 0 {
+		return usage("-attempts must be positive, got %d", *attempts)
+	}
+	roster, err := parseBackends(*backends)
+	if err != nil {
+		return usage("%v", err)
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Backends:       roster,
+		Replicas:       *replicas,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *failThreshold,
+		CooldownBase:   *cooldown,
+		CooldownMax:    *cooldownMax,
+		MaxAttempts:    *attempts,
+		RetryBase:      *retryBase,
+		RetryCap:       *retryCap,
+		RequestTimeout: *requestTimeout,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return usage("%v", err)
+	}
+
+	log.SetPrefix("tsoper-gateway: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	gw.Start()
+	defer gw.Stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: gw}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s, %d backends, %d replicas", *addr, len(roster), *replicas)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		h := gw.Health()
+		log.Printf("%s: shutting down (backends up %d / draining %d / down %d)", sig, h.Up, h.Draining, h.Down)
+	case err := <-errCh:
+		fmt.Fprintf(stderr, "serve: %v\n", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "serve: %v\n", err)
+		return 1
+	}
+	m := gw.Metrics(context.Background(), false)
+	fmt.Fprintf(stdout, "gateway down clean: %d submitted, %d cache fills (%d peer), %d failovers\n",
+		m.Submitted, m.CacheFills, m.PeerFills, m.Failovers)
+	return 0
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CLI contract: 2 for argument mistakes, before any
+// listener is opened.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		argv   []string
+		want   int
+		stderr string
+	}{
+		{name: "bad flag", argv: []string{"-nonsense"}, want: 2},
+		{name: "no backends", argv: []string{}, want: 2, stderr: "no backends"},
+		{name: "empty backend entry", argv: []string{"-backends", "http://a,,http://b"}, want: 2, stderr: "empty -backends entry"},
+		{name: "malformed pair", argv: []string{"-backends", "=http://a"}, want: 2, stderr: "want name=url"},
+		{name: "non-http url", argv: []string{"-backends", "n0=ftp://a"}, want: 2, stderr: "must start with http"},
+		{name: "duplicate names", argv: []string{"-backends", "a=http://x,a=http://y"}, want: 2, stderr: "duplicate backend name"},
+		{name: "colon in name", argv: []string{"-backends", "a:b=http://x"}, want: 2},
+		{name: "non-positive replicas", argv: []string{"-backends", "http://a", "-replicas", "0"}, want: 2, stderr: "-replicas must be positive"},
+		{name: "non-positive threshold", argv: []string{"-backends", "http://a", "-fail-threshold", "0"}, want: 2, stderr: "-fail-threshold must be positive"},
+		{name: "non-positive attempts", argv: []string{"-backends", "http://a", "-attempts", "0"}, want: 2, stderr: "-attempts must be positive"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			got := run(tc.argv, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// TestParseBackends covers naming: bare URLs get positional names,
+// name=url pairs keep theirs.
+func TestParseBackends(t *testing.T) {
+	got, err := parseBackends("http://a:1, n5=http://b:2 ,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d backends, want 3", len(got))
+	}
+	if got[0].Name != "n0" || got[0].URL != "http://a:1" {
+		t.Errorf("backend 0 = %+v", got[0])
+	}
+	if got[1].Name != "n5" || got[1].URL != "http://b:2" {
+		t.Errorf("backend 1 = %+v", got[1])
+	}
+	if got[2].Name != "n2" || got[2].URL != "http://c:3" {
+		t.Errorf("backend 2 = %+v", got[2])
+	}
+}

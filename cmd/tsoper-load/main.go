@@ -1,9 +1,10 @@
-// Command tsoper-load drives a tsoper-serve instance with a measured mix
-// of repeated and unique simulation jobs, sweeping client concurrency and
-// reporting sustained throughput with latency percentiles — so the
-// service's capacity is a number, not a claim.
+// Command tsoper-load drives a tsoper-serve instance — or a tsoper-gateway
+// cluster — with a measured mix of repeated and unique simulation jobs,
+// sweeping client concurrency and reporting sustained throughput with
+// latency percentiles — so the service's capacity is a number, not a claim.
 //
 //	tsoper-load -addr http://localhost:7433 -concurrency 1,2,4,8 -jobs 32
+//	tsoper-load -addr http://localhost:7500 -cluster -jobs 64
 //
 // Every -dup'th job resubmits a spec from a small duplicate pool; the rest
 // are unique (distinct seeds). With -check, the result bytes of every
@@ -17,14 +18,29 @@
 // unique rotation, so program-typed submissions exercise the canonical-hash
 // cache path alongside profile jobs.
 //
-// Exit status: 0 clean, 1 failed jobs / byte mismatches / missing cache
-// hits, 2 usage error.
+// Failures are never silent: every error is bucketed by status code
+// (connection errors under "conn", deadline hits under "timeout") and the
+// breakdown is printed; the run exits non-zero when the failed-job rate
+// exceeds -error-budget (default 0 — any failure fails the run).
+//
+// -cluster treats -addr as a tsoper-gateway and adds a routing report:
+// per-node throughput, failover and peer-cache-fill counts, and the
+// concurrency-scaling efficiency of each sweep level. -json writes the
+// whole report (levels, error breakdown, server or cluster metrics) to a
+// file for CI artifacts.
+//
+// Exit status: 0 clean, 1 over-budget failures / byte mismatches / missing
+// cache hits, 2 usage error.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -33,46 +49,118 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/program"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
 
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	flag.Usage()
-	os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	addr := flag.String("addr", "http://127.0.0.1:7433", "server base URL")
-	concurrency := flag.String("concurrency", "1,2,4", "comma-separated client widths to sweep")
-	jobs := flag.Int("jobs", 16, "jobs per concurrency level (> 0)")
-	dup := flag.Int("dup", 4, "every dup'th job reuses the duplicate pool (0 = all unique)")
-	benches := flag.String("bench", "radix,fft,ocean_cp", "comma-separated benchmark mix")
-	programs := flag.String("programs", "", "comma-separated library programs to mix in as program-typed jobs")
-	system := flag.String("system", "tsoper", "persistency system for every job")
-	scale := flag.Float64("scale", 0.05, "workload scale factor (> 0)")
-	seedBase := flag.Int64("seed-base", 1000, "first seed for unique jobs")
-	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
-	check := flag.Bool("check", false, "verify duplicate submissions return byte-identical results")
-	requireHit := flag.Bool("require-hit", false, "fail unless the server reports >= 1 cache hit")
-	flag.Parse()
+// levelReport is one concurrency level's measured row.
+type levelReport struct {
+	Concurrency int     `json:"concurrency"`
+	Jobs        int     `json:"jobs"`
+	WallMS      float64 `json:"wall_ms"`
+	Throughput  float64 `json:"throughput_per_s"`
+	P50MS       float64 `json:"p50_ms"`
+	P90MS       float64 `json:"p90_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	// Efficiency is this level's throughput per client relative to the
+	// first level's — 1.0 is perfect linear scaling.
+	Efficiency float64 `json:"efficiency"`
+}
 
+// report is the -json artifact.
+type report struct {
+	Levels []levelReport `json:"levels"`
+	// Errors buckets failed jobs by HTTP status ("429", "502", …), "conn"
+	// for transport failures, "timeout" for deadline hits.
+	Errors     map[string]uint64 `json:"errors,omitempty"`
+	ErrorRate  float64           `json:"error_rate"`
+	Mismatches uint64            `json:"mismatches"`
+	// Server is the single-node metrics snapshot; Cluster replaces it under
+	// -cluster.
+	Server  *service.MetricsSnapshot `json:"server,omitempty"`
+	Cluster *cluster.Metrics         `json:"cluster,omitempty"`
+}
+
+// errorTally buckets failures by class, concurrency-safe.
+type errorTally struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func (t *errorTally) add(err error) {
+	class := "conn"
+	var apiErr *client.APIError
+	switch {
+	case errors.As(err, &apiErr):
+		class = strconv.Itoa(apiErr.Status)
+	case errors.Is(err, context.DeadlineExceeded):
+		class = "timeout"
+	}
+	t.mu.Lock()
+	t.m[class]++
+	t.mu.Unlock()
+}
+
+func (t *errorTally) snapshot() map[string]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]uint64, len(t.m))
+	for k, v := range t.m {
+		out[k] = v
+	}
+	return out
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsoper-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:7433", "server (or gateway) base URL")
+	concurrency := fs.String("concurrency", "1,2,4", "comma-separated client widths to sweep")
+	jobs := fs.Int("jobs", 16, "jobs per concurrency level (> 0)")
+	dup := fs.Int("dup", 4, "every dup'th job reuses the duplicate pool (0 = all unique)")
+	benches := fs.String("bench", "radix,fft,ocean_cp", "comma-separated benchmark mix")
+	programs := fs.String("programs", "", "comma-separated library programs to mix in as program-typed jobs")
+	system := fs.String("system", "tsoper", "persistency system for every job")
+	scale := fs.Float64("scale", 0.05, "workload scale factor (> 0)")
+	seedBase := fs.Int64("seed-base", 1000, "first seed for unique jobs")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	check := fs.Bool("check", false, "verify duplicate submissions return byte-identical results")
+	requireHit := fs.Bool("require-hit", false, "fail unless the server reports >= 1 cache hit")
+	errorBudget := fs.Float64("error-budget", 0, "tolerated failed-job fraction in [0,1); above it the run exits 1")
+	clusterMode := fs.Bool("cluster", false, "treat -addr as a tsoper-gateway; report per-node routing and failovers")
+	jsonPath := fs.String("json", "", "write the full report to this path as JSON")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
 	if *jobs <= 0 {
-		usageErr("-jobs must be positive, got %d", *jobs)
+		return usage("-jobs must be positive, got %d", *jobs)
 	}
 	if *scale <= 0 {
-		usageErr("-scale must be positive, got %g", *scale)
+		return usage("-scale must be positive, got %g", *scale)
 	}
 	if *dup < 0 {
-		usageErr("-dup must be non-negative, got %d", *dup)
+		return usage("-dup must be non-negative, got %d", *dup)
+	}
+	if *errorBudget < 0 || *errorBudget >= 1 {
+		return usage("-error-budget must be in [0,1), got %g", *errorBudget)
 	}
 	var widths []int
 	for _, s := range strings.Split(*concurrency, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || w <= 0 {
-			usageErr("bad -concurrency entry %q", s)
+			return usage("bad -concurrency entry %q", s)
 		}
 		widths = append(widths, w)
 	}
@@ -93,7 +181,7 @@ func main() {
 		for _, name := range strings.Split(*programs, ",") {
 			p, err := program.ByName(strings.TrimSpace(name))
 			if err != nil {
-				usageErr("%v", err)
+				return usage("%v", err)
 			}
 			templates = append(templates, service.JobSpec{Program: p, System: *system})
 		}
@@ -103,8 +191,8 @@ func main() {
 	defer cancel()
 	c := client.New(*addr, nil)
 	if err := c.Healthz(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "server not healthy at %s: %v\n", *addr, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "server not healthy at %s: %v\n", *addr, err)
+		return 1
 	}
 
 	// The duplicate pool: one spec per template, fixed seed, shared across
@@ -119,8 +207,10 @@ func main() {
 		firstBytes sync.Map // cache key -> first observed result bytes
 		mismatches atomic.Uint64
 		failures   atomic.Uint64
+		attempted  atomic.Uint64
 		nextSeed   atomic.Int64
 	)
+	tally := &errorTally{m: make(map[string]uint64)}
 	nextSeed.Store(*seedBase)
 
 	runOne := func(idx int) (time.Duration, bool) {
@@ -131,18 +221,20 @@ func main() {
 			spec = templates[idx%len(templates)]
 			spec.Seed = nextSeed.Add(1)
 		}
+		attempted.Add(1)
 		start := time.Now()
 		body, st, err := c.Run(ctx, spec)
 		lat := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "job %v failed: %v\n", spec, err)
+			fmt.Fprintf(stderr, "job %v failed: %v\n", spec, err)
 			failures.Add(1)
+			tally.add(err)
 			return lat, false
 		}
 		if *check {
 			if prev, loaded := firstBytes.LoadOrStore(st.Key, body); loaded {
 				if string(prev.([]byte)) != string(body) {
-					fmt.Fprintf(os.Stderr, "BYTE MISMATCH for key %s (job %s)\n", st.Key, st.ID)
+					fmt.Fprintf(stderr, "BYTE MISMATCH for key %s (job %s)\n", st.Key, st.ID)
 					mismatches.Add(1)
 				}
 			}
@@ -150,8 +242,9 @@ func main() {
 		return lat, true
 	}
 
-	fmt.Printf("%-12s %6s %10s %12s %9s %9s %9s %9s\n",
-		"concurrency", "jobs", "wall", "throughput", "p50", "p90", "p99", "mean")
+	var rep report
+	fmt.Fprintf(stdout, "%-12s %6s %10s %12s %9s %9s %9s %9s %6s\n",
+		"concurrency", "jobs", "wall", "throughput", "p50", "p90", "p99", "mean", "eff")
 	jobIdx := 0
 	for _, width := range widths {
 		lats := make([]time.Duration, 0, *jobs)
@@ -181,36 +274,172 @@ func main() {
 		wg.Wait()
 		wall := time.Since(start)
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Printf("%-12d %6d %10s %9.1f/s %9s %9s %9s %9s\n",
-			width, len(lats), wall.Round(time.Millisecond),
-			float64(len(lats))/wall.Seconds(),
-			pct(lats, 50).Round(time.Millisecond), pct(lats, 90).Round(time.Millisecond),
-			pct(lats, 99).Round(time.Millisecond), mean(lats).Round(time.Millisecond))
+		lv := levelReport{
+			Concurrency: width,
+			Jobs:        len(lats),
+			WallMS:      float64(wall) / float64(time.Millisecond),
+			Throughput:  float64(len(lats)) / wall.Seconds(),
+			P50MS:       float64(pct(lats, 50)) / float64(time.Millisecond),
+			P90MS:       float64(pct(lats, 90)) / float64(time.Millisecond),
+			P99MS:       float64(pct(lats, 99)) / float64(time.Millisecond),
+			MeanMS:      float64(mean(lats)) / float64(time.Millisecond),
+			Efficiency:  1,
+		}
+		if len(rep.Levels) > 0 {
+			base := rep.Levels[0]
+			if base.Throughput > 0 && base.Concurrency > 0 {
+				perClientBase := base.Throughput / float64(base.Concurrency)
+				if perClientBase > 0 {
+					lv.Efficiency = (lv.Throughput / float64(lv.Concurrency)) / perClientBase
+				}
+			}
+		}
+		rep.Levels = append(rep.Levels, lv)
+		fmt.Fprintf(stdout, "%-12d %6d %10s %9.1f/s %8.0fms %8.0fms %8.0fms %8.0fms %6.2f\n",
+			width, lv.Jobs, wall.Round(time.Millisecond), lv.Throughput,
+			lv.P50MS, lv.P90MS, lv.P99MS, lv.MeanMS, lv.Efficiency)
 	}
 
-	m, err := c.Metrics(ctx)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fetching metrics: %v\n", err)
-		os.Exit(1)
+	rep.Errors = tally.snapshot()
+	rep.Mismatches = mismatches.Load()
+	if n := attempted.Load(); n > 0 {
+		rep.ErrorRate = float64(failures.Load()) / float64(n)
 	}
-	fmt.Printf("\nserver: %d completed, %d failed, %d rejected (429), cache %d hits / %d misses / %d dedups (hit rate %.2f)\n",
-		m.JobsCompleted, m.JobsFailed, m.JobsRejected,
-		m.Cache.Hits, m.Cache.Misses, m.Cache.Dedups, m.Cache.HitRate)
 
 	exit := 0
-	if n := failures.Load(); n > 0 {
-		fmt.Fprintf(os.Stderr, "%d jobs failed\n", n)
+	if *clusterMode {
+		cm, err := fetchClusterMetrics(ctx, *addr)
+		if err != nil {
+			fmt.Fprintf(stderr, "fetching cluster metrics: %v\n", err)
+			exit = 1
+		} else {
+			rep.Cluster = cm
+			printClusterReport(stdout, cm)
+			if *requireHit && cm.CacheFills == 0 && !anyBackendHits(cm) {
+				fmt.Fprintln(stderr, "no cache fills or backend hits despite duplicate submissions")
+				exit = 1
+			}
+		}
+	} else {
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "fetching metrics: %v\n", err)
+			exit = 1
+		} else {
+			rep.Server = &m
+			fmt.Fprintf(stdout, "\nserver %s: %d completed, %d failed, %d rejected (429), cache %d hits / %d misses / %d dedups / %d evictions (hit rate %.2f)\n",
+				m.Node, m.JobsCompleted, m.JobsFailed, m.JobsRejected,
+				m.Cache.Hits, m.Cache.Misses, m.Cache.Dedups, m.Cache.Evictions, m.Cache.HitRate)
+			if *requireHit && m.Cache.Hits+m.Cache.Dedups == 0 {
+				fmt.Fprintln(stderr, "no cache hits or dedups despite duplicate submissions")
+				exit = 1
+			}
+		}
+	}
+
+	if len(rep.Errors) > 0 {
+		fmt.Fprintf(stdout, "\nerror breakdown (%d failed / %d attempted, rate %.3f):\n",
+			failures.Load(), attempted.Load(), rep.ErrorRate)
+		classes := make([]string, 0, len(rep.Errors))
+		for k := range rep.Errors {
+			classes = append(classes, k)
+		}
+		sort.Strings(classes)
+		for _, k := range classes {
+			fmt.Fprintf(stdout, "  %-8s %d\n", k, rep.Errors[k])
+		}
+	}
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, &rep); err != nil {
+			fmt.Fprintf(stderr, "writing report: %v\n", err)
+			exit = 1
+		}
+	}
+
+	if rep.ErrorRate > *errorBudget {
+		fmt.Fprintf(stderr, "error rate %.3f exceeds budget %.3f\n", rep.ErrorRate, *errorBudget)
 		exit = 1
 	}
 	if n := mismatches.Load(); n > 0 {
-		fmt.Fprintf(os.Stderr, "%d duplicate results were not byte-identical\n", n)
+		fmt.Fprintf(stderr, "%d duplicate results were not byte-identical\n", n)
 		exit = 1
 	}
-	if *requireHit && m.Cache.Hits+m.Cache.Dedups == 0 {
-		fmt.Fprintln(os.Stderr, "no cache hits or dedups despite duplicate submissions")
-		exit = 1
+	return exit
+}
+
+// fetchClusterMetrics decodes a tsoper-gateway /metrics document.
+func fetchClusterMetrics(ctx context.Context, base string) (*cluster.Metrics, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
 	}
-	os.Exit(exit)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	var m cluster.Metrics
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("decoding cluster metrics (is -addr really a gateway?): %w", err)
+	}
+	if m.Nodes == nil {
+		return nil, fmt.Errorf("no nodes in metrics document (is -addr really a gateway?)")
+	}
+	return &m, nil
+}
+
+// printClusterReport renders per-node routing, the failover ledger, and
+// cluster-wide cache effectiveness.
+func printClusterReport(w io.Writer, m *cluster.Metrics) {
+	fmt.Fprintf(w, "\ncluster: %d submitted, %d cache fills (%d peer), %d failovers, %d no-backend rejections\n",
+		m.Submitted, m.CacheFills, m.PeerFills, m.Failovers, m.NoBackend)
+	fmt.Fprintf(w, "%-10s %-9s %8s %8s %8s %10s %8s %10s\n",
+		"node", "state", "routed", "served", "fails", "completed", "hits", "hitrate")
+	var hits, misses uint64
+	for _, n := range m.Nodes {
+		completed, nodeHits, rate := "-", "-", "-"
+		if n.Backend != nil {
+			completed = strconv.FormatUint(n.Backend.JobsCompleted, 10)
+			nodeHits = strconv.FormatUint(n.Backend.Cache.Hits, 10)
+			rate = fmt.Sprintf("%.2f", n.Backend.Cache.HitRate)
+			hits += n.Backend.Cache.Hits
+			misses += n.Backend.Cache.Misses
+		}
+		fmt.Fprintf(w, "%-10s %-9s %8d %8d %8d %10s %8s %10s\n",
+			n.Name, n.State, n.Routed, n.CacheServed, n.Failures, completed, nodeHits, rate)
+	}
+	// Cluster-wide hit rate counts gateway cache fills as hits too: a fill
+	// is a submission answered without compute.
+	total := hits + misses + m.CacheFills
+	if total > 0 {
+		fmt.Fprintf(w, "cluster-wide cache hit rate (incl. gateway fills): %.2f\n",
+			float64(hits+m.CacheFills)/float64(total))
+	}
+}
+
+func anyBackendHits(m *cluster.Metrics) bool {
+	for _, n := range m.Nodes {
+		if n.Backend != nil && n.Backend.Cache.Hits+n.Backend.Cache.Dedups > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func writeReport(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func pct(sorted []time.Duration, p int) time.Duration {

@@ -35,6 +35,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7433", "listen address")
+	node := flag.String("node", "", "node ID reported on /healthz and /metrics for cluster routing (default node-0)")
 	workers := flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 64, "admission queue bound; overflow gets 429 + Retry-After")
 	cacheEntries := flag.Int("cache", 256, "content-addressed result cache entries (LRU)")
@@ -46,6 +47,7 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	srv := service.New(service.Config{
+		NodeID:        *node,
 		Workers:       *workers,
 		QueueDepth:    *queueDepth,
 		CacheEntries:  *cacheEntries,

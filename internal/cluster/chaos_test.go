@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// chaosNode hosts a REAL service.Server behind a stable URL and lets the
+// test kill and restart the "process" mid-flight. A killed node aborts
+// every connection without writing a response (http.ErrAbortHandler — the
+// client sees a torn connection, exactly what a SIGKILL'd process
+// produces); a restart swaps in a fresh service.Server with an empty queue,
+// an empty cache, and no memory of accepted jobs — which is precisely the
+// failure the cluster must absorb without losing a single accepted job.
+type chaosNode struct {
+	name   string
+	srv    *httptest.Server
+	killed atomic.Bool
+
+	mu  sync.Mutex
+	svc *service.Server
+	cfg service.Config
+}
+
+func startChaosNode(t *testing.T, name string, cacheEntries int) *chaosNode {
+	t.Helper()
+	n := &chaosNode{
+		name: name,
+		cfg: service.Config{
+			NodeID:       name,
+			Workers:      2,
+			QueueDepth:   64,
+			CacheEntries: cacheEntries,
+		},
+	}
+	n.svc = service.New(n.cfg)
+	n.svc.Start()
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.killed.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		n.current().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		n.srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = n.current().Drain(ctx)
+	})
+	return n
+}
+
+func (n *chaosNode) current() *service.Server {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.svc
+}
+
+// kill makes the node unreachable. The old server's in-flight work keeps
+// burning CPU (an in-process test cannot truly SIGKILL it) but none of its
+// state is observable anymore — the restart discards it.
+func (n *chaosNode) kill() { n.killed.Store(true) }
+
+// restart brings the node back as a blank process: fresh queue, empty
+// cache, job counter reset. The replaced server is drained in the
+// background purely to avoid leaking its workers past the test.
+func (n *chaosNode) restart() {
+	fresh := service.New(n.cfg)
+	fresh.Start()
+	n.mu.Lock()
+	old := n.svc
+	n.svc = fresh
+	n.mu.Unlock()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = old.Drain(ctx)
+	}()
+	n.killed.Store(false)
+}
+
+// chaosGatewayCfg is tuned for fast convergence: quick probes, a
+// two-failure breaker, short cooldowns, small failover backoff.
+func chaosGatewayCfg(nodes []*chaosNode) Config {
+	cfg := Config{
+		Replicas:       2,
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   2 * time.Second,
+		FailThreshold:  2,
+		CooldownBase:   50 * time.Millisecond,
+		CooldownMax:    500 * time.Millisecond,
+		MaxAttempts:    4,
+		RetryBase:      5 * time.Millisecond,
+		RetryCap:       50 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+		Seed:           1,
+	}
+	for _, n := range nodes {
+		cfg.Backends = append(cfg.Backends, Backend{Name: n.name, URL: n.srv.URL})
+	}
+	return cfg
+}
+
+// chaosClientRetry rides through a full kill-detect-reroute cycle: enough
+// attempts that a job accepted by the dying node gets resubmitted once the
+// gateway has routed around it.
+var chaosClientRetry = client.RetryPolicy{
+	MaxAttempts: 12,
+	Base:        20 * time.Millisecond,
+	Cap:         250 * time.Millisecond,
+	Jitter:      0.25,
+	Seed:        7,
+}
+
+// oracleResults computes every spec's expected bytes on a plain single
+// node, outside the cluster — the byte-identity ground truth.
+func oracleResults(t *testing.T, ctx context.Context, specs []service.JobSpec) map[string][]byte {
+	t.Helper()
+	direct := service.New(service.Config{Workers: 2, QueueDepth: 64, CacheEntries: 64})
+	direct.Start()
+	srv := httptest.NewServer(direct)
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL, nil)
+	out := make(map[string][]byte, len(specs))
+	for _, sp := range specs {
+		body, st, err := c.Run(ctx, sp)
+		if err != nil {
+			t.Fatalf("oracle run %+v: %v", sp, err)
+		}
+		out[st.Key] = body
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = direct.Drain(dctx)
+	return out
+}
+
+// TestChaosKillRestart is the tentpole acceptance: a 3-node cluster under
+// concurrent load, with one node SIGKILL'd mid-flight and later restarted
+// blank, must complete EVERY accepted job with bytes identical to a direct
+// single-node run — zero lost jobs, zero wrong answers.
+func TestChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign runs real simulations")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	const jobs = 36
+	specs := make([]service.JobSpec, jobs)
+	for i := range specs {
+		specs[i] = service.JobSpec{Bench: "radix", System: "tsoper", Scale: 0.05, Seed: int64(3000 + i)}
+	}
+	expected := oracleResults(t, ctx, specs)
+
+	nodes := []*chaosNode{
+		startChaosNode(t, "n0", 64),
+		startChaosNode(t, "n1", 64),
+		startChaosNode(t, "n2", 64),
+	}
+	g, err := New(chaosGatewayCfg(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	defer g.Stop()
+	gwSrv := httptest.NewServer(g)
+	defer gwSrv.Close()
+
+	// The victim must actually own some of the mid-kill batch, or the kill
+	// proves nothing. Routing is fully deterministic (FNV over fixed names
+	// and content addresses), so this either always holds or the seeds need
+	// rebalancing — never a flake.
+	victim := g.nodes[0]
+	victimKeys := 0
+	for _, sp := range specs[12:24] {
+		key, err := sp.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Candidates(key)[0] == victim.name {
+			victimKeys++
+		}
+	}
+	if victimKeys == 0 {
+		t.Fatalf("no batch-2 key routes to %s; rebalance the seed range", victim.name)
+	}
+
+	const clients = 4
+	work := make(chan service.JobSpec)
+	var wg sync.WaitGroup
+	var failed atomic.Int32
+	var maxLatency atomic.Int64
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct seeds give each client its own deterministic retry
+			// schedule — reruns of this test replay identical timing.
+			p := chaosClientRetry
+			p.Seed = uint64(100 + w)
+			c := client.New(gwSrv.URL, nil).WithRetry(p)
+			for sp := range work {
+				start := time.Now()
+				body, st, err := c.Run(ctx, sp)
+				lat := time.Since(start)
+				for {
+					prev := maxLatency.Load()
+					if int64(lat) <= prev || maxLatency.CompareAndSwap(prev, int64(lat)) {
+						break
+					}
+				}
+				if err != nil {
+					t.Errorf("job seed %d lost: %v", sp.Seed, err)
+					failed.Add(1)
+					continue
+				}
+				want, ok := expected[st.Key]
+				if !ok {
+					t.Errorf("job seed %d returned unexpected key %s", sp.Seed, st.Key)
+					failed.Add(1)
+					continue
+				}
+				if !bytes.Equal(body, want) {
+					t.Errorf("job seed %d: result NOT byte-identical to direct run (%d vs %d bytes)",
+						sp.Seed, len(body), len(want))
+					failed.Add(1)
+				}
+			}
+		}(w)
+	}
+	dispatch := func(batch []service.JobSpec) {
+		for _, sp := range batch {
+			select {
+			case work <- sp:
+			case <-ctx.Done():
+				t.Fatal("context expired while dispatching jobs")
+			}
+		}
+	}
+
+	// Phase 1: steady state — jobs flowing on all three nodes.
+	dispatch(specs[:12])
+	// Phase 2: kill the victim while phase-1 jobs are still in flight, keep
+	// load coming (several of these jobs route to the corpse), and require
+	// the gateway to observe the death.
+	nodes[0].kill()
+	dispatch(specs[12:24])
+	waitFor(t, 10*time.Second, func() bool { return victim.snapshotState() == nodeDown })
+	// Phase 3: the victim returns as a blank process — empty cache, no job
+	// records — and must be re-admitted by probe and take load again.
+	nodes[0].restart()
+	waitFor(t, 10*time.Second, func() bool { return victim.snapshotState() == nodeUp })
+	dispatch(specs[24:])
+	close(work)
+	wg.Wait()
+
+	if victim.failures.Load() == 0 {
+		t.Error("victim recorded no failures — the kill was never observed")
+	}
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of %d jobs lost or wrong under chaos", n, jobs)
+	}
+	// Bounded tail latency: even the worst job — accepted by the dying node,
+	// rerouted, recomputed — finishes well inside the campaign deadline.
+	if worst := time.Duration(maxLatency.Load()); worst > time.Minute {
+		t.Errorf("worst-case job latency %s exceeds the 1m chaos bound", worst)
+	}
+	m := g.Metrics(context.Background(), false)
+	t.Logf("chaos campaign: %d submitted, %d failovers, %d cache fills (%d peer), worst latency %s",
+		m.Submitted, m.Failovers, m.CacheFills, m.PeerFills, time.Duration(maxLatency.Load()))
+}
+
+// TestChaosDrainReroute: draining a node must be invisible — its cached
+// results stay reachable through peer cache-fill, new compute routes to the
+// remaining nodes, and no client-visible request fails.
+func TestChaosDrainReroute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	nodes := []*chaosNode{
+		startChaosNode(t, "n0", 64),
+		startChaosNode(t, "n1", 64),
+		startChaosNode(t, "n2", 64),
+	}
+	g, err := New(chaosGatewayCfg(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	defer g.Stop()
+	gwSrv := httptest.NewServer(g)
+	defer gwSrv.Close()
+	c := client.New(gwSrv.URL, nil).WithRetry(chaosClientRetry)
+
+	sp := service.JobSpec{Bench: "radix", System: "tsoper", Scale: 0.05, Seed: 4000}
+	key, _ := sp.CacheKey()
+	firstBody, st, err := c.Run(ctx, sp)
+	if err != nil {
+		t.Fatalf("priming run: %v", err)
+	}
+	owner, _, ok := g.route(st.ID)
+	if !ok {
+		t.Fatalf("primed job ID %q is not node-namespaced", st.ID)
+	}
+
+	// Drain the node that computed (and cached) the primed result.
+	for _, n := range nodes {
+		if n.name == owner.name {
+			n.current().StartDrain()
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return owner.snapshotState() == nodeDraining })
+
+	// Resubmitting the primed spec is served from the draining node's cache
+	// — one plain 200, no failover, no 5xx.
+	rec, st2 := submitSpec(t, g, sp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resubmit during drain: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if !st2.CacheHit {
+		t.Fatalf("resubmit during drain not served from cache: %+v", st2)
+	}
+	rec2 := httptest.NewRecorder()
+	g.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st2.ID+"/result", nil))
+	if rec2.Code != http.StatusOK || !bytes.Equal(rec2.Body.Bytes(), firstBody) {
+		t.Fatalf("drained-cache result differs from original (%d vs %d bytes)",
+			rec2.Body.Len(), len(firstBody))
+	}
+	if owner.cacheServed.Load() == 0 {
+		t.Error("draining node served no cache reads")
+	}
+	if g.cacheFills.Load() == 0 {
+		t.Errorf("no gateway cache fill recorded for key %s", key)
+	}
+
+	// Fresh jobs route cleanly around the drained node.
+	for seed := int64(4001); seed < 4007; seed++ {
+		body, st3, err := c.Run(ctx, service.JobSpec{Bench: "radix", System: "tsoper", Scale: 0.05, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d during drain: %v", seed, err)
+		}
+		if len(body) == 0 {
+			t.Fatalf("seed %d: empty result", seed)
+		}
+		if n, _, ok := g.route(st3.ID); ok && n.name == owner.name {
+			t.Errorf("seed %d landed on draining node %s", seed, owner.name)
+		}
+	}
+}
+
+// TestClusterCacheBeatsSingleNode: the cluster's aggregate cache holds a
+// working set that thrashes any single node. 12 distinct specs against
+// 4-entry caches: a lone node's LRU evicts every entry before its reuse
+// (zero hits, guaranteed by sequential order), while 3 nodes × 4 entries
+// fit the set — at least one node owns ≤ 4 keys (pigeonhole), so the
+// second pass must produce gateway cache fills.
+func TestClusterCacheBeatsSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	const distinct = 12
+	specs := make([]service.JobSpec, distinct)
+	for i := range specs {
+		specs[i] = service.JobSpec{Bench: "radix", System: "tsoper", Scale: 0.05, Seed: int64(5000 + i)}
+	}
+
+	// Single node, 4-entry cache, two sequential passes: LRU thrash.
+	single := service.New(service.Config{Workers: 2, QueueDepth: 64, CacheEntries: 4})
+	single.Start()
+	singleSrv := httptest.NewServer(single)
+	t.Cleanup(singleSrv.Close)
+	sc := client.New(singleSrv.URL, nil)
+	for pass := 0; pass < 2; pass++ {
+		for _, sp := range specs {
+			if _, _, err := sc.Run(ctx, sp); err != nil {
+				t.Fatalf("single-node pass %d %+v: %v", pass, sp, err)
+			}
+		}
+	}
+	singleHits := single.Metrics().Cache.Hits
+	if singleHits != 0 {
+		t.Fatalf("single node scored %d hits — the working set no longer thrashes a 4-entry LRU and this test needs rebalancing", singleHits)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	_ = single.Drain(dctx)
+
+	// Same workload through a 3-node cluster with the same per-node cache.
+	nodes := []*chaosNode{
+		startChaosNode(t, "n0", 4),
+		startChaosNode(t, "n1", 4),
+		startChaosNode(t, "n2", 4),
+	}
+	g, err := New(chaosGatewayCfg(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	defer g.Stop()
+	gwSrv := httptest.NewServer(g)
+	defer gwSrv.Close()
+	gc := client.New(gwSrv.URL, nil).WithRetry(chaosClientRetry)
+
+	firstPass := make(map[string][]byte, distinct)
+	for pass := 0; pass < 2; pass++ {
+		for _, sp := range specs {
+			body, st, err := gc.Run(ctx, sp)
+			if err != nil {
+				t.Fatalf("cluster pass %d %+v: %v", pass, sp, err)
+			}
+			if prev, ok := firstPass[st.Key]; ok {
+				if !bytes.Equal(prev, body) {
+					t.Fatalf("key %s: pass-2 bytes differ from pass-1", st.Key)
+				}
+			} else {
+				firstPass[st.Key] = body
+			}
+		}
+	}
+	m := g.Metrics(context.Background(), false)
+	if m.CacheFills == 0 {
+		t.Fatalf("cluster scored 0 cache fills on the repeated pass; single node scored %d — sharding bought nothing", singleHits)
+	}
+	clusterRate := float64(m.CacheFills) / float64(m.Submitted)
+	singleRate := float64(singleHits) / float64(2*distinct)
+	if clusterRate <= singleRate {
+		t.Fatalf("cluster hit rate %.3f not above single-node %.3f", clusterRate, singleRate)
+	}
+	t.Logf("cache: single node %d hits (rate %.3f) vs cluster %d fills (rate %.3f) on %d submissions",
+		singleHits, singleRate, m.CacheFills, clusterRate, m.Submitted)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+

@@ -1,0 +1,315 @@
+// Package cluster turns N independent tsoper-serve nodes into one sharded
+// simulation service behind a stateless HTTP gateway. The design leans
+// entirely on the substrate's determinism: every job is content-addressed
+// (service.JobSpec.CacheKey), and any node recomputes any job
+// byte-identically, so replication, failover, and resubmission are safe by
+// construction — the worst a failure can cost is wasted work, never a
+// wrong answer.
+//
+// Routing is rendezvous (highest-random-weight) hashing of the job's
+// content address over the healthy node set, with K replica candidates per
+// key. The gateway layers four robustness mechanisms on top:
+//
+//   - health checking: periodic /healthz probes with consecutive-failure
+//     thresholds and exponential cooldown before a down node is re-admitted;
+//   - circuit breaking: request failures feed the same per-node breaker as
+//     probe failures, so a dying node is routed around before the next
+//     probe cycle notices;
+//   - transparent failover: a failed submission is retried on the next
+//     replica candidate with capped, deterministically jittered backoff;
+//   - peer cache-fill: before any compute is scheduled, the replica
+//     candidates (draining nodes included — they still serve reads) are
+//     asked for a cached result via GET /v1/cache/{hash}.
+//
+// The gateway holds no job state of its own beyond a bounded ring of
+// cache-served ("virtual") results; killing and restarting it loses
+// nothing but in-flight TCP connections.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// Backend names one tsoper-serve node.
+type Backend struct {
+	// Name is the node's routing identity: it seeds the rendezvous hash and
+	// prefixes job IDs ("n1:j-000042"), so it must be stable across node
+	// restarts and must not contain ':'.
+	Name string
+	// URL is the node's base URL, e.g. "http://127.0.0.1:7501".
+	URL string
+}
+
+// Config shapes the gateway.
+type Config struct {
+	// Backends is the node roster. At least one is required.
+	Backends []Backend
+	// Replicas is K, the rendezvous candidates per key: the primary computes,
+	// the others are failover targets and cache-fill peers (default 2).
+	Replicas int
+
+	// ProbeInterval spaces the health-check rounds (default 250ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe or cache-fill lookup (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive probe/request failures that trip a
+	// node's breaker (default 3).
+	FailThreshold int
+	// CooldownBase is the first re-admission cooldown after a breaker trip;
+	// each further trip doubles it up to CooldownMax (defaults 500ms / 15s).
+	CooldownBase time.Duration
+	CooldownMax  time.Duration
+
+	// MaxAttempts bounds one submission's failover tries across candidates
+	// (default 4).
+	MaxAttempts int
+	// RetryBase / RetryCap shape the jittered backoff between failover
+	// attempts (defaults 50ms / 1s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Jitter spreads each backoff uniformly over ±Jitter (default 0.25).
+	Jitter float64
+	// Seed makes the jitter stream deterministic (default 1).
+	Seed uint64
+
+	// RequestTimeout bounds one proxied backend call, SSE streams excepted
+	// (default 30s).
+	RequestTimeout time.Duration
+	// Retained bounds the ring of gateway-served cache results kept for
+	// follow-up status/result reads (default 1024).
+	Retained int
+
+	// HTTPClient overrides the transport (tests); default http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.CooldownBase <= 0 {
+		c.CooldownBase = 500 * time.Millisecond
+	}
+	if c.CooldownMax <= 0 {
+		c.CooldownMax = 15 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Second
+	}
+	if c.Jitter < 0 || c.Jitter > 1 {
+		c.Jitter = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Retained <= 0 {
+		c.Retained = 1024
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	return c
+}
+
+// Gateway is the cluster front door: an http.Handler exposing the same
+// API surface as one tsoper-serve node. Construct with New, launch the
+// health prober with Start, stop it with Stop.
+type Gateway struct {
+	cfg   Config
+	nodes []*node
+	mux   *http.ServeMux
+	hc    *http.Client
+
+	rngMu sync.Mutex
+	rng   uint64
+
+	submitted  atomic.Uint64 // job submissions seen
+	cacheFills atomic.Uint64 // submissions answered from some node's cache
+	peerFills  atomic.Uint64 // … where the serving node was not the primary
+	failovers  atomic.Uint64 // submission attempts that moved to another node
+	noBackend  atomic.Uint64 // submissions with no healthy compute candidate
+
+	vmu     sync.Mutex
+	virtual map[string]*virtualJob
+	vorder  []string
+	vseq    uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// virtualJob is a cache-served submission the gateway answered itself; it
+// is retained so the usual status/result/events follow-ups work.
+type virtualJob struct {
+	status service.JobStatus
+	body   []byte
+}
+
+// New validates the roster and builds a gateway. No goroutines run until
+// Start.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	g := &Gateway{
+		cfg:     cfg,
+		hc:      cfg.HTTPClient,
+		rng:     cfg.Seed,
+		virtual: make(map[string]*virtualJob),
+		stop:    make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		if err := validateBackend(b); err != nil {
+			return nil, err
+		}
+		if seen[b.Name] {
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", b.Name)
+		}
+		seen[b.Name] = true
+		g.nodes = append(g.nodes, newNode(b, cfg))
+	}
+	g.mux = g.newMux()
+	return g, nil
+}
+
+func validateBackend(b Backend) error {
+	if b.Name == "" || b.URL == "" {
+		return fmt.Errorf("cluster: backend needs both name and URL, got %+v", b)
+	}
+	for _, r := range b.Name {
+		if r == ':' || r == '/' {
+			return fmt.Errorf("cluster: backend name %q must not contain %q", b.Name, r)
+		}
+	}
+	return nil
+}
+
+// Start launches the health prober after one synchronous probe round, so a
+// freshly started gateway has seen every node once before taking traffic.
+// Idempotent-enough for its single caller; pair with Stop.
+func (g *Gateway) Start() {
+	g.probeAll()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		ticker := time.NewTicker(g.cfg.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				g.probeAll()
+			case <-g.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the health prober. In-flight proxied requests finish on
+// their own timeouts.
+func (g *Gateway) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// Candidates reports the replica-candidate node names for a content
+// address in routing order (compute-eligible nodes only) — introspection
+// for operators and tests.
+func (g *Gateway) Candidates(key string) []string {
+	nodes := topK(g.nodes, key, g.cfg.Replicas, (*node).computeEligible)
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.name
+	}
+	return names
+}
+
+// backoff sleeps the attempt-th failover delay (capped exponential with
+// deterministic jitter shared across the gateway's lifetime).
+func (g *Gateway) backoff(attempt int) time.Duration {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 20 {
+		shift = 20
+	}
+	d := g.cfg.RetryBase << shift
+	if d > g.cfg.RetryCap || d <= 0 {
+		d = g.cfg.RetryCap
+	}
+	g.rngMu.Lock()
+	u := float64(splitmix64(&g.rng)>>11) / float64(1 << 53)
+	g.rngMu.Unlock()
+	return time.Duration(float64(d) * (1 - g.cfg.Jitter + 2*g.cfg.Jitter*u))
+}
+
+// splitmix64 matches the client's jitter stream generator.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// retainVirtual records a cache-served result under a fresh gateway-local
+// job ID and returns its status document.
+func (g *Gateway) retainVirtual(spec service.JobSpec, key string, body []byte) service.JobStatus {
+	g.vmu.Lock()
+	defer g.vmu.Unlock()
+	g.vseq++
+	st := service.JobStatus{
+		ID:       fmt.Sprintf("gw:%06d", g.vseq),
+		State:    "done",
+		Spec:     spec,
+		Key:      key,
+		CacheHit: true,
+	}
+	g.virtual[st.ID] = &virtualJob{status: st, body: body}
+	g.vorder = append(g.vorder, st.ID)
+	for len(g.vorder) > g.cfg.Retained {
+		delete(g.virtual, g.vorder[0])
+		g.vorder = g.vorder[1:]
+	}
+	return st
+}
+
+func (g *Gateway) virtualLookup(id string) *virtualJob {
+	g.vmu.Lock()
+	defer g.vmu.Unlock()
+	return g.virtual[id]
+}
+
+// nodeClient builds a typed client for one node (probes and cache fills).
+func (g *Gateway) nodeClient(n *node) *client.Client {
+	return client.New(n.base, g.hc)
+}

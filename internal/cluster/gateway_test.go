@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// fakeNode is a scriptable stand-in for one tsoper-serve backend: it speaks
+// just enough of the API for routing tests, with switchable health state
+// and a poke-able result cache.
+type fakeNode struct {
+	name    string
+	srv     *httptest.Server
+	submits atomic.Int32
+	// health state served on /healthz ("ok" or "draining"); empty means 500.
+	healthState atomic.Value
+	// submitStatus, when non-zero, short-circuits POST /v1/jobs with that code.
+	submitStatus atomic.Int32
+	// cache maps content address -> result bytes for GET /v1/cache/{hash}.
+	cache map[string][]byte
+}
+
+func newFakeNode(t *testing.T, name string) *fakeNode {
+	t.Helper()
+	f := &fakeNode{name: name, cache: map[string][]byte{}}
+	f.healthState.Store("ok")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		state, _ := f.healthState.Load().(string)
+		if state == "" {
+			http.Error(w, "broken", http.StatusInternalServerError)
+			return
+		}
+		code := http.StatusOK
+		if state == "draining" {
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(service.HealthStatus{Node: name, State: state})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		f.submits.Add(1)
+		if code := f.submitStatus.Load(); code != 0 {
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "7")
+			}
+			http.Error(w, fmt.Sprintf(`{"error":"scripted %d"}`, code), int(code))
+			return
+		}
+		var spec service.JobSpec
+		json.NewDecoder(r.Body).Decode(&spec)
+		key, _ := spec.CacheKey()
+		json.NewEncoder(w).Encode(service.JobStatus{ID: "j-000001", State: "done", Spec: spec, Key: key})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.JobStatus{ID: r.PathValue("id"), State: "done"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"node":%q,"id":%q}`, name, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprintf(w, "event: progress\ndata: {\"cycle\":5}\n\n")
+		data, _ := json.Marshal(service.JobStatus{ID: r.PathValue("id"), State: "done"})
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+	})
+	mux.HandleFunc("GET /v1/cache/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		if body, ok := f.cache[r.PathValue("hash")]; ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(body)
+			return
+		}
+		http.Error(w, `{"error":"miss"}`, http.StatusNotFound)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// testGateway builds a gateway over the given fakes with fast, jitter-free
+// timing, runs one probe round, and returns it.
+func testGateway(t *testing.T, fakes []*fakeNode, mutate func(*Config)) *Gateway {
+	t.Helper()
+	cfg := Config{
+		Replicas:      2,
+		ProbeInterval: time.Hour, // tests drive probes by hand
+		ProbeTimeout:  2 * time.Second,
+		FailThreshold: 3,
+		CooldownBase:  50 * time.Millisecond,
+		MaxAttempts:   4,
+		RetryBase:     time.Millisecond,
+		RetryCap:      2 * time.Millisecond,
+		Seed:          1,
+	}
+	for _, f := range fakes {
+		cfg.Backends = append(cfg.Backends, Backend{Name: f.name, URL: f.srv.URL})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.probeAll()
+	return g
+}
+
+func submitSpec(t *testing.T, g *Gateway, spec service.JobSpec) (*httptest.ResponseRecorder, service.JobStatus) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	var st service.JobStatus
+	if rec.Code == http.StatusOK || rec.Code == http.StatusAccepted {
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("decoding submit response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, st
+}
+
+func spec(seed int64) service.JobSpec {
+	return service.JobSpec{Bench: "radix", System: "tsoper", Scale: 0.05, Seed: seed}
+}
+
+// TestGatewayRoutesByKey: submissions land on the key's rendezvous primary,
+// and the returned job ID is namespaced with that node's name.
+func TestGatewayRoutesByKey(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1"), newFakeNode(t, "n2")}
+	g := testGateway(t, fakes, nil)
+
+	byName := map[string]*fakeNode{}
+	for _, f := range fakes {
+		byName[f.name] = f
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		sp := spec(seed)
+		key, err := sp.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		primary := g.Candidates(key)[0]
+		before := byName[primary].submits.Load()
+		rec, st := submitSpec(t, g, sp)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed %d: HTTP %d: %s", seed, rec.Code, rec.Body.String())
+		}
+		if byName[primary].submits.Load() != before+1 {
+			t.Errorf("seed %d: primary %s did not receive the submission", seed, primary)
+		}
+		if want := primary + ":j-000001"; st.ID != want {
+			t.Errorf("seed %d: job ID = %q, want %q", seed, st.ID, want)
+		}
+	}
+}
+
+// TestGatewayFailover: the primary erroring on submit moves the job to the
+// next candidate; the answer still comes back clean and the failover is
+// counted.
+func TestGatewayFailover(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1"), newFakeNode(t, "n2")}
+	g := testGateway(t, fakes, nil)
+
+	sp := spec(1)
+	key, _ := sp.CacheKey()
+	cands := g.Candidates(key)
+	byName := map[string]*fakeNode{}
+	for _, f := range fakes {
+		byName[f.name] = f
+	}
+	byName[cands[0]].submitStatus.Store(http.StatusInternalServerError)
+
+	rec, st := submitSpec(t, g, sp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.HasPrefix(st.ID, cands[1]+":") {
+		t.Errorf("job ID %q not namespaced to failover target %s", st.ID, cands[1])
+	}
+	if g.failovers.Load() == 0 {
+		t.Error("failover not counted")
+	}
+}
+
+// TestGatewayBreakerTripsAndSkips: enough failed submissions trip the
+// primary's breaker, after which new submissions skip it without touching
+// it at all.
+func TestGatewayBreakerTripsAndSkips(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1"), newFakeNode(t, "n2")}
+	g := testGateway(t, fakes, nil)
+
+	sp := spec(1)
+	key, _ := sp.CacheKey()
+	primary := g.Candidates(key)[0]
+	byName := map[string]*fakeNode{}
+	for _, f := range fakes {
+		byName[f.name] = f
+	}
+	byName[primary].submitStatus.Store(http.StatusInternalServerError)
+
+	for i := int64(0); i < 6; i++ {
+		submitSpec(t, g, sp) // failures accumulate on the primary
+	}
+	var pn *node
+	for _, n := range g.nodes {
+		if n.name == primary {
+			pn = n
+		}
+	}
+	if pn.snapshotState() != nodeDown {
+		t.Fatalf("primary state = %s, want down after repeated failures", pn.snapshotState())
+	}
+	before := byName[primary].submits.Load()
+	rec, _ := submitSpec(t, g, sp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d after breaker trip: %s", rec.Code, rec.Body.String())
+	}
+	if byName[primary].submits.Load() != before {
+		t.Error("down node still received a submission")
+	}
+	for _, name := range g.Candidates(key) {
+		if name == primary {
+			t.Error("down node still listed as compute candidate")
+		}
+	}
+}
+
+// TestGatewayPeerCacheFill: when a replica candidate already holds the
+// result, the gateway serves it as a virtual job — no compute lands
+// anywhere — and the virtual ID supports status/result/events follow-ups.
+func TestGatewayPeerCacheFill(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1"), newFakeNode(t, "n2")}
+	g := testGateway(t, fakes, nil)
+
+	sp := spec(1)
+	key, _ := sp.CacheKey()
+	resultBody := []byte(`{"cached":true}`)
+	// Plant the result on the SECOND candidate: a fill from there is a peer
+	// fill, not just a primary hit.
+	cands := g.Candidates(key)
+	for _, f := range fakes {
+		if f.name == cands[1] {
+			f.cache[key] = resultBody
+		}
+	}
+
+	rec, st := submitSpec(t, g, sp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if !st.CacheHit || st.State != "done" || !strings.HasPrefix(st.ID, "gw:") {
+		t.Fatalf("status = %+v, want done gateway cache hit", st)
+	}
+	for _, f := range fakes {
+		if f.submits.Load() != 0 {
+			t.Errorf("node %s received compute despite cache fill", f.name)
+		}
+	}
+	if g.cacheFills.Load() != 1 || g.peerFills.Load() != 1 {
+		t.Errorf("cacheFills=%d peerFills=%d, want 1/1", g.cacheFills.Load(), g.peerFills.Load())
+	}
+
+	// Follow-ups against the virtual ID.
+	rec2 := httptest.NewRecorder()
+	g.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID+"/result", nil))
+	if rec2.Code != http.StatusOK || !bytes.Equal(rec2.Body.Bytes(), resultBody) {
+		t.Errorf("virtual result = %d %q, want 200 %q", rec2.Code, rec2.Body.String(), resultBody)
+	}
+	rec3 := httptest.NewRecorder()
+	g.ServeHTTP(rec3, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID, nil))
+	if rec3.Code != http.StatusOK {
+		t.Errorf("virtual status = %d", rec3.Code)
+	}
+	rec4 := httptest.NewRecorder()
+	g.ServeHTTP(rec4, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID+"/events", nil))
+	if rec4.Code != http.StatusOK || !strings.Contains(rec4.Body.String(), "event: state") {
+		t.Errorf("virtual events = %d %q, want a state frame", rec4.Code, rec4.Body.String())
+	}
+}
+
+// TestGatewayPassThrough4xx: a backend's definitive answer (429 with
+// Retry-After, 400) passes through untouched — the gateway must not turn
+// client errors into failovers.
+func TestGatewayPassThrough4xx(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1")}
+	g := testGateway(t, fakes, nil)
+
+	for _, f := range fakes {
+		f.submitStatus.Store(http.StatusTooManyRequests)
+	}
+	rec, _ := submitSpec(t, g, spec(1))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429 passed through", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "7" {
+		t.Errorf("Retry-After = %q, want the backend's own hint", rec.Header().Get("Retry-After"))
+	}
+	total := fakes[0].submits.Load() + fakes[1].submits.Load()
+	if total != 1 {
+		t.Errorf("backends saw %d submits, want exactly 1 (no failover on 4xx)", total)
+	}
+}
+
+// TestGatewayRejectsBadSpecLocally: a malformed spec is answered 400 by the
+// gateway itself; no backend sees it.
+func TestGatewayRejectsBadSpecLocally(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1")}
+	g := testGateway(t, fakes, nil)
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/jobs",
+		strings.NewReader(`{"bench":"radix","bogus_field":1}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", rec.Code)
+	}
+	if n := fakes[0].submits.Load() + fakes[1].submits.Load(); n != 0 {
+		t.Errorf("backends saw %d submits for an invalid spec", n)
+	}
+}
+
+// TestGatewayNoBackend: with every node down, submission answers 503 with
+// Retry-After instead of hanging or 502-ing.
+func TestGatewayNoBackend(t *testing.T) {
+	f := newFakeNode(t, "n0")
+	g := testGateway(t, []*fakeNode{f}, nil)
+	g.nodes[0].mu.Lock()
+	g.nodes[0].state = nodeDown
+	g.nodes[0].cooldownUntil = time.Now().Add(time.Hour)
+	g.nodes[0].mu.Unlock()
+
+	rec, _ := submitSpec(t, g, spec(1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if g.noBackend.Load() != 1 {
+		t.Errorf("noBackend = %d, want 1", g.noBackend.Load())
+	}
+}
+
+// TestGatewayRoutedCalls: namespaced IDs route to their owner with the ID
+// rewritten back; unknown and unroutable IDs 404; a down owner 502s.
+func TestGatewayRoutedCalls(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1")}
+	g := testGateway(t, fakes, nil)
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/n1:j-000042", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	var st service.JobStatus
+	json.Unmarshal(rec.Body.Bytes(), &st)
+	if st.ID != "n1:j-000042" {
+		t.Errorf("status ID = %q, want rewritten n1:j-000042", st.ID)
+	}
+
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/n1:j-000042/result", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"node":"n1"`) {
+		t.Errorf("result = %d %q, want n1's document", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/nope:j-1", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown node: HTTP %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/unprefixed", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unprefixed ID: HTTP %d, want 404", rec.Code)
+	}
+
+	for _, n := range g.nodes {
+		if n.name == "n1" {
+			n.mu.Lock()
+			n.state = nodeDown
+			n.mu.Unlock()
+		}
+	}
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/n1:j-000042", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Errorf("down owner: HTTP %d, want 502", rec.Code)
+	}
+}
+
+// TestGatewayEventsProxy: the SSE stream passes through with the terminal
+// state event's job ID rewritten into gateway namespace and progress frames
+// untouched.
+func TestGatewayEventsProxy(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1")}
+	g := testGateway(t, fakes, nil)
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/n0:j-000007/events", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "event: progress") || !strings.Contains(body, `{"cycle":5}`) {
+		t.Errorf("progress frame missing or altered: %q", body)
+	}
+	if !strings.Contains(body, `"id":"n0:j-000007"`) {
+		t.Errorf("state event ID not rewritten: %q", body)
+	}
+}
+
+// TestGatewayDrainingExcludedFromCompute: a draining node takes no new
+// compute but still answers cache reads — drain must be invisible to
+// clients.
+func TestGatewayDrainingExcludedFromCompute(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1"), newFakeNode(t, "n2")}
+	g := testGateway(t, fakes, nil)
+
+	sp := spec(1)
+	key, _ := sp.CacheKey()
+	primary := g.Candidates(key)[0]
+	var drained *fakeNode
+	for _, f := range fakes {
+		if f.name == primary {
+			drained = f
+		}
+	}
+	drained.healthState.Store("draining")
+	drained.cache[key] = []byte(`{"from":"draining node"}`)
+	g.probeAll()
+
+	// Its cached result is still reachable cluster-wide...
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/cache/"+key, nil))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Tsoper-Node") != primary {
+		t.Errorf("cache read = %d via %q, want 200 via %s", rec.Code, rec.Header().Get("X-Tsoper-Node"), primary)
+	}
+	// ...and in fact a submission for that key is served from its cache.
+	recSub, st := submitSpec(t, g, sp)
+	if recSub.Code != http.StatusOK || !st.CacheHit {
+		t.Fatalf("submission during drain = %d %+v, want cache fill", recSub.Code, st)
+	}
+	if drained.submits.Load() != 0 {
+		t.Error("draining node received compute")
+	}
+	// A different key (not cached anywhere) must route around the drained
+	// node entirely.
+	sp2 := spec(2)
+	rec2, st2 := submitSpec(t, g, sp2)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec2.Code, rec2.Body.String())
+	}
+	if strings.HasPrefix(st2.ID, primary+":") {
+		t.Errorf("job %q landed on draining node %s", st2.ID, primary)
+	}
+	if drained.submits.Load() != 0 {
+		t.Error("draining node received compute for rerouted key")
+	}
+}
+
+// TestGatewayHealthAndMetrics: the documents reflect node states and
+// routing counters.
+func TestGatewayHealthAndMetrics(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1"), newFakeNode(t, "n2")}
+	g := testGateway(t, fakes, nil)
+	fakes[1].healthState.Store("draining")
+	g.probeAll()
+
+	h := g.Health()
+	if h.Up != 2 || h.Draining != 1 || h.Down != 0 {
+		t.Errorf("health = %+v, want up 2 / draining 1 / down 0", h)
+	}
+
+	submitSpec(t, g, spec(1))
+	m := g.Metrics(context.Background(), false)
+	if m.Submitted != 1 {
+		t.Errorf("submitted = %d, want 1", m.Submitted)
+	}
+	if len(m.Nodes) != 3 {
+		t.Fatalf("metrics rows = %d, want 3", len(m.Nodes))
+	}
+	var routed uint64
+	for _, ns := range m.Nodes {
+		routed += ns.Routed
+	}
+	if routed != 1 {
+		t.Errorf("total routed = %d, want 1", routed)
+	}
+}
+
+// TestVirtualRingBounded: the gateway retains at most Retained virtual
+// jobs; the oldest fall off and 404 afterwards.
+func TestVirtualRingBounded(t *testing.T) {
+	f := newFakeNode(t, "n0")
+	g := testGateway(t, []*fakeNode{f}, func(c *Config) { c.Retained = 2 })
+
+	ids := make([]string, 3)
+	for i := range ids {
+		st := g.retainVirtual(spec(int64(i)), fmt.Sprintf("key-%d", i), []byte("{}"))
+		ids[i] = st.ID
+	}
+	if g.virtualLookup(ids[0]) != nil {
+		t.Error("oldest virtual job should have been evicted")
+	}
+	if g.virtualLookup(ids[1]) == nil || g.virtualLookup(ids[2]) == nil {
+		t.Error("recent virtual jobs must be retained")
+	}
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/jobs/"+ids[0], nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("evicted virtual job: HTTP %d, want 404", rec.Code)
+	}
+}
+
+// TestGatewaySubmitExhaustsAttempts: every candidate failing persistently
+// ends in a 502 after MaxAttempts, not an infinite loop.
+func TestGatewaySubmitExhaustsAttempts(t *testing.T) {
+	fakes := []*fakeNode{newFakeNode(t, "n0"), newFakeNode(t, "n1")}
+	// High threshold so the breaker never converts failures into "no
+	// backend" — this test wants the attempts-exhausted path.
+	g := testGateway(t, fakes, func(c *Config) { c.FailThreshold = 100 })
+	for _, f := range fakes {
+		f.submitStatus.Store(http.StatusInternalServerError)
+	}
+	rec, _ := submitSpec(t, g, spec(1))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("HTTP %d, want 502 after exhausting attempts", rec.Code)
+	}
+	total := fakes[0].submits.Load() + fakes[1].submits.Load()
+	if total != int32(g.cfg.MaxAttempts) {
+		t.Errorf("backends saw %d submits, want MaxAttempts = %d", total, g.cfg.MaxAttempts)
+	}
+}
+

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// nodeState is a backend's position in the gateway's eyes.
+type nodeState uint32
+
+const (
+	// nodeUp takes compute and cache reads.
+	nodeUp nodeState = iota
+	// nodeDraining is alive but refusing new compute: it still serves cache
+	// reads and finishes accepted jobs, so it stays a cache-fill peer while
+	// compute routes elsewhere.
+	nodeDraining
+	// nodeDown is unreachable (breaker tripped); it is re-probed only after
+	// its cooldown expires, and re-admitted only by a successful probe.
+	nodeDown
+)
+
+func (s nodeState) String() string {
+	switch s {
+	case nodeUp:
+		return "up"
+	case nodeDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
+// node is the gateway's view of one backend: a tiny per-node circuit
+// breaker fed by both health probes and live request outcomes, plus
+// routing counters. The cooldown ladder is exponential — each breaker trip
+// doubles the wait before re-admission, and a successful re-admission
+// halves the ladder instead of resetting it, so a flapping node earns
+// progressively longer exile while a once-unlucky one recovers fast.
+type node struct {
+	name string
+	base string
+
+	mu            sync.Mutex
+	state         nodeState
+	consecFails   int
+	downEpisodes  int
+	cooldownUntil time.Time
+
+	routed      atomic.Uint64 // compute submissions routed here
+	cacheServed atomic.Uint64 // gateway cache reads this node answered
+	failures    atomic.Uint64 // probe + request failures observed
+}
+
+func newNode(b Backend, _ Config) *node {
+	return &node{name: b.Name, base: b.URL}
+}
+
+func (n *node) snapshotState() nodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+func (n *node) computeEligible() bool { return n.snapshotState() == nodeUp }
+
+func (n *node) cacheEligible() bool { return n.snapshotState() != nodeDown }
+
+// probeDue reports whether the prober should contact the node now: always,
+// unless it is down and still cooling off.
+func (n *node) probeDue(now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state != nodeDown || !now.Before(n.cooldownUntil)
+}
+
+// markFailure records one failed probe or proxied request. Crossing the
+// threshold trips the breaker: the node goes down and will not be probed
+// again until an exponentially growing cooldown expires.
+func (n *node) markFailure(cfg Config, now time.Time) {
+	n.failures.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.consecFails++
+	if n.state != nodeDown && n.consecFails >= cfg.FailThreshold {
+		n.state = nodeDown
+		n.cooldownUntil = now.Add(n.cooldownLocked(cfg))
+		n.downEpisodes++
+	}
+}
+
+// cooldownLocked is the current rung of the ladder: base << episodes,
+// capped.
+func (n *node) cooldownLocked(cfg Config) time.Duration {
+	shift := n.downEpisodes
+	if shift > 16 {
+		shift = 16
+	}
+	d := cfg.CooldownBase << shift
+	if d > cfg.CooldownMax || d <= 0 {
+		d = cfg.CooldownMax
+	}
+	return d
+}
+
+// markUp re-admits the node after a healthy probe, halving (not resetting)
+// the cooldown ladder.
+func (n *node) markUp() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state = nodeUp
+	n.consecFails = 0
+	n.downEpisodes /= 2
+	n.cooldownUntil = time.Time{}
+}
+
+// markDraining records an alive-but-draining probe or a 503 answer; the
+// node responded, so the failure streak resets.
+func (n *node) markDraining() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != nodeDown {
+		n.state = nodeDraining
+	}
+	n.consecFails = 0
+}
+
+// markSuccess records a successful proxied request, clearing the failure
+// streak without touching state (only probes re-admit a down node).
+func (n *node) markSuccess() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.consecFails = 0
+}
+
+// cooldownRemaining is how much exile is left (zero unless down).
+func (n *node) cooldownRemaining(now time.Time) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state != nodeDown || now.After(n.cooldownUntil) {
+		return 0
+	}
+	return n.cooldownUntil.Sub(now)
+}
+
+// probeAll runs one concurrent health-check round over all due nodes.
+func (g *Gateway) probeAll() {
+	now := time.Now()
+	var wg sync.WaitGroup
+	for _, n := range g.nodes {
+		if !n.probeDue(now) {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			g.probeNode(n)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// probeNode asks one node for its health document and feeds the breaker.
+func (g *Gateway) probeNode(n *node) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	hs, err := g.nodeClient(n).Health(ctx)
+	switch {
+	case err != nil:
+		n.markFailure(g.cfg, time.Now())
+	case hs.State == "draining":
+		n.markDraining()
+	default:
+		n.markUp()
+	}
+}

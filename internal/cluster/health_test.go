@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func breakerCfg() Config {
+	return Config{
+		FailThreshold: 3,
+		CooldownBase:  100 * time.Millisecond,
+		CooldownMax:   time.Second,
+	}
+}
+
+// TestBreakerThreshold: failures below the threshold keep the node up; the
+// threshold-th consecutive failure trips it down with a cooldown.
+func TestBreakerThreshold(t *testing.T) {
+	cfg := breakerCfg()
+	n := newNode(Backend{Name: "n0", URL: "http://n0"}, cfg)
+	now := time.Now()
+
+	n.markFailure(cfg, now)
+	n.markFailure(cfg, now)
+	if got := n.snapshotState(); got != nodeUp {
+		t.Fatalf("state after 2 failures = %s, want up", got)
+	}
+	n.markFailure(cfg, now)
+	if got := n.snapshotState(); got != nodeDown {
+		t.Fatalf("state after 3 failures = %s, want down", got)
+	}
+	if rem := n.cooldownRemaining(now); rem <= 0 || rem > cfg.CooldownBase {
+		t.Errorf("cooldown remaining = %s, want in (0, %s]", rem, cfg.CooldownBase)
+	}
+	if n.failures.Load() != 3 {
+		t.Errorf("failure counter = %d, want 3", n.failures.Load())
+	}
+}
+
+// TestBreakerStreakReset: a success between failures resets the streak, so
+// intermittent single failures never trip the breaker.
+func TestBreakerStreakReset(t *testing.T) {
+	cfg := breakerCfg()
+	n := newNode(Backend{Name: "n0", URL: "http://n0"}, cfg)
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		n.markFailure(cfg, now)
+		n.markFailure(cfg, now)
+		n.markSuccess()
+	}
+	if got := n.snapshotState(); got != nodeUp {
+		t.Fatalf("state = %s, want up (streak should reset on success)", got)
+	}
+}
+
+// TestCooldownLadder: each breaker trip doubles the cooldown (capped), and
+// re-admission halves the ladder instead of resetting it — a flapping node
+// earns progressively longer exile.
+func TestCooldownLadder(t *testing.T) {
+	cfg := breakerCfg()
+	n := newNode(Backend{Name: "n0", URL: "http://n0"}, cfg)
+	now := time.Now()
+
+	trip := func() time.Duration {
+		for i := 0; i < cfg.FailThreshold; i++ {
+			n.markFailure(cfg, now)
+		}
+		return n.cooldownRemaining(now)
+	}
+
+	first := trip()
+	if first != cfg.CooldownBase {
+		t.Fatalf("first cooldown = %s, want %s", first, cfg.CooldownBase)
+	}
+	n.markUp() // one episode, halved to zero: full recovery
+	second := trip()
+	if second != cfg.CooldownBase {
+		t.Fatalf("cooldown after full recovery = %s, want base %s", second, cfg.CooldownBase)
+	}
+	// Flap: trip, recover, trip, recover... without halving catching up.
+	n.markUp()
+	trip()
+	n.mu.Lock()
+	n.state = nodeUp // re-admit WITHOUT markUp's halving, simulating back-to-back trips
+	n.mu.Unlock()
+	third := trip()
+	if third <= second {
+		t.Fatalf("cooldown after repeated trips = %s, want > %s (ladder must grow)", third, second)
+	}
+
+	// The ladder never exceeds the cap.
+	for i := 0; i < 10; i++ {
+		n.mu.Lock()
+		n.state = nodeUp
+		n.mu.Unlock()
+		if d := trip(); d > cfg.CooldownMax {
+			t.Fatalf("cooldown %s exceeds cap %s", d, cfg.CooldownMax)
+		}
+	}
+}
+
+// TestMarkUpHalvesEpisodes: recovery halves the ladder, so a once-unlucky
+// node gets back to short cooldowns after a couple of clean probes.
+func TestMarkUpHalvesEpisodes(t *testing.T) {
+	cfg := breakerCfg()
+	n := newNode(Backend{Name: "n0", URL: "http://n0"}, cfg)
+	n.mu.Lock()
+	n.downEpisodes = 8
+	n.mu.Unlock()
+	n.markUp()
+	n.mu.Lock()
+	got := n.downEpisodes
+	n.mu.Unlock()
+	if got != 4 {
+		t.Fatalf("episodes after markUp = %d, want 4 (halved, not reset)", got)
+	}
+	if n.snapshotState() != nodeUp {
+		t.Fatal("markUp must re-admit the node")
+	}
+}
+
+// TestDrainingTransitions: draining is an alive state — it resets the
+// failure streak, never resurrects a down node, and excludes the node from
+// compute but not cache eligibility.
+func TestDrainingTransitions(t *testing.T) {
+	cfg := breakerCfg()
+	n := newNode(Backend{Name: "n0", URL: "http://n0"}, cfg)
+
+	n.markFailure(cfg, time.Now())
+	n.markFailure(cfg, time.Now())
+	n.markDraining()
+	if got := n.snapshotState(); got != nodeDraining {
+		t.Fatalf("state = %s, want draining", got)
+	}
+	if n.computeEligible() {
+		t.Error("draining node must not take compute")
+	}
+	if !n.cacheEligible() {
+		t.Error("draining node must still serve cache reads")
+	}
+	// The 503 answer proved the node alive, so the streak restarts: it takes
+	// a full threshold of fresh failures to go down.
+	n.markFailure(cfg, time.Now())
+	n.markFailure(cfg, time.Now())
+	if n.snapshotState() != nodeDraining {
+		t.Fatal("two failures after draining must not trip the breaker")
+	}
+	n.markFailure(cfg, time.Now())
+	if n.snapshotState() != nodeDown {
+		t.Fatal("threshold failures after draining must trip the breaker")
+	}
+	if n.cacheEligible() {
+		t.Error("down node must not serve cache reads")
+	}
+	// markDraining on a down node is a no-op: only a successful probe
+	// re-admits.
+	n.markDraining()
+	if n.snapshotState() != nodeDown {
+		t.Fatal("markDraining must not resurrect a down node")
+	}
+}
+
+// TestProbeDue: up and draining nodes are always due; a down node is due
+// only once its cooldown expires.
+func TestProbeDue(t *testing.T) {
+	cfg := breakerCfg()
+	n := newNode(Backend{Name: "n0", URL: "http://n0"}, cfg)
+	now := time.Now()
+	if !n.probeDue(now) {
+		t.Fatal("up node must always be probe-due")
+	}
+	for i := 0; i < cfg.FailThreshold; i++ {
+		n.markFailure(cfg, now)
+	}
+	if n.probeDue(now) {
+		t.Fatal("freshly down node must cool off before re-probe")
+	}
+	if !n.probeDue(now.Add(cfg.CooldownBase + time.Millisecond)) {
+		t.Fatal("down node must be probe-due after its cooldown")
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/service"
+)
+
+// NodeStatus is one backend's row in the cluster Metrics document.
+type NodeStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+	// ConsecutiveFails is the breaker's current streak;
+	// CooldownRemainingMS is the exile left before a down node is re-probed.
+	ConsecutiveFails    int     `json:"consecutive_fails,omitempty"`
+	CooldownRemainingMS float64 `json:"cooldown_remaining_ms,omitempty"`
+	// Routed counts compute submissions placed here; CacheServed counts
+	// gateway cache reads this node answered; Failures counts probe and
+	// request failures observed.
+	Routed      uint64 `json:"routed"`
+	CacheServed uint64 `json:"cache_served"`
+	Failures    uint64 `json:"failures"`
+	// Backend is the node's own /metrics snapshot, fetched live; nil when
+	// the node is unreachable or backend detail was not requested.
+	Backend *service.MetricsSnapshot `json:"backend,omitempty"`
+}
+
+// Health is the gateway's /healthz document.
+type Health struct {
+	Node     string `json:"node"`
+	State    string `json:"state"`
+	Up       int    `json:"up"`
+	Draining int    `json:"draining"`
+	Down     int    `json:"down"`
+}
+
+// Metrics is the gateway's /metrics document: cluster-level routing
+// counters plus one row per backend. tsoper-load's -cluster mode decodes
+// this to report per-node throughput and failover counts.
+type Metrics struct {
+	Submitted uint64 `json:"submitted"`
+	// CacheFills counts submissions answered from some node's cache without
+	// placing compute; PeerFills is the subset where the serving node was
+	// not the routing primary — result bytes that crossed shards.
+	CacheFills uint64 `json:"cache_fills"`
+	PeerFills  uint64 `json:"peer_fills"`
+	// Failovers counts submission attempts that had to move to another
+	// candidate (node error, timeout, or drain refusal).
+	Failovers uint64 `json:"failovers"`
+	// NoBackend counts submissions rejected because no healthy compute
+	// candidate existed.
+	NoBackend uint64 `json:"no_backend"`
+	// Retained is the current count of gateway-served virtual jobs.
+	Retained int          `json:"retained"`
+	Nodes    []NodeStatus `json:"nodes"`
+}
+
+// Health summarizes backend states for the gateway's own health endpoint.
+func (g *Gateway) Health() Health {
+	h := Health{Node: "gateway", State: "ok"}
+	for _, n := range g.nodes {
+		switch n.snapshotState() {
+		case nodeUp:
+			h.Up++
+		case nodeDraining:
+			h.Draining++
+		default:
+			h.Down++
+		}
+	}
+	return h
+}
+
+// Metrics snapshots the gateway counters and per-node stats. With
+// includeBackends, each live node's own metrics document is fetched and
+// embedded (bounded by ProbeTimeout per node).
+func (g *Gateway) Metrics(ctx context.Context, includeBackends bool) Metrics {
+	g.vmu.Lock()
+	retained := len(g.vorder)
+	g.vmu.Unlock()
+	m := Metrics{
+		Submitted:  g.submitted.Load(),
+		CacheFills: g.cacheFills.Load(),
+		PeerFills:  g.peerFills.Load(),
+		Failovers:  g.failovers.Load(),
+		NoBackend:  g.noBackend.Load(),
+		Retained:   retained,
+	}
+	now := time.Now()
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		consec := n.consecFails
+		n.mu.Unlock()
+		ns := NodeStatus{
+			Name:                n.name,
+			URL:                 n.base,
+			State:               n.snapshotState().String(),
+			ConsecutiveFails:    consec,
+			CooldownRemainingMS: float64(n.cooldownRemaining(now)) / float64(time.Millisecond),
+			Routed:              n.routed.Load(),
+			CacheServed:         n.cacheServed.Load(),
+			Failures:            n.failures.Load(),
+		}
+		if includeBackends && n.snapshotState() != nodeDown {
+			cctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+			if snap, err := g.nodeClient(n).Metrics(cctx); err == nil {
+				ns.Backend = &snap
+			}
+			cancel()
+		}
+		m.Nodes = append(m.Nodes, ns)
+	}
+	return m
+}

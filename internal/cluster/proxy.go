@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// The gateway exposes the same surface as one tsoper-serve node, so every
+// existing client (typed or curl) is cluster-ready unchanged:
+//
+//	POST   /v1/jobs             route by content address; peer cache-fill,
+//	                            then failover submission across candidates
+//	GET    /v1/jobs/{id}        forwarded to the owning node (IDs carry a
+//	                            "node:" prefix; "gw:" IDs are served locally)
+//	GET    /v1/jobs/{id}/result raw pass-through from the owner
+//	GET    /v1/jobs/{id}/events SSE proxy (state-event IDs rewritten)
+//	DELETE /v1/jobs/{id}        forwarded cancel
+//	GET    /v1/cache/{hash}     cluster-wide cache read (first candidate hit)
+//	GET    /healthz             gateway health + backend state counts
+//	GET    /metrics             cluster Metrics document
+func (g *Gateway) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
+	mux.HandleFunc("GET /v1/cache/{hash}", g.handleCacheGet)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// ServeHTTP implements http.Handler on the gateway.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is the routing core. The spec is validated and
+// content-addressed at the gateway (bad specs never touch a backend), the
+// replica candidates' caches are consulted first, and only then is compute
+// placed — with failover and backoff if the primary refuses or dies
+// mid-request.
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading job spec: %v", err)
+		return
+	}
+	var spec service.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g.submitted.Add(1)
+
+	// Peer cache-fill: every replica candidate that can serve reads —
+	// draining nodes included — may already hold the result. Serving it
+	// from here costs one small GET instead of a simulation.
+	readCands := topK(g.nodes, key, g.cfg.Replicas, (*node).cacheEligible)
+	for i, n := range readCands {
+		body, ok := g.cacheProbe(n, key)
+		if !ok {
+			continue
+		}
+		n.cacheServed.Add(1)
+		g.cacheFills.Add(1)
+		if i > 0 {
+			g.peerFills.Add(1)
+		}
+		writeJSON(w, http.StatusOK, g.retainVirtual(spec, key, body))
+		return
+	}
+
+	// Compute placement with transparent failover. The candidate list is
+	// recomputed every attempt: a breaker trip mid-loop changes eligibility.
+	for attempt := 0; ; attempt++ {
+		cands := topK(g.nodes, key, g.cfg.Replicas, (*node).computeEligible)
+		if len(cands) == 0 {
+			g.noBackend.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "no healthy backend for key %s", key)
+			return
+		}
+		n := cands[attempt%len(cands)]
+		status, hdr, body, err := g.forward(r.Context(), n, http.MethodPost, "/v1/jobs", raw)
+		switch {
+		case err == nil && status < http.StatusInternalServerError:
+			n.markSuccess()
+			n.routed.Add(1)
+			if status == http.StatusOK || status == http.StatusAccepted {
+				var st service.JobStatus
+				if jerr := json.Unmarshal(body, &st); jerr == nil && st.ID != "" {
+					st.ID = n.name + ":" + st.ID
+					writeJSON(w, status, st)
+					return
+				}
+			}
+			// Pass 4xx through untouched (bad spec, queue-full 429 with its
+			// Retry-After, over-budget body).
+			passThrough(w, status, hdr, body)
+			return
+		case err == nil && status == http.StatusServiceUnavailable:
+			// Alive but refusing: the node started draining since the last
+			// probe. Not a breaker event — just reroute.
+			n.markDraining()
+		default:
+			// Transport error, timeout, or 5xx: feed the breaker.
+			n.markFailure(g.cfg, time.Now())
+		}
+		g.failovers.Add(1)
+		if attempt+1 >= g.cfg.MaxAttempts {
+			writeError(w, http.StatusBadGateway,
+				"submission failed after %d attempts (last node %s): %v", attempt+1, n.name, err)
+			return
+		}
+		select {
+		case <-time.After(g.backoff(attempt + 1)):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// cacheProbe asks one node's cache-read endpoint for a content address.
+func (g *Gateway) cacheProbe(n *node, key string) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeTimeout)
+	defer cancel()
+	body, ok, err := g.nodeClient(n).CacheGet(ctx, key)
+	if err != nil {
+		// A cache probe is opportunistic; its failure feeds the breaker but
+		// never fails the submission.
+		n.markFailure(g.cfg, time.Now())
+		return nil, false
+	}
+	return body, ok
+}
+
+// forward proxies one bounded call to a node and returns the response
+// wholesale.
+func (g *Gateway) forward(ctx context.Context, n *node, method, path string, body []byte) (int, http.Header, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, n.base+path, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, raw, nil
+}
+
+func passThrough(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	for _, k := range []string{"Content-Type", "Retry-After", "X-Tsoper-Key", "X-Tsoper-Cache"} {
+		if v := hdr.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// route splits a namespaced job ID into its owning node and the node-local
+// ID.
+func (g *Gateway) route(id string) (*node, string, bool) {
+	name, local, ok := strings.Cut(id, ":")
+	if !ok {
+		return nil, "", false
+	}
+	for _, n := range g.nodes {
+		if n.name == name {
+			return n, local, true
+		}
+	}
+	return nil, "", false
+}
+
+// routedCall forwards a job-scoped request to its owning node, answering
+// 404 for unroutable IDs and 502 for a down owner — the latter tells a
+// retrying client the job record is unreachable and resubmission is the
+// way forward (safe, because results are deterministic).
+func (g *Gateway) routedCall(w http.ResponseWriter, r *http.Request, method, suffix string, rewriteID bool) {
+	id := r.PathValue("id")
+	n, local, ok := g.route(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if n.snapshotState() == nodeDown {
+		writeError(w, http.StatusBadGateway, "node %s holding job %s is down", n.name, id)
+		return
+	}
+	status, hdr, body, err := g.forward(r.Context(), n, method, "/v1/jobs/"+local+suffix, nil)
+	if err != nil {
+		n.markFailure(g.cfg, time.Now())
+		writeError(w, http.StatusBadGateway, "node %s: %v", n.name, err)
+		return
+	}
+	n.markSuccess()
+	if rewriteID && status < http.StatusMultipleChoices {
+		var st service.JobStatus
+		if jerr := json.Unmarshal(body, &st); jerr == nil && st.ID != "" {
+			st.ID = n.name + ":" + st.ID
+			writeJSON(w, status, st)
+			return
+		}
+	}
+	passThrough(w, status, hdr, body)
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if vj := g.virtualLookup(r.PathValue("id")); vj != nil {
+		writeJSON(w, http.StatusOK, vj.status)
+		return
+	}
+	g.routedCall(w, r, http.MethodGet, "", true)
+}
+
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	if vj := g.virtualLookup(r.PathValue("id")); vj != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Tsoper-Key", vj.status.Key)
+		w.Header().Set("X-Tsoper-Cache", "hit")
+		_, _ = w.Write(vj.body)
+		return
+	}
+	g.routedCall(w, r, http.MethodGet, "/result", false)
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if vj := g.virtualLookup(r.PathValue("id")); vj != nil {
+		// Mirrors a node's answer for an already-terminal job.
+		writeJSON(w, http.StatusOK, vj.status)
+		return
+	}
+	g.routedCall(w, r, http.MethodDelete, "", true)
+}
+
+// handleEvents proxies a job's SSE stream from its owning node,
+// re-emitting frames as they arrive and rewriting the terminal state
+// event's job ID into gateway namespace. A virtual job's stream is just
+// its terminal state.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if vj := g.virtualLookup(id); vj != nil {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		data, _ := json.Marshal(vj.status)
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+		return
+	}
+	n, local, ok := g.route(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if n.snapshotState() == nodeDown {
+		writeError(w, http.StatusBadGateway, "node %s holding job %s is down", n.name, id)
+		return
+	}
+	// Streams outlive RequestTimeout by design; the client's context is the
+	// only bound.
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, n.base+"/v1/jobs/"+local+"/events", nil)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "node %s: %v", n.name, err)
+		return
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		n.markFailure(g.cfg, time.Now())
+		writeError(w, http.StatusBadGateway, "node %s: %v", n.name, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		passThrough(w, resp.StatusCode, resp.Header, raw)
+		return
+	}
+	n.markSuccess()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "state":
+			// Rewrite the terminal status into gateway ID space so a client
+			// can keep using the ID it was handed.
+			var st service.JobStatus
+			if jerr := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); jerr == nil && st.ID != "" {
+				st.ID = n.name + ":" + st.ID
+				data, _ := json.Marshal(st)
+				line = "data: " + string(data)
+			}
+		case line == "":
+			event = ""
+		}
+		fmt.Fprintln(w, line)
+		if line == "" && canFlush {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleCacheGet is the cluster-wide cache read: the first replica
+// candidate holding the content address answers.
+func (g *Gateway) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	for _, n := range topK(g.nodes, key, g.cfg.Replicas, (*node).cacheEligible) {
+		if body, ok := g.cacheProbe(n, key); ok {
+			n.cacheServed.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Tsoper-Key", key)
+			w.Header().Set("X-Tsoper-Cache", "hit")
+			w.Header().Set("X-Tsoper-Node", n.name)
+			_, _ = w.Write(body)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no cached result for %s", key)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.Health())
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	includeBackends := r.URL.Query().Get("backends") != "0"
+	writeJSON(w, http.StatusOK, g.Metrics(r.Context(), includeBackends))
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing: every node scores every key
+// independently, and a key's replica candidates are the top-K scorers
+// among eligible nodes. Unlike a token ring there is nothing to rebalance:
+// when a node leaves, exactly the keys it scored highest fall to their
+// next-best candidate, and every other key's routing is untouched — which
+// is what makes health-driven eligibility changes cheap.
+
+// score is FNV-1a over (node name, NUL, key). Deterministic across
+// processes, so gateway restarts and multiple gateway replicas route
+// identically.
+func score(name, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	_, _ = h.Write([]byte{0})
+	_, _ = io.WriteString(h, key)
+	return h.Sum64()
+}
+
+// topK returns up to k eligible nodes ordered by descending score for key,
+// ties broken by name so the order is total and deterministic.
+func topK(nodes []*node, key string, k int, eligible func(*node) bool) []*node {
+	cands := make([]*node, 0, len(nodes))
+	for _, n := range nodes {
+		if eligible(n) {
+			cands = append(cands, n)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		si, sj := score(cands[i].name, key), score(cands[j].name, key)
+		if si != sj {
+			return si > sj
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func roster(names ...string) []*node {
+	out := make([]*node, len(names))
+	for i, n := range names {
+		out[i] = &node{name: n, base: "http://" + n}
+	}
+	return out
+}
+
+func all(*node) bool { return true }
+
+// TestTopKDeterministic: same inputs, same candidate order — routing must
+// be identical across gateway restarts and replicas.
+func TestTopKDeterministic(t *testing.T) {
+	nodes := roster("n0", "n1", "n2", "n3", "n4")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("sha256:%04d", i)
+		a, b := topK(nodes, key, 3, all), topK(nodes, key, 3, all)
+		if len(a) != 3 || len(b) != 3 {
+			t.Fatalf("key %s: got %d/%d candidates, want 3", key, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].name != b[j].name {
+				t.Fatalf("key %s: candidate %d differs: %s vs %s", key, j, a[j].name, b[j].name)
+			}
+		}
+	}
+}
+
+// TestTopKBalance: with many keys, every node is primary for a roughly
+// fair share — no node starves and none dominates.
+func TestTopKBalance(t *testing.T) {
+	nodes := roster("n0", "n1", "n2", "n3", "n4")
+	const keys = 5000
+	counts := make(map[string]int)
+	for i := 0; i < keys; i++ {
+		primary := topK(nodes, fmt.Sprintf("sha256:%06d", i), 1, all)[0]
+		counts[primary.name]++
+	}
+	want := keys / len(nodes)
+	for name, got := range counts {
+		// ±40% of the fair share is generous for 5000 draws; real FNV-1a
+		// lands much closer.
+		if got < want*6/10 || got > want*14/10 {
+			t.Errorf("node %s is primary for %d keys, want within [%d, %d]", name, got, want*6/10, want*14/10)
+		}
+	}
+}
+
+// TestTopKRemovalStability is the property that makes rendezvous routing
+// cheap under churn: dropping one node remaps only the keys it owned; every
+// other key keeps its primary.
+func TestTopKRemovalStability(t *testing.T) {
+	full := roster("n0", "n1", "n2", "n3", "n4")
+	without := full[:4] // drop n4
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("sha256:%06d", i)
+		before := topK(full, key, 1, all)[0].name
+		after := topK(without, key, 1, all)[0].name
+		if before == "n4" {
+			moved++
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s -> %s though its primary survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("n4 was primary for zero keys — balance test should have caught this")
+	}
+}
+
+// TestTopKEligibility: ineligible nodes never appear, and the next-best
+// candidate takes over.
+func TestTopKEligibility(t *testing.T) {
+	nodes := roster("n0", "n1", "n2")
+	key := "sha256:abc"
+	fullOrder := topK(nodes, key, 3, all)
+	excluded := fullOrder[0].name
+	got := topK(nodes, key, 3, func(n *node) bool { return n.name != excluded })
+	if len(got) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(got))
+	}
+	for _, n := range got {
+		if n.name == excluded {
+			t.Fatalf("ineligible node %s returned", excluded)
+		}
+	}
+	if got[0].name != fullOrder[1].name {
+		t.Errorf("new primary = %s, want previous runner-up %s", got[0].name, fullOrder[1].name)
+	}
+}
+
+// TestTopKFewerThanK: asking for more candidates than exist returns them
+// all, still ordered.
+func TestTopKFewerThanK(t *testing.T) {
+	nodes := roster("n0", "n1")
+	got := topK(nodes, "sha256:xyz", 5, all)
+	if len(got) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(got))
+	}
+	if got[0].name == got[1].name {
+		t.Fatal("duplicate candidate")
+	}
+	if topK(nil, "sha256:xyz", 5, all) != nil && len(topK(nil, "sha256:xyz", 5, all)) != 0 {
+		t.Fatal("empty roster must yield no candidates")
+	}
+}

@@ -11,10 +11,11 @@ import (
 // is byte-identical to what re-running the job would produce — the cache
 // is sound, not heuristic. Bounded LRU keeps residency predictable.
 type resultCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
 }
 
 type cacheEntry struct {
@@ -57,6 +58,7 @@ func (c *resultCache) Put(key string, body []byte) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -65,4 +67,11 @@ func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Evictions is the cumulative count of entries dropped by LRU pressure.
+func (c *resultCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

@@ -21,18 +21,29 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Client talks to one server. The zero HTTPClient means http.DefaultClient.
+// Client talks to one server — a tsoper-serve node or a tsoper-gateway
+// front door (the API is the same; job IDs are opaque either way). The
+// zero HTTPClient means http.DefaultClient.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
-// New creates a client for a base URL like "http://127.0.0.1:7433".
+// New creates a client for a base URL like "http://127.0.0.1:7433",
+// with DefaultRetryPolicy.
 func New(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, retry: DefaultRetryPolicy}
+}
+
+// WithRetry replaces the client's retry policy (zero fields take the
+// defaults) and returns the client for chaining.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p.withDefaults()
+	return c
 }
 
 // Base returns the server base URL the client targets.
@@ -159,20 +170,37 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 }
 
 // Wait polls until the job reaches a terminal state, then returns it.
+// Transient poll failures (connection errors, 502/503/504, 429) are
+// absorbed with the client's backoff policy rather than aborting the wait;
+// a definitive answer — including 404 for a job record that no longer
+// exists — surfaces immediately.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
 	if poll <= 0 {
 		poll = 25 * time.Millisecond
 	}
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
+	r := newRetrier(c.retry)
 	for {
 		st, err := c.Status(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			r = newRetrier(c.retry) // a successful poll resets the failure streak
+			switch st.State {
+			case "done", "failed", "canceled":
+				return st, nil
+			}
+		case transient(err):
+			wait, ok := r.next(retryAfterHint(err))
+			if !ok {
+				return st, err
+			}
+			if serr := sleepCtx(ctx, wait); serr != nil {
+				return st, serr
+			}
+			continue
+		default:
 			return st, err
-		}
-		switch st.State {
-		case "done", "failed", "canceled":
-			return st, nil
 		}
 		select {
 		case <-ticker.C:
@@ -182,39 +210,64 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (servi
 	}
 }
 
-// Run is submit-wait-result in one call: it returns the result bytes,
-// retrying submission with the server's Retry-After hint under
-// backpressure (up to ctx).
+// Run is submit-wait-result in one call, the client's whole robustness
+// story: submission retries transient failures (backpressure, node
+// unavailability, connection errors) with capped jittered backoff honoring
+// Retry-After; and if the job record is lost mid-wait — the owning node
+// died or restarted — the spec is resubmitted from scratch, which is safe
+// because the simulator recomputes byte-identical results. A deterministic
+// failure (bad spec, failed simulation) is never retried.
 func (c *Client) Run(ctx context.Context, spec service.JobSpec) ([]byte, service.JobStatus, error) {
+	r := newRetrier(c.retry)
+	backoff := func(err error) error {
+		wait, ok := r.next(retryAfterHint(err))
+		if !ok {
+			return err
+		}
+		if serr := sleepCtx(ctx, wait); serr != nil {
+			return serr
+		}
+		return nil
+	}
+	var st service.JobStatus
 	for {
-		st, err := c.Submit(ctx, spec)
+		var err error
+		st, err = c.Submit(ctx, spec)
 		if err != nil {
-			var apiErr *APIError
-			if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
-				wait := apiErr.RetryAfter
-				if wait <= 0 {
-					wait = time.Second
-				}
-				select {
-				case <-time.After(wait):
-					continue
-				case <-ctx.Done():
-					return nil, st, ctx.Err()
-				}
+			if !transient(err) {
+				return nil, st, err
 			}
-			return nil, st, err
+			if berr := backoff(err); berr != nil {
+				return nil, st, berr
+			}
+			continue
 		}
 		if st.State != "done" {
 			st, err = c.Wait(ctx, st.ID, 0)
 			if err != nil {
-				return nil, st, err
+				if !transient(err) && !lost(err) {
+					return nil, st, err
+				}
+				if berr := backoff(err); berr != nil {
+					return nil, st, berr
+				}
+				continue // resubmit: the job record is unreachable or gone
 			}
 		}
 		if st.State != "done" {
 			return nil, st, fmt.Errorf("service: job %s ended %s: %s", st.ID, st.State, st.Error)
 		}
 		body, err := c.Result(ctx, st.ID)
-		return body, st, err
+		if err != nil {
+			if !transient(err) && !lost(err) {
+				return nil, st, err
+			}
+			if berr := backoff(err); berr != nil {
+				return nil, st, berr
+			}
+			continue
+		}
+		return body, st, nil
 	}
 }
 
@@ -292,4 +345,58 @@ func (c *Client) Metrics(ctx context.Context) (service.MetricsSnapshot, error) {
 // Healthz reports server liveness; a draining server returns an error.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Health fetches the node's health document. Unlike Healthz it decodes the
+// body for both 200 (ok) and 503 (draining) — a gateway needs to tell a
+// draining node (alive, serves cache reads) from a dead one (error).
+func (c *Client) Health(ctx context.Context) (service.HealthStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return service.HealthStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return service.HealthStatus{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.HealthStatus{}, err
+	}
+	var hs service.HealthStatus
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return hs, newAPIError(resp, raw)
+	}
+	if err := json.Unmarshal(raw, &hs); err != nil {
+		return hs, fmt.Errorf("service: decoding health document: %w", err)
+	}
+	return hs, nil
+}
+
+// CacheGet fetches the cached result bytes for a content address from the
+// node's cache-read endpoint. ok=false reports a clean miss; errors are
+// reachability problems.
+func (c *Client) CacheGet(ctx context.Context, key string) (body []byte, ok bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, newAPIError(resp, raw)
+	}
 }

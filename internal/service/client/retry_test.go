@@ -1,0 +1,301 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestDelaysDeterministic pins the schedule contract: the same seed yields
+// the same jittered schedule, a different seed a different one. Chaos
+// campaigns rely on this to replay timing-sensitive failures.
+func TestDelaysDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 6, Base: 100 * time.Millisecond, Cap: 5 * time.Second, Jitter: 0.25, Seed: 42}
+	a, b := p.Delays(), p.Delays()
+	if len(a) != 5 {
+		t.Fatalf("schedule length = %d, want MaxAttempts-1 = 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs between identical policies: %s vs %s", i, a[i], b[i])
+		}
+	}
+	p.Seed = 43
+	c := p.Delays()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDelaysExponentialToCap checks the unjittered curve: doubling from
+// Base, clamped at Cap. Jitter=0 must be honored, not replaced by the
+// default (a backoff test with surprise jitter is a flaky backoff test).
+func TestDelaysExponentialToCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond, Jitter: 0, Seed: 1}
+	got := p.Delays()
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond,
+		400 * time.Millisecond,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("schedule length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("delay %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDelaysJitterBounds: every jittered delay stays within ±Jitter of the
+// nominal curve.
+func TestDelaysJitterBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.25, Seed: 7}
+	nominal := RetryPolicy{MaxAttempts: 10, Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0, Seed: 7}.Delays()
+	for i, d := range p.Delays() {
+		lo := time.Duration(float64(nominal[i]) * 0.75)
+		hi := time.Duration(float64(nominal[i]) * 1.25)
+		if d < lo || d > hi {
+			t.Errorf("delay %d = %s outside [%s, %s]", i, d, lo, hi)
+		}
+	}
+}
+
+// TestRetrierRetryAfterOverride: the server's own hint beats the computed
+// curve, and the attempt budget still counts down.
+func TestRetrierRetryAfterOverride(t *testing.T) {
+	r := newRetrier(RetryPolicy{MaxAttempts: 3, Base: time.Hour, Jitter: 0, Seed: 1})
+	d, ok := r.next(7 * time.Second)
+	if !ok || d != 7*time.Second {
+		t.Fatalf("next(7s) = %s, %v; want 7s, true", d, ok)
+	}
+	d, ok = r.next(2 * time.Second)
+	if !ok || d != 2*time.Second {
+		t.Fatalf("next(2s) = %s, %v; want 2s, true", d, ok)
+	}
+	if _, ok := r.next(time.Second); ok {
+		t.Fatal("retrier exceeded MaxAttempts")
+	}
+}
+
+// TestTransientClassification is the retry taxonomy table.
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"context canceled", context.Canceled, false},
+		{"deadline exceeded", context.DeadlineExceeded, false},
+		{"wrapped cancellation", fmt.Errorf("poll: %w", context.Canceled), false},
+		{"connection error", errors.New("dial tcp: connection refused"), true},
+		{"truncated body", io.ErrUnexpectedEOF, true},
+		{"429 backpressure", &APIError{Status: 429}, true},
+		{"502 bad gateway", &APIError{Status: 502}, true},
+		{"503 unavailable", &APIError{Status: 503}, true},
+		{"504 gateway timeout", &APIError{Status: 504}, true},
+		{"400 bad spec", &APIError{Status: 400}, false},
+		{"404 not found", &APIError{Status: 404}, false},
+		{"409 conflict", &APIError{Status: 409}, false},
+		{"500 internal", &APIError{Status: 500}, false},
+	}
+	for _, tc := range cases {
+		if got := transient(tc.err); got != tc.want {
+			t.Errorf("transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestLostClassification: only 404/410 mean the job record is gone.
+func TestLostClassification(t *testing.T) {
+	if !lost(&APIError{Status: 404}) || !lost(&APIError{Status: 410}) {
+		t.Error("404/410 must classify as lost")
+	}
+	if lost(&APIError{Status: 503}) || lost(errors.New("conn refused")) || lost(nil) {
+		t.Error("non-404/410 must not classify as lost")
+	}
+}
+
+// fastRetry keeps retry tests quick without changing the schedule shape.
+var fastRetry = RetryPolicy{MaxAttempts: 4, Base: time.Millisecond, Cap: 5 * time.Millisecond, Jitter: 0, Seed: 1}
+
+// TestRunRetriesTransientSubmit: 502s from a failing-over gateway are
+// retried until a node accepts, and the result comes back clean.
+func TestRunRetriesTransientSubmit(t *testing.T) {
+	var submits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1) <= 2 {
+			http.Error(w, `{"error":"no backend"}`, http.StatusBadGateway)
+			return
+		}
+		writeJSON(w, service.JobStatus{ID: "j-1", State: "done", Key: "k"})
+	})
+	mux.HandleFunc("GET /v1/jobs/j-1/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	body, st, err := c.Run(context.Background(), service.JobSpec{Bench: "radix", System: "tsoper"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := submits.Load(); got != 3 {
+		t.Errorf("submits = %d, want 3 (two 502s then success)", got)
+	}
+	if st.State != "done" || string(body) != `{"ok":true}` {
+		t.Errorf("st=%+v body=%q", st, body)
+	}
+}
+
+// TestRunResubmitsLostJob: the owning node restarted mid-wait, so the job
+// record 404s; Run must resubmit the spec rather than fail — determinism
+// makes the recompute byte-identical.
+func TestRunResubmitsLostJob(t *testing.T) {
+	var submits atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1) == 1 {
+			writeJSON(w, service.JobStatus{ID: "j-lost", State: "queued"})
+			return
+		}
+		writeJSON(w, service.JobStatus{ID: "j-2", State: "done", Key: "k"})
+	})
+	mux.HandleFunc("GET /v1/jobs/j-lost", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown job"}`, http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /v1/jobs/j-2/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"run":2}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	body, st, err := c.Run(context.Background(), service.JobSpec{Bench: "radix", System: "tsoper"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if submits.Load() != 2 {
+		t.Errorf("submits = %d, want 2 (original + resubmission)", submits.Load())
+	}
+	if st.ID != "j-2" || string(body) != `{"run":2}` {
+		t.Errorf("st=%+v body=%q", st, body)
+	}
+}
+
+// TestRunGivesUpAfterBudget: a permanently unavailable server exhausts
+// MaxAttempts and surfaces the last transient error instead of spinning.
+func TestRunGivesUpAfterBudget(t *testing.T) {
+	var submits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	_, _, err := c.Run(context.Background(), service.JobSpec{Bench: "radix", System: "tsoper"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if got := submits.Load(); got != int32(fastRetry.MaxAttempts) {
+		t.Errorf("submits = %d, want MaxAttempts = %d", got, fastRetry.MaxAttempts)
+	}
+}
+
+// TestRunNeverRetriesDeterministicFailure: a 400 means the spec itself is
+// wrong; retrying would hammer the server with the same mistake.
+func TestRunNeverRetriesDeterministicFailure(t *testing.T) {
+	var submits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		submits.Add(1)
+		http.Error(w, `{"error":"unknown benchmark"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	_, _, err := c.Run(context.Background(), service.JobSpec{Bench: "doom", System: "tsoper"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if submits.Load() != 1 {
+		t.Errorf("submits = %d, want exactly 1", submits.Load())
+	}
+}
+
+// TestWaitAbsorbsTransientPolls: a node flapping 502 mid-wait must not
+// abort the wait; the poll loop rides through and returns the terminal
+// state.
+func TestWaitAbsorbsTransientPolls(t *testing.T) {
+	var polls atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/j-1", func(w http.ResponseWriter, r *http.Request) {
+		switch polls.Add(1) {
+		case 1:
+			writeJSON(w, service.JobStatus{ID: "j-1", State: "running"})
+		case 2, 3:
+			http.Error(w, `{"error":"restarting"}`, http.StatusBadGateway)
+		default:
+			writeJSON(w, service.JobStatus{ID: "j-1", State: "done"})
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	st, err := c.Wait(context.Background(), "j-1", time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if st.State != "done" {
+		t.Errorf("state = %q, want done", st.State)
+	}
+	if polls.Load() < 4 {
+		t.Errorf("polls = %d, want >= 4", polls.Load())
+	}
+}
+
+// TestWaitExhaustsOnPersistentTransient: if the node never comes back the
+// wait ends with the transient error after the attempt budget, not an
+// infinite loop.
+func TestWaitExhaustsOnPersistentTransient(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"gone dark"}`, http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	_, err := c.Wait(context.Background(), "j-1", time.Millisecond)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError 502", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,196 @@
+package service_test
+
+// Tests for the service surface the cluster gateway depends on: the health
+// document (node identity + drain state), the cache-read endpoint that
+// powers peer cache-fill, the eviction counter, and the per-state job
+// gauges.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestHealthDocument: /healthz carries node identity and drain state — the
+// two facts a gateway's prober needs to tell "route compute here" from
+// "cache reads only".
+func TestHealthDocument(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1, QueueDepth: 8, NodeID: "shard-7"})
+	ctx := context.Background()
+
+	hs, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if hs.Node != "shard-7" || hs.State != "ok" {
+		t.Errorf("health = %+v, want node shard-7 state ok", hs)
+	}
+
+	srv.StartDrain()
+	hs, err = c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health while draining: %v", err)
+	}
+	if hs.State != "draining" {
+		t.Errorf("state = %q, want draining", hs.State)
+	}
+	// The legacy liveness check must still fail while draining — the CI
+	// smoke's curl -sf contract.
+	if err := c.Healthz(ctx); err == nil {
+		t.Error("Healthz must error on a draining node")
+	}
+}
+
+// TestNodeIDDefault: an unconfigured node identifies as node-0 rather than
+// an empty string, so single-node deployments still produce routable IDs.
+func TestNodeIDDefault(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1, QueueDepth: 8})
+	hs, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Node != "node-0" {
+		t.Errorf("default node ID = %q, want node-0", hs.Node)
+	}
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node != "node-0" {
+		t.Errorf("metrics node = %q, want node-0", m.Node)
+	}
+}
+
+// TestCacheReadEndpoint: GET /v1/cache/{hash} returns the exact result
+// bytes for a computed key, a clean 404 for an unknown one, and keeps
+// serving while the node drains — that last property is what lets a
+// gateway drain a node without losing its cache contents.
+func TestCacheReadEndpoint(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1, QueueDepth: 8})
+	ctx := context.Background()
+
+	body, st, err := c.Run(ctx, smallSpec(71))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, ok, err := c.CacheGet(ctx, st.Key)
+	if err != nil || !ok {
+		t.Fatalf("CacheGet(%s) = ok=%v err=%v, want hit", st.Key, ok, err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("cache read returned %d bytes, result was %d — must be byte-identical", len(got), len(body))
+	}
+
+	if _, ok, err := c.CacheGet(ctx, "sha256:0000"); err != nil || ok {
+		t.Errorf("unknown key: ok=%v err=%v, want clean miss", ok, err)
+	}
+
+	srv.StartDrain()
+	got2, ok, err := c.CacheGet(ctx, st.Key)
+	if err != nil || !ok {
+		t.Fatalf("CacheGet while draining: ok=%v err=%v, want hit", ok, err)
+	}
+	if !bytes.Equal(got2, body) {
+		t.Error("draining cache read returned different bytes")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two hits (before and during drain) and one miss crossed the endpoint.
+	if m.Cache.PeerReads != 2 || m.Cache.PeerReadMisses != 1 {
+		t.Errorf("peer reads = %d / misses = %d, want 2 / 1", m.Cache.PeerReads, m.Cache.PeerReadMisses)
+	}
+}
+
+// TestEvictionCounter: a cache squeezed past capacity reports its
+// evictions, so operators can tell "low hit rate" from "cache too small".
+func TestEvictionCounter(t *testing.T) {
+	_, c := startServer(t, service.Config{Workers: 1, QueueDepth: 16, CacheEntries: 2})
+	ctx := context.Background()
+	for seed := int64(81); seed < 86; seed++ {
+		if _, _, err := c.Run(ctx, smallSpec(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 distinct results through a 2-entry LRU: at least 3 evictions.
+	if m.Cache.Evictions < 3 {
+		t.Errorf("evictions = %d, want >= 3", m.Cache.Evictions)
+	}
+}
+
+// TestJobGauges: the queued/running gauges rise while work is in flight
+// and return exactly to zero once the queue empties — a leaked gauge
+// would eventually convince a gateway the node is permanently loaded.
+func TestJobGauges(t *testing.T) {
+	srv, c := startServer(t, service.Config{Workers: 1, QueueDepth: 16})
+	ctx := context.Background()
+
+	// The first job is deliberately slow (scale 3 ≈ 200ms of simulation) so
+	// it pins the single worker while the polls below run: a Submit round
+	// trip itself costs ~15ms (the cache key hashes the generated profile),
+	// so a backlog of instant jobs can fully drain during the submissions —
+	// which made an earlier version of this test flaky.
+	slow := service.JobSpec{Bench: "radix", System: "tsoper", Scale: 3, Seed: 97}
+	st, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatalf("submit slow: %v", err)
+	}
+	ids := []string{st.ID}
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(ctx, smallSpec(int64(91+i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	sawLoad := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		hs := srv.Health()
+		if hs.Queued+hs.Running > 0 {
+			sawLoad = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawLoad {
+		t.Error("gauges never showed in-flight work for a 4-deep backlog")
+	}
+	for _, id := range ids {
+		if _, err := c.Wait(ctx, id, 5*time.Millisecond); err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+	}
+	// Terminal states must return both gauges to zero.
+	waitSettle(t, 2*time.Second, func() bool {
+		hs := srv.Health()
+		return hs.Queued == 0 && hs.Running == 0
+	})
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsQueued != 0 || m.JobsRunning != 0 {
+		t.Errorf("gauges after completion: queued=%d running=%d, want 0/0", m.JobsQueued, m.JobsRunning)
+	}
+}
+
+func waitSettle(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

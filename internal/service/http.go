@@ -19,7 +19,10 @@ import (
 //	                            JSON); 202 while pending, 500 if failed
 //	GET    /v1/jobs/{id}/events SSE: progress samples, then a state event
 //	DELETE /v1/jobs/{id}        cancel a queued job; 409 if running
-//	GET    /healthz             200 ok / 503 draining
+//	GET    /v1/cache/{hash}     raw cached result bytes for a content
+//	                            address; 404 on miss. Served even while
+//	                            draining (peer cache-fill).
+//	GET    /healthz             HealthStatus JSON; 200 ok / 503 draining
 //	GET    /metrics             MetricsSnapshot JSON
 type httpHandler struct {
 	s   *Server
@@ -33,6 +36,7 @@ func newHTTPHandler(s *Server) *httpHandler {
 	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.result)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.events)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	h.mux.HandleFunc("GET /v1/cache/{hash}", h.cacheGet)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	return h
@@ -92,8 +96,27 @@ func (h *httpHandler) submit(w http.ResponseWriter, r *http.Request) {
 			Budget:   h.s.cfg.MaxProgramOps,
 		})
 	case outcomeDraining:
+		// The node is on its way out; Retry-After tells a direct client to
+		// back off briefly, and a gateway to reroute the job elsewhere.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "draining")
 	}
+}
+
+// cacheGet serves the raw result bytes for a content address — the peer
+// cache-fill path: before recomputing, a gateway asks a job's replica
+// candidates for an existing result. Deliberately available while draining.
+func (h *httpHandler) cacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	body, ok := h.s.cacheRead(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %s", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Tsoper-Key", key)
+	w.Header().Set("X-Tsoper-Cache", "hit")
+	_, _ = w.Write(body)
 }
 
 // overBudgetResponse is the 429 body for cost-rejected program jobs.
@@ -212,12 +235,12 @@ func (h *httpHandler) events(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpHandler) healthz(w http.ResponseWriter, _ *http.Request) {
-	if h.s.Draining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	st := h.s.Health()
+	code := http.StatusOK
+	if st.State != "ok" {
+		code = http.StatusServiceUnavailable
 	}
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, code, st)
 }
 
 func (h *httpHandler) metrics(w http.ResponseWriter, _ *http.Request) {

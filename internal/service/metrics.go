@@ -11,14 +11,16 @@ import (
 // simulated machines'): admission counters, cache effectiveness, and a
 // bounded reservoir of job latencies for percentile reporting.
 type metrics struct {
-	submitted   atomic.Uint64
-	completed   atomic.Uint64
-	failed      atomic.Uint64
-	canceled    atomic.Uint64
-	rejected    atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	dedups      atomic.Uint64
+	submitted      atomic.Uint64
+	completed      atomic.Uint64
+	failed         atomic.Uint64
+	canceled       atomic.Uint64
+	rejected       atomic.Uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
+	dedups         atomic.Uint64
+	peerReads      atomic.Uint64 // cache-read endpoint hits (peer cache-fill)
+	peerReadMisses atomic.Uint64
 
 	mu sync.Mutex
 	// lat is a ring of the most recent completed-job latencies; count and
@@ -82,23 +84,56 @@ type CacheStats struct {
 	// (singleflight) — work avoided before it ever reached the cache.
 	Dedups  uint64  `json:"dedups"`
 	HitRate float64 `json:"hit_rate"`
+	// Evictions counts entries dropped by LRU pressure; a high rate means
+	// the cache is undersized for the working set.
+	Evictions uint64 `json:"evictions"`
+	// PeerReads / PeerReadMisses count cache-read endpoint lookups
+	// (GET /v1/cache/{hash}) — how often cluster peers fill from this node.
+	PeerReads      uint64 `json:"peer_reads"`
+	PeerReadMisses uint64 `json:"peer_read_misses"`
 }
 
 // MetricsSnapshot is the /metrics document.
 type MetricsSnapshot struct {
-	QueueDepth int  `json:"queue_depth"`
-	QueueCap   int  `json:"queue_cap"`
-	Workers    int  `json:"workers"`
-	Draining   bool `json:"draining"`
+	Node       string `json:"node"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Workers    int    `json:"workers"`
+	Draining   bool   `json:"draining"`
 
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsCompleted uint64 `json:"jobs_completed"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsCanceled  uint64 `json:"jobs_canceled"`
 	JobsRejected  uint64 `json:"jobs_rejected"`
+	// JobsQueued / JobsRunning are point-in-time gauges of non-terminal
+	// jobs, the numbers a gateway watches to judge routing decisions.
+	JobsQueued  int `json:"jobs_queued"`
+	JobsRunning int `json:"jobs_running"`
 
 	Cache   CacheStats   `json:"cache"`
 	Latency LatencyStats `json:"latency"`
+}
+
+// HealthStatus is the /healthz document. State is "ok" or "draining"; a
+// draining node still serves cache reads and finishes accepted work, so a
+// gateway treats it as alive-but-not-admitting rather than down.
+type HealthStatus struct {
+	Node    string `json:"node"`
+	State   string `json:"state"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}
+
+// Health snapshots node identity and drain state for /healthz.
+func (s *Server) Health() HealthStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := HealthStatus{Node: s.cfg.NodeID, State: "ok", Queued: s.nQueued, Running: s.nRunning}
+	if s.draining {
+		st.State = "draining"
+	}
+	return st
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -106,21 +141,30 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 // Metrics snapshots the service counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	m := s.metrics
+	s.mu.Lock()
+	queued, running, draining := s.nQueued, s.nRunning, s.draining
+	s.mu.Unlock()
 	snap := MetricsSnapshot{
+		Node:          s.cfg.NodeID,
 		QueueDepth:    s.queue.Depth(),
 		QueueCap:      s.queue.Cap(),
 		Workers:       s.cfg.Workers,
-		Draining:      s.Draining(),
+		Draining:      draining,
 		JobsSubmitted: m.submitted.Load(),
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),
 		JobsCanceled:  m.canceled.Load(),
 		JobsRejected:  m.rejected.Load(),
+		JobsQueued:    queued,
+		JobsRunning:   running,
 		Cache: CacheStats{
-			Entries: s.cache.Len(),
-			Hits:    m.cacheHits.Load(),
-			Misses:  m.cacheMisses.Load(),
-			Dedups:  m.dedups.Load(),
+			Entries:        s.cache.Len(),
+			Hits:           m.cacheHits.Load(),
+			Misses:         m.cacheMisses.Load(),
+			Dedups:         m.dedups.Load(),
+			Evictions:      s.cache.Evictions(),
+			PeerReads:      m.peerReads.Load(),
+			PeerReadMisses: m.peerReadMisses.Load(),
 		},
 	}
 	if total := snap.Cache.Hits + snap.Cache.Misses; total > 0 {

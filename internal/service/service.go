@@ -33,6 +33,10 @@ import (
 
 // Config sizes the service.
 type Config struct {
+	// NodeID names this instance in /healthz and /metrics so cluster
+	// gateways and operators can attribute routing decisions (default
+	// "node-0").
+	NodeID string
 	// Workers is the simulation worker-pool width (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds the admission queue (default 64). A full queue
@@ -59,6 +63,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.NodeID == "" {
+		c.NodeID = "node-0"
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -97,6 +104,8 @@ type Server struct {
 	inflight map[string]*job // cache key -> queued/running job (singleflight)
 	doneIDs  []string        // terminal-job retention ring, oldest first
 	nextID   uint64
+	nQueued  int // per-state gauges for /metrics and /healthz
+	nRunning int
 	draining bool
 	started  bool
 
@@ -132,16 +141,24 @@ func (s *Server) Start() {
 	}
 }
 
-// Drain stops admission (submissions get 503), lets the workers finish
-// every queued and in-flight job, and returns when the pool is idle — the
-// SIGTERM half of graceful shutdown. ctx bounds the wait.
-func (s *Server) Drain(ctx context.Context) error {
+// StartDrain flips the server into draining mode without waiting: new
+// compute is rejected with 503 + Retry-After (so a gateway reroutes), but
+// queued and in-flight jobs keep running and cache reads keep being served.
+// It is idempotent; Drain adds the wait-for-idle half.
+func (s *Server) StartDrain() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.draining {
 		s.draining = true
 		s.queue.Close()
 	}
-	s.mu.Unlock()
+}
+
+// Drain stops admission (submissions get 503), lets the workers finish
+// every queued and in-flight job, and returns when the pool is idle — the
+// SIGTERM half of graceful shutdown. ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
 
 	idle := make(chan struct{})
 	go func() {
@@ -226,7 +243,21 @@ func (s *Server) submit(spec JobSpec) (*job, submitOutcome, error) {
 		return nil, outcomeQueueFull, nil
 	}
 	s.inflight[plan.key] = j
+	s.nQueued++
 	return j, outcomeQueued, nil
+}
+
+// cacheRead serves the node's cache-read endpoint (GET /v1/cache/{hash}):
+// the raw result bytes for a content address, available even while
+// draining so peers can cache-fill from a node on its way out.
+func (s *Server) cacheRead(key string) ([]byte, bool) {
+	body, ok := s.cache.Get(key)
+	if ok {
+		s.metrics.peerReads.Add(1)
+	} else {
+		s.metrics.peerReadMisses.Add(1)
+	}
+	return body, ok
 }
 
 func (s *Server) newJobLocked(spec JobSpec, p plan) *job {
@@ -276,6 +307,7 @@ func (s *Server) cancel(id string) (canceled bool, state jobState, ok bool) {
 	}
 	j.state = stateCanceled
 	j.finished = time.Now()
+	s.nQueued--
 	delete(s.inflight, j.plan.key)
 	s.metrics.canceled.Add(1)
 	close(j.done)
@@ -299,6 +331,8 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = stateRunning
 	j.started = time.Now()
+	s.nQueued--
+	s.nRunning++
 	s.mu.Unlock()
 
 	// Each run gets its own bus (track handles are machine-local) carrying
@@ -337,6 +371,7 @@ func (s *Server) runJob(j *job) {
 	defer s.mu.Unlock()
 	delete(s.inflight, j.plan.key)
 	j.finished = time.Now()
+	s.nRunning--
 	if err != nil {
 		j.state = stateFailed
 		j.err = err.Error()
