@@ -16,17 +16,26 @@
 //	tsoper-crash -campaign mutation
 //	    checker mutation testing: every injected persistency fault must
 //	    be rejected with exactly the rule it is engineered to trip
+//	tsoper-crash -compare-out results/checkpoint.json -crashes 40
+//	    time the pressure campaign under prefix-forked vs full-replay
+//	    execution, prove the reports identical, write the comparison
+//
+// Sweeps fork each crash point from an incrementally advanced prefix
+// machine by default; -full-replay restores the legacy
+// one-machine-per-point mode (same injections, more simulated cycles).
 //
 // Exit status: 0 clean, 1 violations or surviving mutants, 2 usage error.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/crashmc"
 	"repro/internal/machine"
@@ -65,12 +74,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the campaign report to this path as JSON")
 	shrink := fs.Bool("shrink", false, "minimize each failing crash point before reporting it")
+	fullReplay := fs.Bool("full-replay", false, "replay every crash point from cycle 0 instead of forking prefix machines (slower; for differential timing)")
+	compareOut := fs.String("compare-out", "", "time prefix-forked vs full-replay sweeps on the pressure config, write the comparison JSON here, and exit")
+	minSpeedup := fs.Float64("min-speedup", 0, "with -compare-out, fail unless prefix forking is at least this many times faster")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 
+	if *compareOut != "" {
+		if *campaign != "" || *progFlag != "" {
+			fmt.Fprintln(stderr, "-compare-out is its own mode; drop -campaign/-program")
+			fs.Usage()
+			return 2
+		}
+		if err := runCompare(stdout, *compareOut, *seed, *crashes, *parallel, *minSpeedup); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+
 	report, err := dispatch(fs, stdout, *bench, *progFlag, *system, *crashes, *first, *step,
-		*scale, *seed, *strategy, *campaign, *parallel, *shrink)
+		*scale, *seed, *strategy, *campaign, *parallel, *shrink, *fullReplay)
 	var uerr usageError
 	if errors.As(err, &uerr) {
 		fmt.Fprintln(stderr, uerr.Error())
@@ -113,7 +138,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 // dispatch validates the mode arguments and runs the selected campaign.
 func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string, crashes int,
 	first, step uint64, scale float64, seed int64, strategy, campaign string,
-	parallel int, shrink bool) (*crashmc.Report, error) {
+	parallel int, shrink, fullReplay bool) (*crashmc.Report, error) {
 	if crashes <= 0 {
 		return nil, usagef("-crashes must be positive, got %d", crashes)
 	}
@@ -137,7 +162,7 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 
 	switch campaign {
 	case "":
-		return runSweep(stdout, bench, programs, system, crashes, first, step, scale, seed, strat, parallel, shrink)
+		return runSweep(stdout, bench, programs, system, crashes, first, step, scale, seed, strat, parallel, shrink, fullReplay)
 	case "smoke":
 		points := 50 // x 2 adversaries x 2 systems = 200 injections
 		crashesSet := false
@@ -154,6 +179,7 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 			Strategy:   crashmc.StrategyEvents,
 			Parallel:   parallel,
 			Shrink:     shrink,
+			FullReplay: fullReplay,
 		})
 		if report != nil {
 			fmt.Fprintln(stdout, report.Summary())
@@ -169,7 +195,7 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 // runSweep is the legacy single-cell mode, generalized to comma-separated
 // benchmark/system lists (or workload-VM programs), with the
 // per-crash-point output lines preserved.
-func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink bool) (*crashmc.Report, error) {
+func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink, fullReplay bool) (*crashmc.Report, error) {
 	var profiles []trace.Profile
 	var progs []*program.Program
 	if programs != "" {
@@ -216,6 +242,7 @@ func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, 
 		Parallel:   parallel,
 		Shrink:     shrink,
 		Detail:     true,
+		FullReplay: fullReplay,
 	})
 	if err != nil {
 		return report, err
@@ -230,6 +257,96 @@ func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, 
 	}
 	fmt.Fprintf(stdout, "\n%s\n", report.Summary())
 	return report, nil
+}
+
+// compareDoc is the results/checkpoint.json artifact: the same pressure
+// sweep timed under both execution modes, with proof they agreed.
+type compareDoc struct {
+	Name               string  `json:"name"`
+	Seed               int64   `json:"seed"`
+	Points             int     `json:"points"`
+	Tuples             int     `json:"tuples"`
+	Injections         int     `json:"injections"`
+	PrefixForkSeconds  float64 `json:"prefix_fork_seconds"`
+	FullReplaySeconds  float64 `json:"full_replay_seconds"`
+	Speedup            float64 `json:"speedup"`
+	ReportsIdentical   bool    `json:"reports_identical"`
+	ViolationsObserved int     `json:"violations_observed"`
+}
+
+// runCompare times the adversarial pressure campaign in both execution
+// modes — prefix-forked (the default) and full-replay (one machine per
+// crash point, from cycle 0) — verifies the two reports are byte-identical,
+// and writes the timing document. This is the evidence behind the claim
+// that forking prefix machines beats replaying, published by CI as
+// results/checkpoint.json.
+func runCompare(stdout io.Writer, outPath string, seed int64, points, parallel int, minSpeedup float64) error {
+	spec := crashmc.Spec{
+		Name:       "checkpoint-compare",
+		Benchmarks: crashmc.Adversaries(),
+		Systems:    []machine.SystemKind{machine.TSOPER, machine.STW},
+		Seed:       seed,
+		Points:     points,
+		Strategy:   crashmc.StrategyEvents,
+		Parallel:   parallel,
+		Detail:     true,
+		Config:     crashmc.PressureConfig,
+	}
+
+	start := time.Now()
+	fast, err := crashmc.Run(spec)
+	if err != nil {
+		return err
+	}
+	fastDur := time.Since(start)
+
+	spec.FullReplay = true
+	start = time.Now()
+	slow, err := crashmc.Run(spec)
+	if err != nil {
+		return err
+	}
+	slowDur := time.Since(start)
+
+	fastJSON, err := json.Marshal(fast)
+	if err != nil {
+		return err
+	}
+	slowJSON, err := json.Marshal(slow)
+	if err != nil {
+		return err
+	}
+	doc := compareDoc{
+		Name:               spec.Name,
+		Seed:               seed,
+		Points:             points,
+		Tuples:             len(spec.Benchmarks) * len(spec.Systems),
+		Injections:         fast.Injections,
+		PrefixForkSeconds:  fastDur.Seconds(),
+		FullReplaySeconds:  slowDur.Seconds(),
+		Speedup:            slowDur.Seconds() / fastDur.Seconds(),
+		ReportsIdentical:   string(fastJSON) == string(slowJSON),
+		ViolationsObserved: len(fast.Violations),
+	}
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "prefix-fork %.2fs vs full-replay %.2fs (%.1fx) over %d injections -> %s\n",
+		doc.PrefixForkSeconds, doc.FullReplaySeconds, doc.Speedup, doc.Injections, outPath)
+	if !doc.ReportsIdentical {
+		return fmt.Errorf("prefix-forked and full-replay reports differ — the differential gate failed")
+	}
+	if !fast.Clean() {
+		return fmt.Errorf("pressure campaign found %d violations", len(fast.Violations))
+	}
+	if minSpeedup > 0 && doc.Speedup < minSpeedup {
+		return fmt.Errorf("speedup %.2fx below required %.2fx", doc.Speedup, minSpeedup)
+	}
+	return nil
 }
 
 // runMutation proves every injected persistency fault is killed, on both

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -26,9 +29,15 @@ func TestExitCodes(t *testing.T) {
 		{name: "unknown program", argv: []string{"-program", "no-such-program"}, want: 2, stderr: "neither a library program"},
 		{name: "program with campaign", argv: []string{"-program", "radix", "-campaign", "smoke"}, want: 2, stderr: "sweep mode"},
 		{name: "non-strict system", argv: []string{"-system", "bsp"}, want: 2, stderr: "strict system"},
+		{name: "compare with campaign", argv: []string{"-compare-out", "x.json", "-campaign", "smoke"}, want: 2, stderr: "its own mode"},
 		{
 			name: "clean sweep",
 			argv: []string{"-bench", "radix", "-system", "tsoper", "-crashes", "2", "-scale", "0.05"},
+			want: 0, slow: true,
+		},
+		{
+			name: "clean full-replay sweep",
+			argv: []string{"-bench", "radix", "-system", "tsoper", "-crashes", "2", "-scale", "0.05", "-full-replay"},
 			want: 0, slow: true,
 		},
 		{
@@ -53,5 +62,32 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.stderr)
 			}
 		})
+	}
+}
+
+// TestCompareMode runs the timing comparison end to end on a small budget
+// and checks the artifact records identical reports.
+func TestCompareMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two real campaigns")
+	}
+	out := filepath.Join(t.TempDir(), "checkpoint.json")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-compare-out", out, "-crashes", "5", "-parallel", "4"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("compare mode = %d\nstderr: %s", got, stderr.String())
+	}
+	body, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc compareDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("artifact is not the comparison document: %v\n%s", err, body)
+	}
+	if !doc.ReportsIdentical {
+		t.Fatal("artifact records diverging reports")
+	}
+	if doc.Injections == 0 || doc.PrefixForkSeconds <= 0 || doc.FullReplaySeconds <= 0 {
+		t.Fatalf("artifact incomplete: %+v", doc)
 	}
 }

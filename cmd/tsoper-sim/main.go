@@ -8,6 +8,8 @@
 //	tsoper-sim -program my-workload.json -estimate
 //	tsoper-sim -bench radix -trace-out radix.json -metrics-out radix-metrics.json
 //	tsoper-sim -metrics-diff old-metrics.json new-metrics.json
+//	tsoper-sim -bench radix -checkpoint-every 100000 -checkpoint-out radix.ckpt
+//	tsoper-sim -bench radix -resume radix.ckpt
 //
 // -program runs a workload-VM program instead of a benchmark profile: an
 // embedded library name (see -list) or a JSON program file (PROGRAMS.md
@@ -15,7 +17,10 @@
 // estimate without simulating. -trace-out writes a Perfetto-compatible
 // timeline (open it in ui.perfetto.dev); -metrics-out writes the unified
 // metrics snapshot; -metrics-diff compares two snapshots without running
-// anything.
+// anything. -checkpoint-every/-checkpoint-out snapshot the machine
+// periodically; -resume restores a blob and finishes the run with results
+// byte-identical to a straight-through run (restores are replay-verified,
+// so a blob from a different workload is rejected with a typed error).
 //
 // Systems: baseline, hw-rp, bsp, bsp+slc, bsp+slc+agb, stw, tsoper.
 // Benchmarks: the 22 PARSEC 3.0 / Splash-3 stand-ins (see -list).
@@ -30,6 +35,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -57,6 +63,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics-out", "", "write the unified metrics snapshot (JSON) to this file")
 	metricsDiff := fs.Bool("metrics-diff", false, "diff two metrics snapshots given as positional args, then exit")
 	schedFlag := fs.String("scheduler", "wheel", "event scheduler: wheel or heap (reference)")
+	ckptEvery := fs.Uint64("checkpoint-every", 0, "checkpoint the run every N simulation cycles (0 = off)")
+	ckptOut := fs.String("checkpoint-out", "", "write the run's last checkpoint blob to this file (requires -checkpoint-every)")
+	resume := fs.String("resume", "", "resume the run from a checkpoint blob file (same bench/program, seed, system)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -80,6 +89,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *progArg != "" && (*saveTrace != "" || *loadTrace != "") {
 		return usageErr("-program is incompatible with -save-trace/-load-trace (programs are already portable workloads)")
+	}
+	if *ckptOut != "" && *ckptEvery == 0 {
+		return usageErr("-checkpoint-out requires -checkpoint-every")
+	}
+	if (*ckptEvery != 0 || *resume != "") && *loadTrace != "" {
+		return usageErr("-checkpoint-every/-resume are incompatible with -load-trace (resume re-derives the workload from bench/program + seed)")
 	}
 	sched, err := tsoper.ParseScheduler(*schedFlag)
 	if err != nil {
@@ -172,6 +187,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	var r *tsoper.Results
 	opts := tsoper.RunOptions{Scale: *scale, Seed: *seed, Scheduler: sched, Config: cfgOverride}
+	// Keep the last execution-phase blob — the useful one to resume from
+	// (drain/done blobs replay the whole run anyway). Fall back to the very
+	// last blob when the run finished inside the first stride.
+	var lastBlob, lastExecBlob []byte
+	if *ckptEvery != 0 {
+		opts.CheckpointEvery = *ckptEvery
+		opts.OnCheckpoint = func(blob []byte) {
+			lastBlob = blob
+			if h, _, err := ckpt.DecodeBlob(blob); err == nil && h.Phase == machine.CheckpointPhaseExec {
+				lastExecBlob = blob
+			}
+		}
+	}
+	if *resume != "" {
+		blob, err := os.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		opts.ResumeFrom = blob
+	}
 	switch {
 	case *loadTrace != "":
 		r, err = runSavedTrace(*loadTrace, kind, sched, cfgOverride)
@@ -189,6 +225,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+	if *ckptOut != "" {
+		blob := lastExecBlob
+		if blob == nil {
+			blob = lastBlob
+		}
+		if err := os.WriteFile(*ckptOut, blob, 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "checkpoint: %d bytes -> %s\n", len(blob), *ckptOut)
 	}
 	if sink != nil {
 		if err := writeFile(*traceOut, sink.WriteJSON); err != nil {

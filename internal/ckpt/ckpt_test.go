@@ -1,0 +1,146 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleState() []byte {
+	var w Writer
+	w.Section("cores")
+	w.U64(42)
+	w.String("hello")
+	w.Bool(true)
+	w.Section("agb")
+	w.Int(-7)
+	w.U8(3)
+	w.Section("faults")
+	w.U32(9)
+	return w.State()
+}
+
+func sampleHeader() Header {
+	return Header{
+		Version:        Version,
+		ConfigHash:     "cfg-0123456789abcdef",
+		Scheduler:      1,
+		Phase:          2,
+		Cycle:          123456,
+		Seq:            789,
+		Executed:       4242,
+		WorkloadDigest: "wl-fedcba9876543210",
+	}
+}
+
+// TestEncodeDecodeRoundTrip requires the envelope to carry every header
+// field and the state bytes through unchanged, and encoding to be
+// deterministic.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h, state := sampleHeader(), sampleState()
+	blob := EncodeBlob(h, state)
+	if !bytes.Equal(blob, EncodeBlob(h, state)) {
+		t.Fatal("encoding is not deterministic")
+	}
+	gh, gs, err := DecodeBlob(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gh != h {
+		t.Fatalf("header round trip: want %+v, got %+v", h, gh)
+	}
+	if !bytes.Equal(gs, state) {
+		t.Fatal("state bytes changed in round trip")
+	}
+}
+
+// TestDecodeRejectsEnvelope covers the typed envelope failures: bad magic,
+// version skew, header truncation at every prefix length, and a state
+// length that disagrees with the remaining bytes.
+func TestDecodeRejectsEnvelope(t *testing.T) {
+	blob := EncodeBlob(sampleHeader(), sampleState())
+
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if _, _, err := DecodeBlob(bad); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: got %v, want ErrFormat", err)
+	}
+
+	vskew := append([]byte(nil), blob...)
+	vskew[8] = Version + 1
+	if _, _, err := DecodeBlob(vskew); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: got %v, want ErrVersion", err)
+	}
+
+	for n := 0; n < len(blob); n++ {
+		if _, _, err := DecodeBlob(blob[:n]); err == nil {
+			t.Fatalf("decode accepted a blob truncated to %d of %d bytes", n, len(blob))
+		} else if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation to %d: untyped error %v", n, err)
+		}
+	}
+
+	short := EncodeBlob(sampleHeader(), sampleState())
+	short = short[:len(short)-1] // state length field now overclaims
+	if _, _, err := DecodeBlob(short); !errors.Is(err, ErrFormat) {
+		t.Fatalf("state length mismatch: got %v, want ErrFormat", err)
+	}
+}
+
+// TestCompareState pins the divergence oracle: identical states pass,
+// and a mismatch names the first divergent section.
+func TestCompareState(t *testing.T) {
+	state := sampleState()
+	if err := CompareState(state, sampleState()); err != nil {
+		t.Fatalf("identical states: %v", err)
+	}
+
+	var w Writer
+	w.Section("cores")
+	w.U64(42)
+	w.String("hello")
+	w.Bool(true)
+	w.Section("agb")
+	w.Int(-7)
+	w.U8(4) // differs
+	w.Section("faults")
+	w.U32(9)
+	err := CompareState(state, w.State())
+	if !errors.Is(err, ErrDivergence) {
+		t.Fatalf("got %v, want ErrDivergence", err)
+	}
+	if !strings.Contains(err.Error(), `"agb"`) {
+		t.Fatalf("divergence does not name the differing section: %v", err)
+	}
+
+	var missing Writer
+	missing.Section("cores")
+	missing.U64(42)
+	missing.String("hello")
+	missing.Bool(true)
+	if err := CompareState(state, missing.State()); !errors.Is(err, ErrDivergence) {
+		t.Fatalf("section-count mismatch: got %v, want ErrDivergence", err)
+	}
+
+	if err := CompareState([]byte{1, 2}, state); !errors.Is(err, ErrFormat) {
+		t.Fatalf("malformed want side: got %v, want ErrFormat", err)
+	}
+}
+
+// TestSectionsRejectCorruption walks the state parser's failure modes:
+// truncation at every prefix, an overclaiming section size, and trailing
+// garbage after the last section.
+func TestSectionsRejectCorruption(t *testing.T) {
+	state := sampleState()
+	for n := 0; n < len(state); n++ {
+		if _, _, err := sections(state[:n]); err == nil {
+			t.Fatalf("sections accepted state truncated to %d of %d bytes", n, len(state))
+		} else if !errors.Is(err, ErrFormat) {
+			t.Fatalf("truncation to %d: untyped error %v", n, err)
+		}
+	}
+	if _, _, err := sections(append(append([]byte(nil), state...), 0xAA)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("trailing bytes: got %v, want ErrFormat", err)
+	}
+}

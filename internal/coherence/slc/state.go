@@ -1,0 +1,35 @@
+package slc
+
+import (
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// EncodeState writes the directory's sharing lists in line-address order;
+// each list's nodes head→tail (newest to oldest) with their full coherence
+// and persistency state. Slab internals are excluded — node identity is
+// positional. The coherence/persist length distributions live in the
+// machine's stats registry and are encoded there.
+func (d *Directory) EncodeState(w *ckpt.Writer) {
+	lines := make([]uint64, 0, len(d.lists))
+	for l := range d.lists {
+		lines = append(lines, uint64(l))
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	w.U32(uint32(len(lines)))
+	for _, lu := range lines {
+		list := d.lists[mem.Line(lu)]
+		w.U64(lu)
+		w.U32(uint32(list.Len()))
+		for n := list.Head(); n != nil; n = n.Next() {
+			w.Int(n.Cache)
+			w.Bool(n.Valid)
+			w.Bool(n.Dirty)
+			w.Int(n.Version.Core)
+			w.U64(n.Version.Seq)
+			w.U64(n.AGID)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// Next returns the next ID the source will hand out.
+func (s *IDSource) Next() uint64 { return s.next }
+
+// Source returns the tracker's shared group-ID source.
+func (t *Tracker) Source() *IDSource { return t.ids }
+
+// EncodeState writes one group's full logical state: identity, lifecycle,
+// membership (sorted by line), the waiting-to-become-tail set, and the
+// persist-before edges (live ones as sorted IDs, plus the full DepIDs
+// history in insertion order).
+func (g *Group) EncodeState(w *ckpt.Writer) {
+	w.U64(g.ID)
+	w.Int(g.Core)
+	w.U64(g.Seq)
+	w.U8(uint8(g.state))
+	w.U8(uint8(g.reason))
+	w.Bool(g.notified)
+	encodeLineVersions(w, g.dirty)
+	encodeLineVersions(w, g.clean)
+	lines := make([]uint64, 0, len(g.pendingTail))
+	for l := range g.pendingTail {
+		lines = append(lines, uint64(l))
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	w.U32(uint32(len(lines)))
+	for _, l := range lines {
+		w.U64(l)
+	}
+	encodeEdgeIDs(w, g.deps)
+	encodeEdgeIDs(w, g.rdeps)
+	w.U32(uint32(len(g.DepIDs)))
+	for _, id := range g.DepIDs {
+		w.U64(id)
+	}
+}
+
+func encodeLineVersions(w *ckpt.Writer, m map[mem.Line]mem.Version) {
+	lines := make([]uint64, 0, len(m))
+	for l := range m {
+		lines = append(lines, uint64(l))
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	w.U32(uint32(len(lines)))
+	for _, l := range lines {
+		v := m[mem.Line(l)]
+		w.U64(l)
+		w.Int(v.Core)
+		w.U64(v.Seq)
+	}
+}
+
+func encodeEdgeIDs(w *ckpt.Writer, edges map[*Group]bool) {
+	ids := make([]uint64, 0, len(edges))
+	for g := range edges {
+		ids = append(ids, g.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U64(id)
+	}
+}
+
+// EncodeState writes the tracker's scheduling state: the core-local
+// sequence, the open group (by ID; 0 = none), the live queue in creation
+// order, and the high-water mark.
+func (t *Tracker) EncodeState(w *ckpt.Writer) {
+	w.Int(t.core)
+	w.U64(t.nextID)
+	if t.open != nil {
+		w.U64(t.open.ID)
+	} else {
+		w.U64(0)
+	}
+	w.U32(uint32(len(t.live)))
+	for _, g := range t.live {
+		w.U64(g.ID)
+	}
+	w.Int(t.MaxLive)
+}
+
+// CloneGroups deep-copies a group journal plus a durability-order view of
+// it, preserving pointer identity between the two (an entry of durable is
+// always an entry of journal). Clones carry no tracker or drain callback —
+// they are inert bookkeeping snapshots for crash-state capture, safe to
+// mutate (fault injection) while the originals keep simulating.
+func CloneGroups(journal, durable []*Group) ([]*Group, []*Group) {
+	ident := make(map[*Group]*Group, len(journal))
+	js := make([]*Group, len(journal))
+	for i, g := range journal {
+		c := &Group{
+			ID:          g.ID,
+			Core:        g.Core,
+			Seq:         g.Seq,
+			state:       g.state,
+			reason:      g.reason,
+			notified:    g.notified,
+			dirty:       make(map[mem.Line]mem.Version, len(g.dirty)),
+			clean:       make(map[mem.Line]mem.Version, len(g.clean)),
+			pendingTail: make(map[mem.Line]bool, len(g.pendingTail)),
+			deps:        make(map[*Group]bool, len(g.deps)),
+			rdeps:       make(map[*Group]bool, len(g.rdeps)),
+		}
+		for l, v := range g.dirty {
+			c.dirty[l] = v
+		}
+		for l, v := range g.clean {
+			c.clean[l] = v
+		}
+		for l := range g.pendingTail {
+			c.pendingTail[l] = true
+		}
+		if len(g.DepIDs) > 0 {
+			c.DepIDs = append([]uint64(nil), g.DepIDs...)
+		}
+		ident[g] = c
+		js[i] = c
+	}
+	// Second pass: remap live dependency edges onto the clones.
+	for i, g := range journal {
+		c := js[i]
+		for d := range g.deps {
+			if cd, ok := ident[d]; ok {
+				c.deps[cd] = true
+			}
+		}
+		for r := range g.rdeps {
+			if cr, ok := ident[r]; ok {
+				c.rdeps[cr] = true
+			}
+		}
+	}
+	ds := make([]*Group, len(durable))
+	for i, g := range durable {
+		if c, ok := ident[g]; ok {
+			ds[i] = c
+		} else {
+			ds[i] = g
+		}
+	}
+	return js, ds
+}

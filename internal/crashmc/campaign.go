@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/checker"
@@ -85,6 +86,12 @@ type Spec struct {
 	// Detail retains every injection (not just the violating ones) in the
 	// report, for per-crash-point output and richer artifacts.
 	Detail bool
+	// FullReplay forces the legacy execution mode: one fresh machine
+	// replayed from cycle 0 per crash point. The default shares one
+	// machine per ascending chunk of crash points, advancing it
+	// incrementally and deep-copying the crash state at each point — the
+	// same deterministic injections at a fraction of the simulated cycles.
+	FullReplay bool
 	// Config overrides the per-system machine configuration (nil: Table I).
 	Config func(machine.SystemKind) machine.Config
 }
@@ -187,11 +194,71 @@ func Run(spec Spec) (*Report, error) {
 		}
 	}
 	injections := make([]Injection, len(jobs))
-	runParallel(len(jobs), spec.workers(), func(i int) {
-		injections[i] = spec.runOne(jobs[i].tuple, jobs[i].at)
-	})
+	if spec.FullReplay {
+		runParallel(len(jobs), spec.workers(), func(i int) {
+			injections[i] = spec.runOne(jobs[i].tuple, jobs[i].at)
+		})
+		return spec.assemble(tuples, injections), nil
+	}
 
+	// Incremental mode: per tuple, sort the crash points and split them
+	// into contiguous ascending chunks; one machine per chunk advances
+	// through its points, capturing a deep-copied crash state at each.
+	// The injections land at their original indices, so the report is
+	// byte-identical to full-replay mode.
+	perTuple := spec.workers() / len(tuples)
+	if perTuple < 1 {
+		perTuple = 1
+	}
+	var chunks [][]int
+	base := 0
+	for _, tp := range tuples {
+		idxs := make([]int, len(tp.points))
+		for i := range idxs {
+			idxs[i] = base + i
+		}
+		base += len(tp.points)
+		sort.Slice(idxs, func(a, b int) bool { return jobs[idxs[a]].at < jobs[idxs[b]].at })
+		chunks = append(chunks, splitChunks(idxs, perTuple)...)
+	}
+	runParallel(len(chunks), spec.workers(), func(ci int) {
+		idxs := chunks[ci]
+		tp := jobs[idxs[0]].tuple
+		cfg := tp.cfg
+		cfg.CrashFault = spec.Fault
+		m, err := machine.New(cfg)
+		if err != nil {
+			panic("crashmc: " + err.Error())
+		}
+		m.StartCrashRun(tp.workload(cfg, spec.Seed))
+		for _, ji := range idxs {
+			m.AdvanceTo(sim.Time(jobs[ji].at))
+			injections[ji] = spec.evaluate(tp, jobs[ji].at, cfg, m.CaptureCrashState())
+		}
+	})
 	return spec.assemble(tuples, injections), nil
+}
+
+// splitChunks partitions idxs (already sorted by crash cycle) into at most n
+// contiguous chunks of near-equal size.
+func splitChunks(idxs []int, n int) [][]int {
+	if n > len(idxs) {
+		n = len(idxs)
+	}
+	if n <= 1 {
+		if len(idxs) == 0 {
+			return nil
+		}
+		return [][]int{idxs}
+	}
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(idxs)/n, (i+1)*len(idxs)/n
+		if lo < hi {
+			out = append(out, idxs[lo:hi])
+		}
+	}
+	return out
 }
 
 // resolvePoints materializes the tuple's crash points under the spec's
@@ -229,7 +296,8 @@ func (spec Spec) harvest(tp *tuple, budget int) ([]uint64, uint64) {
 	return points, horizon
 }
 
-// runOne performs a single crash injection and checks the recovered state.
+// runOne performs a single full-replay crash injection and checks the
+// recovered state (Spec.FullReplay mode).
 func (spec Spec) runOne(tp *tuple, at uint64) Injection {
 	cfg := tp.cfg
 	cfg.CrashFault = spec.Fault
@@ -238,8 +306,11 @@ func (spec Spec) runOne(tp *tuple, at uint64) Injection {
 		panic("crashmc: " + err.Error())
 	}
 	w := tp.workload(cfg, spec.Seed)
-	cs := m.RunWithCrash(w, sim.Time(at))
+	return spec.evaluate(tp, at, cfg, m.RunWithCrash(w, sim.Time(at)))
+}
 
+// evaluate checks one recovered crash state and summarizes it.
+func (spec Spec) evaluate(tp *tuple, at uint64, cfg machine.Config, cs *machine.CrashState) Injection {
 	inj := Injection{
 		Benchmark: tp.name,
 		System:    tp.system.String(),

@@ -1,0 +1,108 @@
+package crashmc
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestIncrementalMatchesFullReplay is the differential gate for the
+// prefix-forked sweep: the incremental mode (one machine per ascending
+// chunk, deep-copied captures) must produce a report byte-identical to the
+// legacy one-machine-per-point full replay.
+func TestIncrementalMatchesFullReplay(t *testing.T) {
+	spec := Spec{
+		Name:       "diff",
+		Benchmarks: Adversaries()[:2],
+		Systems:    []machine.SystemKind{machine.TSOPER, machine.STW},
+		Seed:       13,
+		Points:     25,
+		Strategy:   StrategyEvents,
+		Parallel:   4,
+		Detail:     true,
+	}
+	fast, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.FullReplay = true
+	slow, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := json.Marshal(fast)
+	sb, _ := json.Marshal(slow)
+	if string(fb) != string(sb) {
+		t.Fatalf("incremental and full-replay reports differ:\nincremental: %s\nfull: %s", fb, sb)
+	}
+}
+
+// TestCaptureCrashStateIsolated verifies a capture is a true snapshot: two
+// captures taken from one advancing machine must equal the states two
+// dedicated full replays produce, and the earlier capture must not change
+// when the machine advances past it.
+func TestCaptureCrashStateIsolated(t *testing.T) {
+	bench := Adversaries()[0]
+	cfg := machine.TableI(machine.TSOPER)
+	spec := Spec{Seed: 5}
+	tp := &tuple{name: bench.Name, bench: bench, system: machine.TSOPER, cfg: cfg}
+
+	a, b := sim.Time(4_000), sim.Time(30_000)
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StartCrashRun(tp.workload(cfg, spec.Seed))
+	m.AdvanceTo(a)
+	capA := m.CaptureCrashState()
+	groupsAtA := len(capA.Groups)
+	imageAtA := len(capA.Image)
+	m.AdvanceTo(b)
+	capB := m.CaptureCrashState()
+
+	if len(capA.Groups) != groupsAtA || len(capA.Image) != imageAtA {
+		t.Fatalf("capture at %d mutated by advancing to %d", a, b)
+	}
+
+	for _, tc := range []struct {
+		at  sim.Time
+		cap *machine.CrashState
+	}{{a, capA}, {b, capB}} {
+		ref, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := ref.RunWithCrash(tp.workload(cfg, spec.Seed), tc.at)
+		if cs.At != tc.cap.At {
+			t.Fatalf("at %d: crash cycle %d vs %d", tc.at, cs.At, tc.cap.At)
+		}
+		if len(cs.Groups) != len(tc.cap.Groups) || len(cs.DurableOrder) != len(tc.cap.DurableOrder) {
+			t.Fatalf("at %d: journal %d/%d vs capture %d/%d", tc.at,
+				len(cs.Groups), len(cs.DurableOrder), len(tc.cap.Groups), len(tc.cap.DurableOrder))
+		}
+		for i, g := range cs.Groups {
+			cg := tc.cap.Groups[i]
+			if g.ID != cg.ID || g.State() != cg.State() || len(g.DirtyLines()) != len(cg.DirtyLines()) {
+				t.Fatalf("at %d: group %d differs: (%d,%v,%d) vs (%d,%v,%d)", tc.at, i,
+					g.ID, g.State(), len(g.DirtyLines()), cg.ID, cg.State(), len(cg.DirtyLines()))
+			}
+		}
+		if len(cs.Image) != len(tc.cap.Image) {
+			t.Fatalf("at %d: image size %d vs %d", tc.at, len(cs.Image), len(tc.cap.Image))
+		}
+		for l, v := range cs.Image {
+			if tc.cap.Image[l] != v {
+				t.Fatalf("at %d: image[%v] %v vs %v", tc.at, l, v, tc.cap.Image[l])
+			}
+		}
+		for i := range cs.StoresIssued {
+			if cs.StoresIssued[i] != tc.cap.StoresIssued[i] {
+				t.Fatalf("at %d: stores issued[%d] %d vs %d", tc.at, i,
+					cs.StoresIssued[i], tc.cap.StoresIssued[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package faultplan
+
+import "repro/internal/ckpt"
+
+// EncodeState writes the fault plan's runtime state: the three splitmix64
+// stream positions, the full injection ledger, and per-rank degradation
+// flags. This is the fault-ledger state a checkpoint must preserve —
+// restoring mid-outage with reset RNG streams would silently change every
+// subsequent fault decision.
+func (p *Plan) EncodeState(w *ckpt.Writer) {
+	for _, s := range p.rng {
+		w.U64(s)
+	}
+	c := p.n
+	w.U64(c.NVMWriteFails)
+	w.U64(c.NVMReadFails)
+	w.U64(c.NVMSpikes)
+	w.U64(c.NVMRetries)
+	w.U64(c.NVMDegraded)
+	w.U64(c.NVMAbandoned)
+	w.U64(c.NoCDrops)
+	w.U64(c.NoCRetransmits)
+	w.U64(c.NoCEscalations)
+	w.U64(c.NoCDups)
+	w.U64(c.NoCDelays)
+	w.U64(c.AGBStalls)
+	w.U64(c.AGBOfflines)
+	w.U64(c.AGBRedirects)
+	w.U32(uint32(len(p.degraded)))
+	for _, d := range p.degraded {
+		w.Bool(d)
+	}
+}

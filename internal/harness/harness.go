@@ -38,6 +38,18 @@ type Options struct {
 	// simulation fails with a StallError instead of hanging its worker
 	// forever. It overrides Config.WatchdogHorizon.
 	Timeout sim.Time
+
+	// CheckpointEvery, when positive, pauses each run every that many
+	// cycles and hands a checkpoint blob to OnCheckpoint (plus a final one
+	// at completion). Checkpoints do not perturb results.
+	CheckpointEvery sim.Time
+	// OnCheckpoint receives each checkpoint blob; ignored when
+	// CheckpointEvery is 0.
+	OnCheckpoint func(blob []byte)
+	// ResumeFrom, when non-empty, restores the run from a checkpoint blob
+	// instead of starting at cycle 0 (replay-verified against the config
+	// and workload).
+	ResumeFrom []byte
 }
 
 // DefaultOptions returns full-scale, deterministic, parallel options.
@@ -100,12 +112,47 @@ func RunConfigChecked(bench trace.Profile, cfg machine.Config, o Options) (*mach
 	if o.Timeout > 0 {
 		cfg.WatchdogHorizon = o.Timeout
 	}
-	m, err := machine.New(cfg)
+	w := trace.Generate(bench.Scale(o.scale()), cfg.Cores, o.Seed)
+	return runWorkload(cfg, w, o)
+}
+
+// runWorkload drives one workload on a fresh or checkpoint-restored
+// machine, emitting periodic checkpoints when asked.
+func runWorkload(cfg machine.Config, w *trace.Workload, o Options) (*machine.Results, error) {
+	var m *machine.Machine
+	var err error
+	if len(o.ResumeFrom) > 0 {
+		m, err = machine.Restore(cfg, w, o.ResumeFrom)
+	} else if m, err = machine.New(cfg); err == nil {
+		m.Start(w)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
-	w := trace.Generate(bench.Scale(o.scale()), cfg.Cores, o.Seed)
-	return m.RunChecked(w)
+	if o.CheckpointEvery == 0 {
+		if _, err := m.Advance(sim.MaxTime); err != nil {
+			return nil, err
+		}
+		return m.Results(), nil
+	}
+	limit := m.Now() + o.CheckpointEvery
+	for {
+		done, err := m.Advance(limit)
+		if err != nil {
+			return nil, err
+		}
+		if o.OnCheckpoint != nil {
+			blob, err := m.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("harness: %w", err)
+			}
+			o.OnCheckpoint(blob)
+		}
+		if done {
+			return m.Results(), nil
+		}
+		limit += o.CheckpointEvery
+	}
 }
 
 // Cell identifies one simulation in a sweep.

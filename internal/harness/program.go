@@ -41,15 +41,11 @@ func RunProgramConfigChecked(p *program.Program, cfg machine.Config, o Options) 
 	if o.Timeout > 0 {
 		cfg.WatchdogHorizon = o.Timeout
 	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
 	w, err := p.Compile(envFor(cfg), o.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
-	return m.RunChecked(w)
+	return runWorkload(cfg, w, o)
 }
 
 // EstimateProgram is the admission-control view: the program's cost for the

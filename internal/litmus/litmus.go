@@ -355,6 +355,14 @@ func (t *Test) lower(p Perturb) *lowered {
 	return lo
 }
 
+// Workload renders the test as the per-core mem.Op workload Explore runs
+// under the given perturbation — exported for differential suites that
+// drive litmus workloads through the machine directly (for example the
+// checkpoint-resume byte-identity axis in scheduler_equiv_test.go).
+func (t *Test) Workload(p Perturb) *trace.Workload {
+	return t.lower(p).w
+}
+
 // outcome decodes a machine outcome (per-line durable versions) into the
 // litmus encoding. Versions no litmus store minted — possible only when a
 // deliberate CrashFault corrupted the image — decode as "?version", which

@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fuzzSystems is the system roster the fuzzer picks from.
+var fuzzSystems = [...]SystemKind{TSOPER, STW, BSPSLCAGB, HWRP}
+
+// FuzzCheckpoint fuzzes both halves of the checkpoint contract on one
+// small workload family:
+//
+//   - round trip: checkpoint a machine at an arbitrary cycle, restore the
+//     blob, finish the run, and demand results identical to a
+//     straight-through run of the same workload;
+//   - robustness: a blob with one byte flipped, or truncated, must fail
+//     Restore with one of the typed ckpt errors — never panic, never
+//     silently succeed with the mutation in a load-bearing position.
+func FuzzCheckpoint(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint8(0), uint32(0), uint8(0), uint16(0))
+	f.Add(int64(7), uint16(300), uint8(1), uint32(9), uint8(0xFF), uint16(0))
+	f.Add(int64(42), uint16(65535), uint8(2), uint32(11), uint8(0), uint16(40))
+	f.Add(int64(13), uint16(800), uint8(3), uint32(1<<20), uint8(1), uint16(9999))
+
+	f.Fuzz(func(t *testing.T, seed int64, cycleFrac uint16, sysPick uint8,
+		mutPos uint32, mutXor uint8, truncTo uint16) {
+		cfg := ckptConfig(fuzzSystems[int(sysPick)%len(fuzzSystems)])
+		p := trace.Profile{
+			Name: "ckpt-fuzz", OpsPerCore: 120, StoreFrac: 0.5,
+			SharedFrac: 0.4, SharedLines: 32, PrivateLines: 64,
+			HotFrac: 0.5, HotLines: 4, Locality: 0.3,
+			SyncPeriod: 40, CSStores: 3, ComputeMean: 2,
+		}
+		w := trace.Generate(p, cfg.Cores, seed)
+		straight := runStraight(t, cfg, w)
+
+		// Checkpoint at an arbitrary point of the run, including the drain
+		// window and past the end.
+		at := sim.Time(uint64(straight.DrainCycles+100) * uint64(cycleFrac) / 65535)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start(trace.Generate(p, cfg.Cores, seed))
+		if _, err := m.Advance(at); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := m.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Round trip: restore, finish, compare.
+		r, err := Restore(cfg, trace.Generate(p, cfg.Cores, seed), blob)
+		if err != nil {
+			t.Fatalf("restore of a pristine blob at cycle %d: %v", at, err)
+		}
+		for {
+			done, err := r.Advance(sim.MaxTime)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+		got := r.Results()
+		if got.Cycles != straight.Cycles || got.DrainCycles != straight.DrainCycles {
+			t.Fatalf("resumed run cycles (%d, %d) != straight (%d, %d)",
+				got.Cycles, got.DrainCycles, straight.Cycles, straight.DrainCycles)
+		}
+		for line, vs := range straight.LineOrder {
+			rvs := got.LineOrder[line]
+			if len(rvs) != len(vs) {
+				t.Fatalf("line %v order length %d != %d", line, len(rvs), len(vs))
+			}
+			for i := range vs {
+				if rvs[i] != vs[i] {
+					t.Fatalf("line %v order[%d] %v != %v", line, i, rvs[i], vs[i])
+				}
+			}
+		}
+
+		// Robustness: mutations must yield typed errors, never panics. A
+		// mutation may also leave the blob semantically intact (a byte in a
+		// section name length that still parses, xor 0) — restoring
+		// successfully is fine; panicking or hanging is not.
+		mutated := append([]byte(nil), blob...)
+		mutated[int(mutPos)%len(mutated)] ^= mutXor
+		if _, err := Restore(cfg, trace.Generate(p, cfg.Cores, seed), mutated); err != nil {
+			requireTypedCkptErr(t, err)
+		}
+		truncated := blob[:int(truncTo)%(len(blob)+1)]
+		if _, err := Restore(cfg, trace.Generate(p, cfg.Cores, seed), truncated); err != nil {
+			requireTypedCkptErr(t, err)
+		} else if len(truncated) < len(blob) {
+			t.Fatalf("restore accepted a blob truncated to %d of %d bytes", len(truncated), len(blob))
+		}
+	})
+}
+
+// requireTypedCkptErr asserts err belongs to the typed checkpoint failure
+// classes (possibly wrapped by the restore-replay path).
+func requireTypedCkptErr(t *testing.T, err error) {
+	t.Helper()
+	if errors.Is(err, ckpt.ErrFormat) || errors.Is(err, ckpt.ErrVersion) ||
+		errors.Is(err, ckpt.ErrConfigMismatch) || errors.Is(err, ckpt.ErrDivergence) {
+		return
+	}
+	t.Fatalf("restore failed with an untyped error: %v", err)
+}

@@ -49,18 +49,15 @@ type CrashState struct {
 // completion, whichever is first) and returns the post-crash durable state.
 // Only the strict-persistency systems (STW, TSOPER) produce a checkable
 // group journal.
+//
+// The returned state aliases the machine's live bookkeeping — fine for
+// this single-shot entry point, where the machine never advances again.
+// Incremental sweeps that keep simulating after a capture must use
+// StartCrashRun / AdvanceTo / CaptureCrashState, whose captures are deep
+// copies.
 func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
-	if len(w.Cores) != m.cfg.Cores {
-		panic("machine: workload/core mismatch")
-	}
-	for i, ops := range w.Cores {
-		c := newCoreUnit(m, i, ops)
-		m.cores = append(m.cores, c)
-		m.running++
-		m.engine.Schedule(0, c.stepFn)
-	}
-	m.armWatchdog()
-	m.engine.RunUntil(at)
+	m.StartCrashRun(w)
+	m.AdvanceTo(at)
 
 	cs := &CrashState{
 		System:       m.cfg.System,
@@ -76,18 +73,72 @@ func (m *Machine) RunWithCrash(w *trace.Workload, at sim.Time) *CrashState {
 	for _, c := range m.cores {
 		cs.StoresIssued = append(cs.StoresIssued, c.storeSeq)
 	}
-	// Recover: replay the durable groups in durability order. Applying
-	// every durable group (including retired ones, whose lines already
-	// reached NVM) reconstructs the newest durable version per line —
-	// same-address FIFO holds because durability order is allocation order.
-	for _, g := range cs.DurableOrder {
-		for l, v := range g.DirtyLines() {
-			cs.Image[l] = v
-		}
-	}
+	recoverImage(cs)
 	if m.cfg.CrashFault != FaultNone {
 		cs.Fault = m.cfg.CrashFault
 		cs.FaultApplied = InjectFault(cs, m.cfg.CrashFault)
 	}
 	return cs
+}
+
+// StartCrashRun schedules the workload for an incremental crash sweep:
+// follow with AdvanceTo for each crash cycle of interest (ascending) and
+// CaptureCrashState after each. One machine serves a whole ascending chain
+// of crash points — the prefix up to each point simulates once instead of
+// once per point.
+func (m *Machine) StartCrashRun(w *trace.Workload) {
+	m.Start(w)
+}
+
+// AdvanceTo dispatches events up to and including cycle at. Calls must use
+// nondecreasing cycles. Unlike Advance, no phase machinery runs: a crash
+// sweep only ever observes the execution phase (the end-of-run flush would
+// mask exactly the in-flight state crash campaigns probe).
+func (m *Machine) AdvanceTo(at sim.Time) {
+	m.engine.RunUntil(at)
+}
+
+// CaptureCrashState snapshots the post-crash durable state at the current
+// cycle without disturbing the run: every captured structure is a deep copy
+// (the group journal via core.CloneGroups, the per-line order with copied
+// version slices), so the machine can keep advancing to later crash points
+// and fault injection can mutate the capture freely.
+func (m *Machine) CaptureCrashState() *CrashState {
+	groups, durable := core.CloneGroups(m.journal, m.durableOrder)
+	lineOrder := make(map[mem.Line][]mem.Version, len(m.lineOrder))
+	for l, vs := range m.lineOrder {
+		lineOrder[l] = append([]mem.Version(nil), vs...)
+	}
+	cs := &CrashState{
+		System:       m.cfg.System,
+		At:           m.engine.Now(),
+		Image:        make(map[mem.Line]mem.Version),
+		Groups:       groups,
+		DurableOrder: durable,
+		LineOrder:    lineOrder,
+		Stalled:      m.stall != nil,
+		Stall:        m.stall,
+		FaultCounts:  m.FaultCounts(),
+	}
+	for _, c := range m.cores {
+		cs.StoresIssued = append(cs.StoresIssued, c.storeSeq)
+	}
+	recoverImage(cs)
+	if m.cfg.CrashFault != FaultNone {
+		cs.Fault = m.cfg.CrashFault
+		cs.FaultApplied = InjectFault(cs, m.cfg.CrashFault)
+	}
+	return cs
+}
+
+// recoverImage replays the durable groups in durability order. Applying
+// every durable group (including retired ones, whose lines already reached
+// NVM) reconstructs the newest durable version per line — same-address FIFO
+// holds because durability order is allocation order.
+func recoverImage(cs *CrashState) {
+	for _, g := range cs.DurableOrder {
+		for l, v := range g.DirtyLines() {
+			cs.Image[l] = v
+		}
+	}
 }

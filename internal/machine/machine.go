@@ -76,6 +76,9 @@ type Machine struct {
 	drainPending bool
 
 	running   int
+	phase     runPhase
+	flushed   bool
+	workload  *trace.Workload
 	execDone  sim.Time
 	drainDone sim.Time
 
@@ -153,13 +156,62 @@ func (m *Machine) Run(w *trace.Workload) *Results {
 	return r
 }
 
+// runPhase tracks where a stepped run stands. It advances strictly
+// idle → exec → drain → done; a checkpoint records it so a restore knows
+// which phase to resume.
+type runPhase uint8
+
+const (
+	phaseIdle runPhase = iota
+	phaseExec
+	phaseDrain
+	phaseDone
+)
+
+func (p runPhase) String() string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseExec:
+		return "exec"
+	case phaseDrain:
+		return "drain"
+	case phaseDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Phase reports the run phase as a string ("idle", "exec", "drain", "done").
+func (m *Machine) Phase() string { return m.phase.String() }
+
+// Now reports the current simulation cycle.
+func (m *Machine) Now() sim.Time { return m.engine.Now() }
+
 // RunChecked is Run returning wedged-run failures as errors: a *StallError
 // when the watchdog declares quiescence-without-progress, a plain error on
 // deadlock or an incomplete final drain.
 func (m *Machine) RunChecked(w *trace.Workload) (*Results, error) {
+	m.Start(w)
+	if _, err := m.Advance(sim.MaxTime); err != nil {
+		return nil, err
+	}
+	return m.results(w), nil
+}
+
+// Start schedules the workload onto the cores and arms the watchdog,
+// leaving the machine in the execution phase. Drive it with Advance; a
+// full run to completion is Start + Advance(sim.MaxTime) (what RunChecked
+// does), a stepped run calls Advance with increasing limits and may
+// Checkpoint between calls.
+func (m *Machine) Start(w *trace.Workload) {
 	if len(w.Cores) != m.cfg.Cores {
 		panic(fmt.Sprintf("machine: workload has %d cores, machine %d", len(w.Cores), m.cfg.Cores))
 	}
+	if m.phase != phaseIdle {
+		panic("machine: Start called twice")
+	}
+	m.workload = w
 	for i, ops := range w.Cores {
 		c := newCoreUnit(m, i, ops)
 		m.cores = append(m.cores, c)
@@ -167,50 +219,94 @@ func (m *Machine) RunChecked(w *trace.Workload) (*Results, error) {
 		m.engine.Schedule(0, c.stepFn)
 	}
 	m.armWatchdog()
-	m.engine.Run()
-	if m.stall != nil {
-		return nil, m.stall
-	}
-	if m.running != 0 {
-		return nil, fmt.Errorf("machine: deadlock — %d cores stuck at cycle %d (%s)",
-			m.running, m.engine.Now(), m.cfg.System)
-	}
-	m.execDone = m.engine.Now()
-	m.execCoherenceWrites = m.coherenceWrites.Value
-	m.execPersistWrites = m.persistWrites.Value
-	m.execNVMWrites = m.memory.Writes()
+	m.phase = phaseExec
+}
 
-	// End-of-run flush: expose everything so the durable image completes.
-	flushed := false
-	m.drainPending = true
-	m.sys.drain(func() {
-		flushed = true
-		m.drainPending = false
-		// The flush is done: cancel the artificial queue-keepers (watchdog
-		// check, remaining fault-outage toggles) so the queue empties at the
-		// last real event and DrainCycles keeps its plan-free meaning.
-		m.disarmWatchdog()
-		m.buffer.CancelOutages()
-	})
-	m.armWatchdog()
-	m.engine.Run()
-	if m.stall != nil {
-		return nil, m.stall
-	}
-	if !flushed {
-		return nil, fmt.Errorf("machine: final drain never completed (cycle %d, %s)",
-			m.engine.Now(), m.cfg.System)
-	}
-	m.drainDone = m.engine.Now()
-	if m.plan != nil {
-		// A run that quiesced cleanly can still have dropped persists on the
-		// floor (the plan's test-only abandonment mode): the durable image is
-		// silently incomplete, which must never read as success.
-		if lost := m.plan.Counts().Lost(); lost > 0 {
-			return nil, fmt.Errorf("machine: %d persists permanently lost (%s)", lost, m.cfg.System)
+// Advance dispatches events with time <= limit, moving through the run's
+// phases as each completes. It returns done=true once the final drain has
+// finished and the run's invariants checked out; done=false with a nil
+// error means events beyond the limit remain — call Advance again with a
+// larger limit (checkpointing in between, if desired). Errors are the same
+// wedged-run failures RunChecked reports and are sticky: the machine is
+// not usable after one.
+func (m *Machine) Advance(limit sim.Time) (bool, error) {
+	for {
+		switch m.phase {
+		case phaseIdle:
+			return false, fmt.Errorf("machine: Advance before Start")
+
+		case phaseExec:
+			m.engine.RunUntil(limit)
+			if m.stall != nil {
+				return false, m.stall
+			}
+			if m.engine.Pending() > 0 {
+				return false, nil
+			}
+			if m.running != 0 {
+				return false, fmt.Errorf("machine: deadlock — %d cores stuck at cycle %d (%s)",
+					m.running, m.engine.Now(), m.cfg.System)
+			}
+			m.execDone = m.engine.Now()
+			m.execCoherenceWrites = m.coherenceWrites.Value
+			m.execPersistWrites = m.persistWrites.Value
+			m.execNVMWrites = m.memory.Writes()
+
+			// End-of-run flush: expose everything so the durable image
+			// completes.
+			m.flushed = false
+			m.drainPending = true
+			m.sys.drain(func() {
+				m.flushed = true
+				m.drainPending = false
+				// The flush is done: cancel the artificial queue-keepers
+				// (watchdog check, remaining fault-outage toggles) so the
+				// queue empties at the last real event and DrainCycles keeps
+				// its plan-free meaning.
+				m.disarmWatchdog()
+				m.buffer.CancelOutages()
+			})
+			m.armWatchdog()
+			m.phase = phaseDrain
+
+		case phaseDrain:
+			m.engine.RunUntil(limit)
+			if m.stall != nil {
+				return false, m.stall
+			}
+			if m.engine.Pending() > 0 {
+				return false, nil
+			}
+			if !m.flushed {
+				return false, fmt.Errorf("machine: final drain never completed (cycle %d, %s)",
+					m.engine.Now(), m.cfg.System)
+			}
+			m.drainDone = m.engine.Now()
+			if m.plan != nil {
+				// A run that quiesced cleanly can still have dropped persists
+				// on the floor (the plan's test-only abandonment mode): the
+				// durable image is silently incomplete, which must never read
+				// as success.
+				if lost := m.plan.Counts().Lost(); lost > 0 {
+					return false, fmt.Errorf("machine: %d persists permanently lost (%s)", lost, m.cfg.System)
+				}
+			}
+			m.phase = phaseDone
+			return true, nil
+
+		default: // phaseDone
+			return true, nil
 		}
 	}
-	return m.results(w), nil
+}
+
+// Results materializes the results for the workload the machine ran. Valid
+// only after Advance returned done=true; RunChecked calls it for you.
+func (m *Machine) Results() *Results {
+	if m.phase != phaseDone {
+		panic("machine: Results before the run completed")
+	}
+	return m.results(m.workload)
 }
 
 func (m *Machine) results(w *trace.Workload) *Results {

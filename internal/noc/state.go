@@ -1,0 +1,10 @@
+package noc
+
+import "repro/internal/ckpt"
+
+// EncodeState writes the injection-port occupancy per node. In-flight
+// deliveries are continuations in the engine schedule; the message/hop
+// counters live in the machine's stats registry.
+func (n *Network) EncodeState(w *ckpt.Writer) {
+	n.ports.EncodeState(w)
+}

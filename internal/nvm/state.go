@@ -1,0 +1,28 @@
+package nvm
+
+import (
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// EncodeState writes the durable image in line-address order plus the rank
+// occupancy state. The write/read counters live in the machine's stats
+// registry; in-flight write completions live in the engine schedule; the
+// writeOp pool is allocation reuse, not state.
+func (m *Memory) EncodeState(w *ckpt.Writer) {
+	lines := make([]uint64, 0, len(m.durable))
+	for l := range m.durable {
+		lines = append(lines, uint64(l))
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	w.U32(uint32(len(lines)))
+	for _, l := range lines {
+		v := m.durable[mem.Line(l)]
+		w.U64(l)
+		w.Int(v.Core)
+		w.U64(v.Seq)
+	}
+	m.ranks.EncodeState(w)
+}

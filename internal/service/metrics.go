@@ -21,6 +21,11 @@ type metrics struct {
 	dedups         atomic.Uint64
 	peerReads      atomic.Uint64 // cache-read endpoint hits (peer cache-fill)
 	peerReadMisses atomic.Uint64
+	// warmStarts counts program jobs resumed from a cached prefix
+	// checkpoint; warmStartRejects counts blobs the replay-verification
+	// refused (the job then ran cold).
+	warmStarts       atomic.Uint64
+	warmStartRejects atomic.Uint64
 
 	mu sync.Mutex
 	// lat is a ring of the most recent completed-job latencies; count and
@@ -91,6 +96,11 @@ type CacheStats struct {
 	// (GET /v1/cache/{hash}) — how often cluster peers fill from this node.
 	PeerReads      uint64 `json:"peer_reads"`
 	PeerReadMisses uint64 `json:"peer_read_misses"`
+	// WarmStarts counts program jobs resumed from a cached prefix
+	// checkpoint; WarmStartRejects counts blobs rejected by
+	// replay-verification (those jobs ran cold and stayed correct).
+	WarmStarts       uint64 `json:"warm_starts"`
+	WarmStartRejects uint64 `json:"warm_start_rejects"`
 }
 
 // MetricsSnapshot is the /metrics document.
@@ -158,13 +168,15 @@ func (s *Server) Metrics() MetricsSnapshot {
 		JobsQueued:    queued,
 		JobsRunning:   running,
 		Cache: CacheStats{
-			Entries:        s.cache.Len(),
-			Hits:           m.cacheHits.Load(),
-			Misses:         m.cacheMisses.Load(),
-			Dedups:         m.dedups.Load(),
-			Evictions:      s.cache.Evictions(),
-			PeerReads:      m.peerReads.Load(),
-			PeerReadMisses: m.peerReadMisses.Load(),
+			Entries:          s.cache.Len(),
+			Hits:             m.cacheHits.Load(),
+			Misses:           m.cacheMisses.Load(),
+			Dedups:           m.dedups.Load(),
+			Evictions:        s.cache.Evictions(),
+			PeerReads:        m.peerReads.Load(),
+			PeerReadMisses:   m.peerReadMisses.Load(),
+			WarmStarts:       m.warmStarts.Load(),
+			WarmStartRejects: m.warmStartRejects.Load(),
 		},
 	}
 	if total := snap.Cache.Hits + snap.Cache.Misses; total > 0 {

@@ -1,0 +1,88 @@
+// Checkpoint warm-start for program jobs.
+//
+// A program whose per-core instruction streams extend another program's is
+// a *superprogram*: because each core lowers through one continuous
+// RNG/cursor stream, the prefix program's compiled op streams are strict
+// prefixes of the superprogram's, so the two machines are in identical
+// states at any cycle before a prefix core completes. The service exploits
+// this: every program run emits periodic checkpoints, and the last
+// execution-phase blob is stored in the result cache under
+// "ckpt:" + the job's content address. A later job whose program truncates
+// to that prefix (uniform per-core instruction count) probes those keys
+// and resumes from the blob instead of starting at cycle 0.
+//
+// Soundness does not rest on the prefix heuristic: machine.Restore replays
+// the new job's own workload to the checkpoint cycle and byte-compares the
+// state, so an unsound match (a prefix core had already completed, a
+// paired cross-core op was split, a different seed) is rejected with a
+// typed error and the job falls back to a cold run. The heuristic only
+// decides what is worth trying.
+package service
+
+import (
+	"errors"
+
+	"repro/internal/ckpt"
+	"repro/internal/program"
+)
+
+// ckptKeyPrefix namespaces checkpoint blobs in the result cache.
+const ckptKeyPrefix = "ckpt:"
+
+// prefixPrograms enumerates the canonical uniform truncations of p,
+// longest first: for each level k below the longest core's instruction
+// count, every core keeps min(k, len) instructions. Levels whose
+// truncation fails validation are skipped by the caller (Hash errors).
+func prefixPrograms(p *program.Program) []*program.Program {
+	c, err := p.Canonical()
+	if err != nil {
+		return nil
+	}
+	maxLen := 0
+	for _, cp := range c.Cores {
+		if len(cp.Instrs) > maxLen {
+			maxLen = len(cp.Instrs)
+		}
+	}
+	out := make([]*program.Program, 0, maxLen-1)
+	for k := maxLen - 1; k >= 1; k-- {
+		q := &program.Program{Version: c.Version, Name: c.Name}
+		for _, cp := range c.Cores {
+			n := k
+			if n > len(cp.Instrs) {
+				n = len(cp.Instrs)
+			}
+			q.Cores = append(q.Cores, program.CoreProg{
+				Instrs: append([]program.Instr(nil), cp.Instrs[:n]...),
+			})
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// lookupWarmStart probes the cache for a checkpoint blob of any prefix of
+// the plan's program (longest prefix first) under the same seed and
+// config. It returns the first blob found.
+func (s *Server) lookupWarmStart(p plan) ([]byte, bool) {
+	if p.prog == nil {
+		return nil, false
+	}
+	for _, pp := range prefixPrograms(p.prog) {
+		key, err := programCacheKey(pp, p.seed, p.cfg)
+		if err != nil {
+			continue
+		}
+		if blob, ok := s.cache.Get(ckptKeyPrefix + key); ok {
+			return blob, true
+		}
+	}
+	return nil, false
+}
+
+// isCheckpointErr reports whether err is one of the typed checkpoint
+// failures — the signal to retry cold rather than fail the job.
+func isCheckpointErr(err error) bool {
+	return errors.Is(err, ckpt.ErrFormat) || errors.Is(err, ckpt.ErrVersion) ||
+		errors.Is(err, ckpt.ErrConfigMismatch) || errors.Is(err, ckpt.ErrDivergence)
+}

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/program"
+)
+
+// warmProgram builds a two-core program of `levels` fenced store bursts
+// per core (the fences keep canonicalization from merging the bursts, so
+// each level survives as a distinct truncation point). Cores are symmetric
+// so neither finishes long before the other — the last execution-phase
+// checkpoint of a prefix run then predates any core's completion, which is
+// what makes a warm start replay-verifiable.
+func warmProgram(levels int) *program.Program {
+	p := &program.Program{Version: 1, Name: "warm"}
+	for c := 0; c < 2; c++ {
+		var instrs []program.Instr
+		for k := 0; k < levels; k++ {
+			instrs = append(instrs,
+				program.Instr{Op: program.OpStoreBurst, Count: 400},
+				program.Instr{Op: program.OpFence})
+		}
+		p.Cores = append(p.Cores, program.CoreProg{Instrs: instrs})
+	}
+	return p
+}
+
+func startInternalServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s
+}
+
+// runToDone submits a spec and waits for the worker to finish it.
+func runToDone(t *testing.T, s *Server, spec JobSpec) *job {
+	t.Helper()
+	j, outcome, err := s.submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if outcome != outcomeQueued {
+		t.Fatalf("submit outcome %d, want queued", outcome)
+	}
+	select {
+	case <-j.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	if j.state != stateDone {
+		t.Fatalf("job state %s (err %q), want done", j.state, j.err)
+	}
+	return j
+}
+
+// directProgramBytes is the cold, in-process reference result.
+func directProgramBytes(t *testing.T, p *program.Program, seed int64) []byte {
+	t.Helper()
+	res, err := harness.RunProgramChecked(p, machine.TSOPER, harness.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWarmStartFromPrefixCheckpoint is the service half of the checkpoint
+// acceptance gate: running a program caches its last execution-phase
+// checkpoint; a later superprogram job finds it via the prefix probe,
+// resumes from it, and still produces bytes identical to a cold run.
+func TestWarmStartFromPrefixCheckpoint(t *testing.T) {
+	s := startInternalServer(t, Config{Workers: 1, QueueDepth: 8, CheckpointEvery: 2_000})
+	const seed = 5
+
+	prefix, super := warmProgram(1), warmProgram(3)
+
+	jp := runToDone(t, s, JobSpec{Program: prefix, System: "tsoper", Seed: seed})
+	if blob, ok := s.cache.Get(ckptKeyPrefix + jp.plan.key); !ok || len(blob) == 0 {
+		t.Fatal("prefix run did not cache a checkpoint blob")
+	}
+
+	js := runToDone(t, s, JobSpec{Program: super, System: "tsoper", Seed: seed})
+	snap := s.Metrics()
+	if snap.Cache.WarmStarts != 1 {
+		t.Fatalf("warm starts %d (rejects %d), want 1", snap.Cache.WarmStarts, snap.Cache.WarmStartRejects)
+	}
+	if snap.Cache.WarmStartRejects != 0 {
+		t.Fatalf("warm start rejects %d, want 0", snap.Cache.WarmStartRejects)
+	}
+	if want := directProgramBytes(t, super, seed); !bytes.Equal(js.result, want) {
+		t.Fatalf("warm-started result differs from cold run:\nwarm: %s\ncold: %s", js.result, want)
+	}
+	// The superprogram's own checkpoint is cached for the next extension.
+	if _, ok := s.cache.Get(ckptKeyPrefix + js.plan.key); !ok {
+		t.Fatal("superprogram run did not cache its own checkpoint blob")
+	}
+}
+
+// TestWarmStartRejectFallsBackCold poisons the prefix slot with garbage:
+// the job must detect the typed checkpoint failure, count a reject, rerun
+// cold, and still produce the correct bytes.
+func TestWarmStartRejectFallsBackCold(t *testing.T) {
+	s := startInternalServer(t, Config{Workers: 1, QueueDepth: 8, CheckpointEvery: 2_000})
+	const seed = 5
+
+	super := warmProgram(3)
+	pl, err := JobSpec{Program: warmProgram(1), System: "tsoper", Seed: seed}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cache.Put(ckptKeyPrefix+pl.key, []byte("not a checkpoint blob"))
+
+	js := runToDone(t, s, JobSpec{Program: super, System: "tsoper", Seed: seed})
+	snap := s.Metrics()
+	if snap.Cache.WarmStartRejects != 1 {
+		t.Fatalf("warm start rejects %d, want 1", snap.Cache.WarmStartRejects)
+	}
+	if snap.Cache.WarmStarts != 0 {
+		t.Fatalf("warm starts %d, want 0", snap.Cache.WarmStarts)
+	}
+	if want := directProgramBytes(t, super, seed); !bytes.Equal(js.result, want) {
+		t.Fatal("cold-fallback result differs from direct run")
+	}
+}
+
+// TestPrefixProgramsEnumeratesTruncations pins the probe order: longest
+// prefix first, one level per instruction count below the longest core.
+func TestPrefixProgramsEnumeratesTruncations(t *testing.T) {
+	pps := prefixPrograms(warmProgram(3))
+	if len(pps) != 5 {
+		t.Fatalf("got %d prefixes, want 5", len(pps))
+	}
+	for i, want := range []int{5, 4, 3, 2, 1} {
+		for c, cp := range pps[i].Cores {
+			if len(cp.Instrs) != want {
+				t.Fatalf("prefix %d core %d has %d instrs, want %d", i, c, len(cp.Instrs), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/ckpt"
+)
+
+// This file is the kernel's checkpoint surface. Pending events are closures
+// and cannot be serialized structurally; instead the engine encodes its
+// *logical* schedule — clock, sequence counter, dispatch count, and every
+// queued event's (at, seq, gen) triple in dispatch order. Restore replays a
+// fresh machine to the checkpoint cycle and byte-compares this encoding:
+// because allocation and release of pooled event records happen at the
+// engine level in dispatch order, the triples (including free-list
+// generation counters) are a deterministic function of the dispatch history
+// — identical across runs and across scheduler implementations. Pool
+// internals (free-list linkage) are deliberately excluded: they are not
+// logical state.
+
+// forEach visits every queued event in unspecified order.
+func (s *heapScheduler) forEach(fn func(*scheduledEvent)) {
+	for _, ev := range s.events {
+		fn(ev)
+	}
+}
+
+// forEach visits every queued event: all bucket FIFO chains plus the
+// overflow heap.
+func (w *wheelScheduler) forEach(fn func(*scheduledEvent)) {
+	for i := range w.buckets {
+		for ev := w.buckets[i].head; ev != nil; ev = ev.next {
+			fn(ev)
+		}
+	}
+	for _, ev := range w.overflow {
+		fn(ev)
+	}
+}
+
+// EncodeState writes the engine's logical state as one section: clock,
+// sequence counter, dispatch count, and the pending events sorted by
+// dispatch order (at, seq) with their generation tags.
+func (e *Engine) EncodeState(w *ckpt.Writer) {
+	w.Section("engine")
+	w.U64(uint64(e.now))
+	w.U64(e.seq)
+	w.U64(e.Executed)
+
+	type triple struct {
+		at  Time
+		seq uint64
+		gen uint32
+	}
+	evs := make([]triple, 0, e.sched.len())
+	collect := func(ev *scheduledEvent) {
+		evs = append(evs, triple{ev.at, ev.seq, ev.gen})
+	}
+	if e.wheel != nil {
+		e.wheel.forEach(collect)
+	} else {
+		e.sched.(*heapScheduler).forEach(collect)
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	w.U32(uint32(len(evs)))
+	for _, ev := range evs {
+		w.U64(uint64(ev.at))
+		w.U64(ev.seq)
+		w.U32(ev.gen)
+	}
+}
+
+// Seq returns the engine's next event sequence number.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// EncodeState writes the watchdog's progress-tracking state. The pending
+// check event itself lives in the engine's schedule; armed records whether
+// one is outstanding.
+func (w *Watchdog) EncodeState(cw *ckpt.Writer) {
+	cw.U64(w.lastExec)
+	cw.Bool(w.tripped)
+	cw.Bool(w.armed)
+}
+
+// EncodeState writes every unit's occupancy state in index order.
+func (b *Bank) EncodeState(w *ckpt.Writer) {
+	w.U32(uint32(b.Len()))
+	for i := 0; i < b.Len(); i++ {
+		u := b.Unit(i)
+		w.U64(uint64(u.NextFree()))
+		w.U64(uint64(u.Busy))
+		w.U64(u.Claims)
+	}
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/ckpt"
+)
+
+// EncodeState writes every registered metric in registration order:
+// counters as (name, value), distributions as (name, sum, max, samples).
+// Samples are written in insertion order — stable under replay because
+// nothing sorts a distribution (Percentile/FracAtMost) while a run is in
+// flight.
+func (s *Set) EncodeState(w *ckpt.Writer) {
+	w.U32(uint32(len(s.order)))
+	for _, name := range s.order {
+		if c, ok := s.counters[name]; ok {
+			w.U8(0)
+			w.String(name)
+			w.U64(c.Value)
+			continue
+		}
+		d := s.dists[name]
+		w.U8(1)
+		w.String(name)
+		w.U64(d.sum)
+		w.U64(d.max)
+		w.U32(uint32(len(d.samples)))
+		for _, v := range d.samples {
+			w.U64(v)
+		}
+	}
+}
+
+// EncodeState writes the series points in insertion order.
+func (s *Series) EncodeState(w *ckpt.Writer) {
+	w.U32(uint32(len(s.X)))
+	for i := range s.X {
+		w.U64(s.X[i])
+		w.U64(math.Float64bits(s.Y[i]))
+	}
+}

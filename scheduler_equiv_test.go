@@ -46,8 +46,47 @@ func runEquiv(t *testing.T, p tsoper.Profile, sys tsoper.System, o tsoper.RunOpt
 	return r, buf.Bytes()
 }
 
+// assertCheckpointResume is the checkpoint axis of the differential suite:
+// the same configuration run with a checkpoint taken at roughly the
+// midpoint, and again resumed from that blob, must both reproduce the
+// straight-through snapshot byte for byte.
+func assertCheckpointResume(t *testing.T, p tsoper.Profile, sys tsoper.System, o tsoper.RunOptions, cycles uint64, want []byte) {
+	t.Helper()
+	mid := cycles / 2
+	if mid == 0 {
+		mid = 1
+	}
+	var blob []byte
+	oc := o
+	oc.CheckpointEvery = mid
+	oc.OnCheckpoint = func(b []byte) {
+		if blob == nil {
+			blob = b // the midpoint blob, before any later stride
+		}
+	}
+	_, sc := runEquiv(t, p, sys, oc)
+	if !bytes.Equal(sc, want) {
+		t.Fatalf("checkpointing perturbed the run (scheduler %s): %d bytes vs %d", o.Scheduler, len(sc), len(want))
+	}
+	if blob == nil {
+		t.Fatalf("no checkpoint emitted at stride %d", mid)
+	}
+	or := o
+	or.ResumeFrom = blob
+	rr, sr := runEquiv(t, p, sys, or)
+	if !bytes.Equal(sr, want) {
+		t.Fatalf("resumed run diverged from straight-through (scheduler %s, resumed at ~%d of %d cycles): %d bytes vs %d",
+			o.Scheduler, mid, cycles, len(sr), len(want))
+	}
+	if uint64(rr.Cycles) != cycles {
+		t.Fatalf("resumed run finished at cycle %d, straight-through at %d", rr.Cycles, cycles)
+	}
+}
+
 // assertEquivalent runs the configuration under heap and wheel and demands
-// byte-identical snapshots plus identical coherence order and durable image.
+// byte-identical snapshots plus identical coherence order and durable image
+// — and, on each scheduler, that checkpoint-at-midpoint-then-resume
+// reproduces the same bytes.
 func assertEquivalent(t *testing.T, p tsoper.Profile, sys tsoper.System, o tsoper.RunOptions) {
 	t.Helper()
 	oh, ow := o, o
@@ -76,6 +115,8 @@ func assertEquivalent(t *testing.T, p tsoper.Profile, sys tsoper.System, o tsope
 	if !reflect.DeepEqual(rh.Durable, rw.Durable) {
 		t.Fatal("durable NVM image differs between schedulers")
 	}
+	assertCheckpointResume(t, p, sys, oh, uint64(rh.Cycles), sh)
+	assertCheckpointResume(t, p, sys, ow, uint64(rw.Cycles), sw)
 }
 
 // TestSchedulerEquivalenceBenchmarks sweeps the figure roster.
@@ -137,6 +178,89 @@ func TestSchedulerEquivalenceLitmus(t *testing.T) {
 	}
 }
 
+// TestCheckpointEquivalenceLitmus drives every litmus-corpus workload
+// through the machine directly under both schedulers, checkpointing at the
+// midpoint and resuming: snapshots, per-line coherence order, and durable
+// image must be byte-identical to the straight-through run. (Explore's own
+// crash sweeps stay checkpoint-free; this covers the workloads they run.)
+func TestCheckpointEquivalenceLitmus(t *testing.T) {
+	tests, err := litmus.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		tt := tt
+		for _, seed := range equivSeeds {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", tt.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				for _, kind := range []sim.SchedulerKind{sim.SchedulerHeap, sim.SchedulerWheel} {
+					cfg := machine.TableI(machine.TSOPER)
+					cfg.Cores = len(tt.Cores)
+					cfg.Scheduler = kind
+
+					straight, err := machine.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rs, err := straight.RunChecked(tt.Workload(litmus.Perturb{Jitter: seed}))
+					if err != nil {
+						t.Fatal(err)
+					}
+					var want bytes.Buffer
+					if err := rs.Snapshot().WriteJSON(&want); err != nil {
+						t.Fatal(err)
+					}
+
+					mid := rs.Cycles / 2
+					if mid == 0 {
+						mid = 1
+					}
+					m, err := machine.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m.Start(tt.Workload(litmus.Perturb{Jitter: seed}))
+					if _, err := m.Advance(mid); err != nil {
+						t.Fatal(err)
+					}
+					blob, err := m.Checkpoint()
+					if err != nil {
+						t.Fatal(err)
+					}
+					resumed, err := machine.Restore(cfg, tt.Workload(litmus.Perturb{Jitter: seed}), blob)
+					if err != nil {
+						t.Fatalf("restore (scheduler %s): %v", kind, err)
+					}
+					for {
+						done, err := resumed.Advance(sim.MaxTime)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if done {
+							break
+						}
+					}
+					rr := resumed.Results()
+					var got bytes.Buffer
+					if err := rr.Snapshot().WriteJSON(&got); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got.Bytes(), want.Bytes()) {
+						t.Fatalf("resumed litmus run diverged (scheduler %s, mid %d)", kind, mid)
+					}
+					if !reflect.DeepEqual(rr.LineOrder, rs.LineOrder) {
+						t.Fatalf("coherence order diverged after resume (scheduler %s)", kind)
+					}
+					if !reflect.DeepEqual(rr.Durable, rs.Durable) {
+						t.Fatalf("durable image diverged after resume (scheduler %s)", kind)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestSchedulerEquivalencePrograms sweeps the genuinely-new workload-VM
 // library programs — the scenarios the profile generator cannot express —
 // under heap vs wheel. Programs compile to ordinary per-core op streams, so
@@ -180,6 +304,47 @@ func TestSchedulerEquivalencePrograms(t *testing.T) {
 				}
 				if !reflect.DeepEqual(rh.Durable, rw.Durable) {
 					t.Fatal("durable NVM image differs between schedulers")
+				}
+
+				// Checkpoint axis: midpoint checkpoint + resume reproduces
+				// the straight-through bytes on each scheduler.
+				for _, kind := range []sim.SchedulerKind{tsoper.SchedulerHeap, tsoper.SchedulerWheel} {
+					want := sh
+					if kind == tsoper.SchedulerWheel {
+						want = sw
+					}
+					mid := uint64(rh.Cycles) / 2
+					if mid == 0 {
+						mid = 1
+					}
+					var blob []byte
+					_, err := tsoper.RunProgram(p, sys, tsoper.RunOptions{
+						Seed: seed, Scheduler: kind, CheckpointEvery: mid,
+						OnCheckpoint: func(b []byte) {
+							if blob == nil {
+								blob = b
+							}
+						},
+					})
+					if err != nil {
+						t.Fatalf("checkpointed run: %v", err)
+					}
+					if blob == nil {
+						t.Fatalf("no checkpoint emitted at stride %d", mid)
+					}
+					rr, err := tsoper.RunProgram(p, sys, tsoper.RunOptions{
+						Seed: seed, Scheduler: kind, ResumeFrom: blob,
+					})
+					if err != nil {
+						t.Fatalf("resumed run: %v", err)
+					}
+					var buf bytes.Buffer
+					if err := rr.Snapshot().WriteJSON(&buf); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(buf.Bytes(), want) {
+						t.Fatalf("resumed program run diverged (scheduler %s)", kind)
+					}
 				}
 			})
 		}

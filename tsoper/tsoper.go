@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/checker"
+	"repro/internal/ckpt"
 	"repro/internal/machine"
 	"repro/internal/program"
 	"repro/internal/sim"
@@ -111,6 +112,20 @@ type RunOptions struct {
 	Scheduler Scheduler
 	// Config overrides the Table I configuration when non-nil.
 	Config *Config
+
+	// CheckpointEvery, when positive, pauses the run every that many cycles
+	// and hands a checkpoint blob to OnCheckpoint. Checkpoints are
+	// replay-verified on restore and do not perturb the simulation: a
+	// checkpointed run produces byte-identical results to a straight one.
+	CheckpointEvery uint64
+	// OnCheckpoint receives each checkpoint blob (and one final blob when
+	// the run completes). Ignored when CheckpointEvery is 0.
+	OnCheckpoint func(blob []byte)
+	// ResumeFrom, when non-empty, restores the run from a checkpoint blob
+	// instead of starting at cycle 0. The config must match the blob's
+	// canonical hash; the workload must replay to the checkpointed state
+	// (an extension of the checkpointed workload also qualifies).
+	ResumeFrom []byte
 }
 
 func (o RunOptions) config(system System) Config {
@@ -143,13 +158,64 @@ func (o RunOptions) scale(p Profile) Profile {
 func Run(p Profile, system System, o RunOptions) (*Results, error) {
 	cfg := o.config(system)
 	cfg.System = system
-	m, err := machine.New(cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("tsoper: %w", err)
 	}
 	w := trace.Generate(o.scale(p), cfg.Cores, o.seed())
-	return m.Run(w), nil
+	return runWorkload(cfg, w, o)
 }
+
+// runWorkload drives one workload to completion, honoring the checkpoint
+// options: resume from a blob, and/or emit periodic checkpoints.
+func runWorkload(cfg Config, w *Workload, o RunOptions) (*Results, error) {
+	var m *machine.Machine
+	var err error
+	if len(o.ResumeFrom) > 0 {
+		m, err = machine.Restore(cfg, w, o.ResumeFrom)
+	} else if m, err = machine.New(cfg); err == nil {
+		m.Start(w)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tsoper: %w", err)
+	}
+	if o.CheckpointEvery == 0 {
+		if _, err := m.Advance(sim.MaxTime); err != nil {
+			return nil, fmt.Errorf("tsoper: %w", err)
+		}
+		return m.Results(), nil
+	}
+	limit := m.Now() + sim.Time(o.CheckpointEvery)
+	for {
+		done, err := m.Advance(limit)
+		if err != nil {
+			return nil, fmt.Errorf("tsoper: %w", err)
+		}
+		if o.OnCheckpoint != nil {
+			blob, err := m.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("tsoper: %w", err)
+			}
+			o.OnCheckpoint(blob)
+		}
+		if done {
+			return m.Results(), nil
+		}
+		limit += sim.Time(o.CheckpointEvery)
+	}
+}
+
+// Checkpoint-blob helpers re-exported from the wire-format package.
+var (
+	// ErrCheckpointFormat marks a blob that is not a checkpoint.
+	ErrCheckpointFormat = ckpt.ErrFormat
+	// ErrCheckpointVersion marks an incompatible format version.
+	ErrCheckpointVersion = ckpt.ErrVersion
+	// ErrCheckpointConfig marks a restore under a mismatched config.
+	ErrCheckpointConfig = ckpt.ErrConfigMismatch
+	// ErrCheckpointDivergence marks a replay that did not reproduce the
+	// checkpointed state byte-for-byte.
+	ErrCheckpointDivergence = ckpt.ErrDivergence
+)
 
 // Crash simulates until the given cycle, then injects a power failure and
 // returns the recovered durable state.
@@ -227,17 +293,9 @@ func EstimateProgram(p *Program, system System, o RunOptions) (ProgramEstimate, 
 func RunProgram(p *Program, system System, o RunOptions) (*Results, error) {
 	cfg := o.config(system)
 	cfg.System = system
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("tsoper: %w", err)
-	}
 	w, err := CompileProgram(p, cfg, o.seed())
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.RunChecked(w)
-	if err != nil {
-		return nil, fmt.Errorf("tsoper: %w", err)
-	}
-	return res, nil
+	return runWorkload(cfg, w, o)
 }
