@@ -23,6 +23,8 @@
 // Sweeps fork each crash point from an incrementally advanced prefix
 // machine by default; -full-replay restores the legacy
 // one-machine-per-point mode (same injections, more simulated cycles).
+// -protocol selects the coherence backend (slc, mesi, or tardis) for the
+// sweep and smoke modes.
 //
 // Exit status: 0 clean, 1 violations or surviving mutants, 2 usage error.
 package main
@@ -70,6 +72,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 0.3, "workload scale factor (> 0)")
 	seed := fs.Int64("seed", 42, "workload seed")
 	strategy := fs.String("strategy", "uniform", "crash-point strategy: events, uniform, random")
+	protoFlag := fs.String("protocol", "slc", "coherence protocol: slc, mesi, or tardis")
 	campaign := fs.String("campaign", "", "predefined campaign: smoke or mutation (overrides -bench/-system/-strategy)")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the campaign report to this path as JSON")
@@ -94,7 +97,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	report, err := dispatch(fs, stdout, *bench, *progFlag, *system, *crashes, *first, *step,
+	report, err := dispatch(fs, stdout, *bench, *progFlag, *system, *protoFlag, *crashes, *first, *step,
 		*scale, *seed, *strategy, *campaign, *parallel, *shrink, *fullReplay)
 	var uerr usageError
 	if errors.As(err, &uerr) {
@@ -136,7 +139,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 }
 
 // dispatch validates the mode arguments and runs the selected campaign.
-func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string, crashes int,
+func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system, protocol string, crashes int,
 	first, step uint64, scale float64, seed int64, strategy, campaign string,
 	parallel int, shrink, fullReplay bool) (*crashmc.Report, error) {
 	if crashes <= 0 {
@@ -155,6 +158,10 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 	if !ok {
 		return nil, usagef("unknown strategy %q (want events, uniform, or random)", strategy)
 	}
+	proto, err := tsoper.ParseProtocol(protocol)
+	if err != nil {
+		return nil, usageError{err}
+	}
 
 	if programs != "" && campaign != "" {
 		return nil, usagef("-program applies to the sweep mode, not -campaign %s", campaign)
@@ -162,7 +169,7 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 
 	switch campaign {
 	case "":
-		return runSweep(stdout, bench, programs, system, crashes, first, step, scale, seed, strat, parallel, shrink, fullReplay)
+		return runSweep(stdout, bench, programs, system, proto, crashes, first, step, scale, seed, strat, parallel, shrink, fullReplay)
 	case "smoke":
 		points := 50 // x 2 adversaries x 2 systems = 200 injections
 		crashesSet := false
@@ -180,6 +187,7 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 			Parallel:   parallel,
 			Shrink:     shrink,
 			FullReplay: fullReplay,
+			Coherence:  proto,
 		})
 		if report != nil {
 			fmt.Fprintln(stdout, report.Summary())
@@ -195,7 +203,7 @@ func dispatch(fs *flag.FlagSet, stdout io.Writer, bench, programs, system string
 // runSweep is the legacy single-cell mode, generalized to comma-separated
 // benchmark/system lists (or workload-VM programs), with the
 // per-crash-point output lines preserved.
-func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink, fullReplay bool) (*crashmc.Report, error) {
+func runSweep(stdout io.Writer, benches, programs, systems string, proto tsoper.Protocol, crashes int, first, step uint64, scale float64, seed int64, strat crashmc.Strategy, parallel int, shrink, fullReplay bool) (*crashmc.Report, error) {
 	var profiles []trace.Profile
 	var progs []*program.Program
 	if programs != "" {
@@ -243,6 +251,7 @@ func runSweep(stdout io.Writer, benches, programs, systems string, crashes int, 
 		Shrink:     shrink,
 		Detail:     true,
 		FullReplay: fullReplay,
+		Coherence:  proto,
 	})
 	if err != nil {
 		return report, err

@@ -26,6 +26,7 @@ func TestExitCodes(t *testing.T) {
 		{name: "unknown strategy", argv: []string{"-strategy", "psychic"}, want: 2, stderr: "unknown strategy"},
 		{name: "unknown campaign", argv: []string{"-campaign", "lunch"}, want: 2, stderr: "unknown campaign"},
 		{name: "unknown benchmark", argv: []string{"-bench", "doom"}, want: 2, stderr: "unknown benchmark"},
+		{name: "unknown protocol", argv: []string{"-protocol", "dragon"}, want: 2, stderr: "unknown coherence protocol"},
 		{name: "unknown program", argv: []string{"-program", "no-such-program"}, want: 2, stderr: "neither a library program"},
 		{name: "program with campaign", argv: []string{"-program", "radix", "-campaign", "smoke"}, want: 2, stderr: "sweep mode"},
 		{name: "non-strict system", argv: []string{"-system", "bsp"}, want: 2, stderr: "strict system"},
@@ -43,6 +44,11 @@ func TestExitCodes(t *testing.T) {
 		{
 			name: "clean program sweep",
 			argv: []string{"-program", "producer-consumer-ring", "-system", "tsoper", "-crashes", "2"},
+			want: 0, slow: true,
+		},
+		{
+			name: "clean tardis sweep",
+			argv: []string{"-bench", "radix", "-system", "tsoper", "-crashes", "2", "-scale", "0.05", "-protocol", "tardis"},
 			want: 0, slow: true,
 		},
 	}

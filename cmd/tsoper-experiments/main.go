@@ -9,7 +9,12 @@
 //	tsoper-experiments -exp fig11 -workers 4 -artifacts results
 //
 // Experiments: tableI, protocol, fig11, fig12, fig13, fig14, fig15, lists,
-// agbsweep, evict, agborg, epochs, whisper, slccost, all.
+// agbsweep, evict, agborg, epochs, whisper, slccost, protocols, all.
+//
+// -protocol runs the figure/ablation experiments on a non-default coherence
+// backend (slc, mesi, or tardis); the protocols experiment always sweeps all
+// three and, with -protocols-json, writes the bake-off as a benchjson-style
+// document (CI publishes results/protocols.json).
 //
 // -artifacts DIR additionally writes each experiment's text output to
 // DIR/<exp>.txt so figure data lands in versionable files.
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -46,6 +52,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "simulation worker count (0 = auto: GOMAXPROCS, or 1 with -serial)")
 	artifacts := fs.String("artifacts", "", "also write each experiment's output to this directory")
 	scheduler := fs.String("scheduler", "wheel", "event-queue implementation: wheel or heap")
+	protocol := fs.String("protocol", "slc", "coherence protocol for the figure/ablation experiments: slc, mesi, or tardis")
+	protocolsJSON := fs.String("protocols-json", "", "with -exp protocols, also write the bake-off as benchjson-style JSON to this path")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -63,7 +71,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return usageErr("%v", err)
 	}
-	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial, Workers: *workers, Scheduler: sched}
+	proto, err := machine.ParseCoherenceKind(*protocol)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	o := harness.Options{Scale: *scale, Seed: *seed, Parallel: !*serial, Workers: *workers, Scheduler: sched, Protocol: proto}
 
 	known := map[string]func(harness.Options) string{
 		"tableI":   func(harness.Options) string { return harness.TableIText() },
@@ -80,9 +92,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		"epochs":   func(o harness.Options) string { return harness.BSPEpochSweep(o).String() },
 		"whisper":  func(o harness.Options) string { return harness.Whisper(o).String() },
 		"slccost":  func(o harness.Options) string { return harness.SLCOverhead(o).String() },
+		"protocols": func(o harness.Options) string {
+			bake := harness.ProtocolBakeoff(o)
+			if *protocolsJSON != "" {
+				if err := bake.WriteBenchJSONFile(*protocolsJSON); err != nil {
+					return fmt.Sprintf("%s\nprotocols-json: %v", bake, err)
+				}
+			}
+			return bake.String()
+		},
 	}
 	order := []string{"tableI", "protocol", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"lists", "agbsweep", "evict", "agborg", "epochs", "whisper", "slccost"}
+		"lists", "agbsweep", "evict", "agborg", "epochs", "whisper", "slccost", "protocols"}
 
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {

@@ -21,6 +21,7 @@ func TestExitCodes(t *testing.T) {
 		{name: "bad flag", argv: []string{"-nonsense"}, want: 2},
 		{name: "non-positive scale", argv: []string{"-scale", "0"}, want: 2, stderr: "-scale must be positive"},
 		{name: "unknown scheduler", argv: []string{"-scheduler", "abacus"}, want: 2},
+		{name: "unknown protocol", argv: []string{"-protocol", "dragon"}, want: 2, stderr: "unknown coherence protocol"},
 		{name: "unknown experiment", argv: []string{"-exp", "fig99"}, want: 2, stderr: "unknown experiment"},
 		{name: "unknown benchmark", argv: []string{"-exp", "fig11", "-bench", "doom"}, want: 2, stderr: "unknown benchmark"},
 		{name: "tableI only", argv: []string{"-exp", "tableI"}, want: 0, stdout: "==== tableI"},

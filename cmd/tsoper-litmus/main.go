@@ -12,6 +12,8 @@
 //	    mutation testing of the oracle itself
 //	tsoper-litmus -test mp -scheduler wheel
 //	    one test, one scheduler
+//	tsoper-litmus -corpus -protocol tardis -faults none
+//	    the corpus gate on a non-default coherence backend
 //	tsoper-litmus -test mp -fault torn-group -shrink
 //	    inject a persistency fault and shrink the failing reproduction
 //	tsoper-litmus -write-corpus internal/litmus/corpus
@@ -56,6 +58,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		noMutation  = fs.Bool("no-mutation", false, "with -corpus: skip oracle mutation testing")
 		shrink      = fs.Bool("shrink", false, "minimize a failing test before reporting it")
 		budget      = fs.Int("budget", 0, "crash points per perturbation (0 = default)")
+		protocol    = fs.String("protocol", "slc", "coherence protocol: slc, mesi, or tardis")
 		jsonPath    = fs.String("json", "", "write the conformance report to this path as JSON")
 		writeCorpus = fs.String("write-corpus", "", "regenerate the golden corpus files into this directory and exit")
 	)
@@ -112,6 +115,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			presets = append(presets, p)
 		}
 	}
+	proto, err := machine.ParseCoherenceKind(*protocol)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return 2
+	}
 	crashFault := machine.FaultNone
 	if *fault != "" {
 		var ok bool
@@ -156,6 +165,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		for _, t := range tests {
 			o := litmus.Default()
 			o.Scheduler = kind
+			o.Coherence = proto
 			o.Fault = crashFault
 			o.CrashBudget = *budget
 			if crashFault != machine.FaultNone {
@@ -202,6 +212,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		for _, t := range tests {
 			o := litmus.Default()
 			o.Scheduler = sim.SchedulerWheel
+			o.Coherence = proto
 			o.Faults = &p
 			o.Fault = crashFault
 			o.Coverage = false

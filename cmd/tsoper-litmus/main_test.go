@@ -25,12 +25,18 @@ func TestExitCodes(t *testing.T) {
 		{name: "stray arguments", argv: []string{"stray"}, want: 2, stderr: "unexpected arguments"},
 		{name: "unknown scheduler", argv: []string{"-scheduler", "fifo"}, want: 2},
 		{name: "unknown preset", argv: []string{"-faults", "blizzard"}, want: 2, stderr: "unknown fault preset"},
+		{name: "unknown protocol", argv: []string{"-protocol", "dragon"}, want: 2, stderr: "unknown coherence protocol"},
 		{name: "unknown crash fault", argv: []string{"-fault", "gremlin"}, want: 2, stderr: "unknown crash fault"},
 		{name: "unknown test", argv: []string{"-test", "zz"}, want: 2, stderr: "unknown corpus test"},
 		{name: "list", argv: []string{"-list"}, want: 0},
 		{
 			name: "single test conforms",
 			argv: []string{"-test", "mp", "-scheduler", "wheel", "-faults", "none", "-no-mutation"},
+			want: 0, slow: true,
+		},
+		{
+			name: "single test conforms on tardis",
+			argv: []string{"-test", "mp", "-scheduler", "wheel", "-faults", "none", "-no-mutation", "-protocol", "tardis"},
 			want: 0, slow: true,
 		},
 		{

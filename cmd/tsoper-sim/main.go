@@ -23,6 +23,7 @@
 // so a blob from a different workload is rejected with a typed error).
 //
 // Systems: baseline, hw-rp, bsp, bsp+slc, bsp+slc+agb, stw, tsoper.
+// Protocols (-protocol): slc (default), mesi, tardis.
 // Benchmarks: the 22 PARSEC 3.0 / Splash-3 stand-ins (see -list).
 //
 // Exit status: 0 clean, 1 runtime failure, 2 usage error.
@@ -63,6 +64,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics-out", "", "write the unified metrics snapshot (JSON) to this file")
 	metricsDiff := fs.Bool("metrics-diff", false, "diff two metrics snapshots given as positional args, then exit")
 	schedFlag := fs.String("scheduler", "wheel", "event scheduler: wheel or heap (reference)")
+	protoFlag := fs.String("protocol", "slc", "coherence protocol: slc, mesi, or tardis")
 	ckptEvery := fs.Uint64("checkpoint-every", 0, "checkpoint the run every N simulation cycles (0 = off)")
 	ckptOut := fs.String("checkpoint-out", "", "write the run's last checkpoint blob to this file (requires -checkpoint-every)")
 	resume := fs.String("resume", "", "resume the run from a checkpoint blob file (same bench/program, seed, system)")
@@ -97,6 +99,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return usageErr("-checkpoint-every/-resume are incompatible with -load-trace (resume re-derives the workload from bench/program + seed)")
 	}
 	sched, err := tsoper.ParseScheduler(*schedFlag)
+	if err != nil {
+		return usageErr("%v", err)
+	}
+	proto, err := tsoper.ParseProtocol(*protoFlag)
 	if err != nil {
 		return usageErr("%v", err)
 	}
@@ -186,7 +192,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	var r *tsoper.Results
-	opts := tsoper.RunOptions{Scale: *scale, Seed: *seed, Scheduler: sched, Config: cfgOverride}
+	opts := tsoper.RunOptions{Scale: *scale, Seed: *seed, Scheduler: sched, Protocol: proto, Config: cfgOverride}
 	// Keep the last execution-phase blob — the useful one to resume from
 	// (drain/done blobs replay the whole run anyway). Fall back to the very
 	// last blob when the run finished inside the first stride.
@@ -210,7 +216,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	switch {
 	case *loadTrace != "":
-		r, err = runSavedTrace(*loadTrace, kind, sched, cfgOverride)
+		r, err = runSavedTrace(*loadTrace, kind, sched, proto, cfgOverride)
 	case prog != nil:
 		r, err = tsoper.RunProgram(prog, kind, opts)
 	default:
@@ -285,7 +291,7 @@ func saveWorkload(p tsoper.Profile, scale float64, seed int64, path string) erro
 }
 
 // runSavedTrace replays a stored workload under the chosen system.
-func runSavedTrace(path string, kind tsoper.System, sched tsoper.Scheduler, override *tsoper.Config) (*tsoper.Results, error) {
+func runSavedTrace(path string, kind tsoper.System, sched tsoper.Scheduler, proto tsoper.Protocol, override *tsoper.Config) (*tsoper.Results, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -302,6 +308,9 @@ func runSavedTrace(path string, kind tsoper.System, sched tsoper.Scheduler, over
 	cfg.Cores = len(w.Cores)
 	if sched != tsoper.SchedulerWheel {
 		cfg.Scheduler = sched
+	}
+	if proto != tsoper.ProtocolSLC {
+		cfg.Coherence = proto
 	}
 	m, err := machine.New(cfg)
 	if err != nil {

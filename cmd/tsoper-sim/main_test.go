@@ -22,6 +22,7 @@ func TestExitCodes(t *testing.T) {
 		{name: "save and load trace", argv: []string{"-save-trace", "a.json", "-load-trace", "b.json"}, want: 2, stderr: "mutually exclusive"},
 		{name: "non-positive scale", argv: []string{"-scale", "0"}, want: 2, stderr: "-scale must be positive"},
 		{name: "unknown scheduler", argv: []string{"-scheduler", "abacus"}, want: 2},
+		{name: "unknown protocol", argv: []string{"-protocol", "dragon"}, want: 2, stderr: "unknown coherence protocol"},
 		{name: "unknown system", argv: []string{"-system", "magic"}, want: 2, stderr: "unknown system"},
 		{name: "unknown benchmark", argv: []string{"-bench", "doom"}, want: 2, stderr: "unknown benchmark"},
 		{name: "unknown program", argv: []string{"-program", "no-such-program"}, want: 2, stderr: "neither a library program"},
@@ -43,6 +44,11 @@ func TestExitCodes(t *testing.T) {
 		{
 			name: "clean program run",
 			argv: []string{"-program", "producer-consumer-ring", "-system", "tsoper"},
+			want: 0, slow: true, stdout: "execution cycles",
+		},
+		{
+			name: "clean tardis run",
+			argv: []string{"-bench", "radix", "-system", "tsoper", "-scale", "0.02", "-protocol", "tardis"},
 			want: 0, slow: true, stdout: "execution cycles",
 		},
 	}

@@ -25,3 +25,17 @@ func SLCComplexity() Complexity {
 func MOESIComplexity() Complexity {
 	return Complexity{Protocol: "MOESI_CMP_directory", BaseStates: 25, TransientStates: 64, Actions: 127, Transitions: 264}
 }
+
+// TardisComplexity reports the controller complexity of the Tardis
+// timestamp-coherence backend in the same SLICC accounting. Tardis needs no
+// invalidation machinery at all — a write bumps logical time past every
+// outstanding lease instead of chasing sharers — which removes the
+// invalidation-race transient states that dominate MOESI. It still carries
+// more transient bookkeeping than SLC: lease-renewal round trips and
+// timestamp-bump/write-back races have no analogue in the serial
+// sharing-list walk, and every stable state splits on lease validity.
+// The counts land strictly between the two: simpler than a full directory
+// protocol, busier than the sharing list.
+func TardisComplexity() Complexity {
+	return Complexity{Protocol: "Tardis", BaseStates: 18, TransientStates: 38, Actions: 109, Transitions: 187}
+}

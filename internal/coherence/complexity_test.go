@@ -28,3 +28,29 @@ func TestComplexityComparison(t *testing.T) {
 		t.Errorf("MOESI numbers drifted from paper: %+v", moesi)
 	}
 }
+
+// TestTardisComplexityOrdering pins the three-way comparison: Tardis drops
+// MOESI's invalidation-race machinery but keeps lease-renewal bookkeeping
+// SLC's serial sharing-list walk avoids, so every complexity axis lands
+// strictly between the two — SLC < Tardis < MOESI in transient states in
+// particular.
+func TestTardisComplexityOrdering(t *testing.T) {
+	slc := SLCComplexity()
+	tardis := TardisComplexity()
+	moesi := MOESIComplexity()
+	if !(slc.TransientStates < tardis.TransientStates && tardis.TransientStates < moesi.TransientStates) {
+		t.Errorf("transient states not ordered SLC < Tardis < MOESI: %d, %d, %d",
+			slc.TransientStates, tardis.TransientStates, moesi.TransientStates)
+	}
+	if !(slc.BaseStates < tardis.BaseStates && tardis.BaseStates < moesi.BaseStates) {
+		t.Errorf("base states not ordered SLC < Tardis < MOESI: %d, %d, %d",
+			slc.BaseStates, tardis.BaseStates, moesi.BaseStates)
+	}
+	if !(tardis.Transitions < moesi.Transitions) {
+		t.Errorf("Tardis transitions %d should be fewer than MOESI's %d",
+			tardis.Transitions, moesi.Transitions)
+	}
+	if tardis.Protocol != "Tardis" {
+		t.Errorf("protocol name %q, want Tardis", tardis.Protocol)
+	}
+}

@@ -1,0 +1,207 @@
+package tardis
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+func newState(t *testing.T, caches int) *State {
+	t.Helper()
+	return New(Config{Caches: caches}, stats.NewSet())
+}
+
+func ver(core int, seq uint64) mem.Version { return mem.Version{Core: core, Seq: seq} }
+
+func TestWriteBumpsLogicalTimePastLease(t *testing.T) {
+	s := newState(t, 2)
+	l := mem.Line(7)
+
+	// Cache 0 reads: pts stays 0, lease runs to DefaultLease.
+	s.Read(0, l)
+	if got := s.RTS(l); got != DefaultLease {
+		t.Fatalf("rts after first read = %d, want %d", got, DefaultLease)
+	}
+	if s.NeedsRenewal(0, l) {
+		t.Fatal("fresh lease should not need renewal")
+	}
+
+	// Cache 1 writes: wts jumps past the lease end — no invalidation
+	// message, the lease is simply no longer live at the new time.
+	s.Write(1, l, ver(1, 1))
+	if got, want := s.WTS(l), uint64(DefaultLease+1); got != want {
+		t.Fatalf("wts after write = %d, want %d", got, want)
+	}
+	if got := s.PTS(1); got != DefaultLease+1 {
+		t.Fatalf("writer pts = %d, want %d", got, DefaultLease+1)
+	}
+	// The writer holds an implicit lease on its own copy.
+	if s.NeedsRenewal(1, l) {
+		t.Fatal("writer's own copy should not need renewal")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseExpiryForcesRenewal(t *testing.T) {
+	s := newState(t, 2)
+	a, b := mem.Line(1), mem.Line(2)
+
+	s.Read(0, a) // lease on a to 10
+	// Cache 0's pts advances by writing b repeatedly past a's lease end.
+	for i := uint64(1); i <= DefaultLease+2; i++ {
+		s.Write(0, b, ver(0, i))
+		s.Persisted(b, ver(0, i))
+	}
+	if s.PTS(0) <= DefaultLease {
+		t.Fatalf("pts = %d, expected to have advanced past %d", s.PTS(0), DefaultLease)
+	}
+	if !s.NeedsRenewal(0, a) {
+		t.Fatal("expired lease must need renewal")
+	}
+	s.Renew(0, a)
+	if s.NeedsRenewal(0, a) {
+		t.Fatal("renewed lease must be live again")
+	}
+}
+
+func TestPendingPersistOrder(t *testing.T) {
+	s := newState(t, 2)
+	l := mem.Line(3)
+
+	s.Write(0, l, ver(0, 1))
+	if !s.StoreClear(l, ver(0, 1)) {
+		t.Fatal("first pending write must be clear")
+	}
+	s.TagAG(l, ver(0, 1), 11)
+
+	s.Write(1, l, ver(1, 1))
+	if s.StoreClear(l, ver(1, 1)) {
+		t.Fatal("second pending write must not be clear")
+	}
+	if got := s.PrevPendingAG(l, ver(1, 1)); got != 11 {
+		t.Fatalf("PrevPendingAG = %d, want 11", got)
+	}
+	s.TagAG(l, ver(1, 1), 22)
+	if got := s.NewestPendingAG(l); got != 22 {
+		t.Fatalf("NewestPendingAG = %d, want 22", got)
+	}
+	if s.ReadClear(l) {
+		t.Fatal("line with pending writes must not be read-clear")
+	}
+
+	// Persists must retire in timestamp order: the newer version first
+	// is a protocol violation.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-order persist did not panic")
+			}
+		}()
+		s.Persisted(l, ver(1, 1))
+	}()
+
+	s.Persisted(l, ver(0, 1))
+	s.Persisted(l, ver(1, 1))
+	if !s.ReadClear(l) {
+		t.Fatal("fully persisted line must be read-clear")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceReplacesNewestPending(t *testing.T) {
+	s := newState(t, 1)
+	l := mem.Line(9)
+	s.Write(0, l, ver(0, 1))
+	w1 := s.WTS(l)
+	s.Coalesce(0, l, ver(0, 2))
+	if s.WTS(l) <= w1 {
+		t.Fatalf("coalesce must bump wts: %d -> %d", w1, s.WTS(l))
+	}
+	if s.PendingLen(l) != 1 {
+		t.Fatalf("coalesce must keep one pending write, got %d", s.PendingLen(l))
+	}
+	// Only the coalesced version is retirable.
+	s.Persisted(l, ver(0, 2))
+	if s.PendingLen(l) != 0 {
+		t.Fatal("pending write not retired")
+	}
+}
+
+func TestDiscardRemovesAnyPosition(t *testing.T) {
+	s := newState(t, 3)
+	l := mem.Line(4)
+	s.Write(0, l, ver(0, 1))
+	s.Write(1, l, ver(1, 1))
+	s.Write(2, l, ver(2, 1))
+	s.Discard(l, ver(1, 1)) // middle
+	if s.PendingLen(l) != 2 {
+		t.Fatalf("pending after middle discard = %d, want 2", s.PendingLen(l))
+	}
+	s.Persisted(l, ver(0, 1))
+	s.Persisted(l, ver(2, 1))
+	s.Discard(l, ver(9, 9)) // absent: no-op
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	set := stats.NewSet()
+	s := New(Config{Caches: 2, Lease: 4}, set)
+	l, other := mem.Line(1), mem.Line(2)
+	s.Read(0, l)
+	if s.NeedsRenewal(0, l) {
+		t.Fatal("live lease misreported")
+	}
+	for i := uint64(1); i <= 6; i++ {
+		s.Write(0, other, ver(0, i))
+		s.Persisted(other, ver(0, i))
+	}
+	if !s.NeedsRenewal(0, l) {
+		t.Fatal("expired lease misreported")
+	}
+	s.Renew(0, l)
+	if got := set.Counter("tardis.lease_hits").Value; got != 1 {
+		t.Fatalf("lease_hits = %d, want 1", got)
+	}
+	if got := set.Counter("tardis.renewals").Value; got != 1 {
+		t.Fatalf("renewals = %d, want 1", got)
+	}
+	if set.Counter("tardis.ts_jumps").Value == 0 {
+		t.Fatal("ts_jumps never incremented")
+	}
+}
+
+// TestEncodeStateDeterministic pins that two identical operation sequences
+// serialize byte-identically and that any state difference changes the
+// bytes.
+func TestEncodeStateDeterministic(t *testing.T) {
+	build := func(extra bool) []byte {
+		s := newState(t, 2)
+		s.Read(0, mem.Line(5))
+		s.Write(1, mem.Line(5), ver(1, 1))
+		s.TagAG(mem.Line(5), ver(1, 1), 3)
+		s.Write(0, mem.Line(9), ver(0, 1))
+		if extra {
+			s.Persisted(mem.Line(9), ver(0, 1))
+		}
+		w := &ckpt.Writer{}
+		w.Section("tardis")
+		s.EncodeState(w)
+		return w.State()
+	}
+	a, b := build(false), build(false)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical states serialized differently")
+	}
+	if bytes.Equal(a, build(true)) {
+		t.Fatal("differing states serialized identically")
+	}
+}

@@ -86,6 +86,9 @@ type Spec struct {
 	// Detail retains every injection (not just the violating ones) in the
 	// report, for per-crash-point output and richer artifacts.
 	Detail bool
+	// Coherence selects the coherence backend for every tuple (default
+	// SLC); it applies after Config, overriding its Coherence field.
+	Coherence machine.CoherenceKind
 	// FullReplay forces the legacy execution mode: one fresh machine
 	// replayed from cycle 0 per crash point. The default shares one
 	// machine per ascending chunk of crash points, advancing it
@@ -104,10 +107,14 @@ func (s Spec) scale() float64 {
 }
 
 func (s Spec) config(kind machine.SystemKind) machine.Config {
+	cfg := machine.TableI(kind)
 	if s.Config != nil {
-		return s.Config(kind)
+		cfg = s.Config(kind)
 	}
-	return machine.TableI(kind)
+	if s.Coherence != machine.CoherenceSLC {
+		cfg.Coherence = s.Coherence
+	}
+	return cfg
 }
 
 func (s Spec) workers() int {
@@ -363,6 +370,9 @@ func (spec Spec) assemble(tuples []*tuple, injections []Injection) *Report {
 		Seed:     spec.Seed,
 		Scale:    spec.scale(),
 		Strategy: spec.Strategy.String(),
+	}
+	if spec.Coherence != machine.CoherenceSLC {
+		r.Protocol = spec.Coherence.String()
 	}
 	byTuple := map[string]*TupleSummary{}
 	for _, tp := range tuples {

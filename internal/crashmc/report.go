@@ -47,6 +47,9 @@ type Report struct {
 	Seed     int64   `json:"seed"`
 	Scale    float64 `json:"scale"`
 	Strategy string  `json:"strategy"`
+	// Protocol is the coherence backend the campaign ran on; omitted for
+	// the default SLC so pre-existing artifacts keep their exact shape.
+	Protocol string `json:"protocol,omitempty"`
 	// Injections counts crash points executed; PartialStates the ones
 	// that caught the machine mid-persist; DurableGroups the durable
 	// groups accumulated across all states (evidence the campaign

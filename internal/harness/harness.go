@@ -33,6 +33,9 @@ type Options struct {
 	Workers int
 	// Scheduler selects the engine's event queue (default the timing wheel).
 	Scheduler sim.SchedulerKind
+	// Protocol selects the coherence backend (default SLC). Applied after
+	// any explicit Config, so it also overrides its Coherence field.
+	Protocol machine.CoherenceKind
 	// Timeout, when positive, arms the machine stall watchdog with this
 	// progress horizon (in simulation cycles) on every run, so a wedged
 	// simulation fails with a StallError instead of hanging its worker
@@ -108,6 +111,9 @@ func RunOneChecked(bench trace.Profile, kind machine.SystemKind, o Options) (*ma
 func RunConfigChecked(bench trace.Profile, cfg machine.Config, o Options) (*machine.Results, error) {
 	if o.Scheduler != sim.SchedulerWheel {
 		cfg.Scheduler = o.Scheduler
+	}
+	if o.Protocol != machine.CoherenceSLC {
+		cfg.Coherence = o.Protocol
 	}
 	if o.Timeout > 0 {
 		cfg.WatchdogHorizon = o.Timeout

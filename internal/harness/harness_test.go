@@ -207,19 +207,29 @@ func TestSLCOverhead(t *testing.T) {
 	}
 }
 
-func TestMESIRejectedForMultiversionedSystems(t *testing.T) {
-	cfg := machine.TableI(machine.TSOPER)
-	cfg.Coherence = machine.CoherenceMESI
-	if _, err := machine.New(cfg); err == nil {
-		t.Fatal("TSOPER on MESI must be rejected (needs multiversioning)")
+func TestCoherenceBackendMatrix(t *testing.T) {
+	// Every system accepts every coherence backend: retention of dirty and
+	// invalid-pending copies is governed by the system (destructive()),
+	// while the backend only sets invalidation timing and the source of
+	// persist-ordering answers.
+	for _, sys := range machine.Systems() {
+		for _, coh := range machine.Coherences() {
+			cfg := machine.TableI(sys)
+			cfg.Coherence = coh
+			if _, err := machine.New(cfg); err != nil {
+				t.Errorf("%v on %v rejected: %v", sys, coh, err)
+			}
+		}
 	}
-	cfg = machine.TableI(machine.BSP)
-	cfg.Coherence = machine.CoherenceMESI
-	if _, err := machine.New(cfg); err != nil {
-		t.Fatalf("BSP on MESI should be allowed: %v", err)
-	}
-	if machine.CoherenceMESI.String() != "mesi" || machine.CoherenceSLC.String() != "slc" {
+	if machine.CoherenceMESI.String() != "mesi" ||
+		machine.CoherenceSLC.String() != "slc" ||
+		machine.CoherenceTardis.String() != "tardis" {
 		t.Fatal("coherence kind names")
+	}
+	cfg := machine.TableI(machine.TSOPER)
+	cfg.Coherence = machine.CoherenceKind(99)
+	if _, err := machine.New(cfg); err == nil {
+		t.Fatal("unknown coherence backend must be rejected")
 	}
 }
 

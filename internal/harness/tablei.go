@@ -38,11 +38,12 @@ func TableIText() string {
 // ProtocolComplexityText renders the §V SLICC complexity comparison.
 func ProtocolComplexityText() string {
 	slc := coherence.SLCComplexity()
+	tardis := coherence.TardisComplexity()
 	moesi := coherence.MOESIComplexity()
 	var b strings.Builder
 	b.WriteString("Protocol complexity (SLICC metrics, §V)\n")
 	fmt.Fprintf(&b, "  %-22s %11s %16s %8s %12s\n", "protocol", "base states", "transient states", "actions", "transitions")
-	for _, c := range []coherence.Complexity{slc, moesi} {
+	for _, c := range []coherence.Complexity{slc, tardis, moesi} {
 		fmt.Fprintf(&b, "  %-22s %11d %16d %8d %12d\n",
 			c.Protocol, c.BaseStates, c.TransientStates, c.Actions, c.Transitions)
 	}

@@ -97,6 +97,33 @@ func TestCorpusConformanceHeap(t *testing.T) {
 	}
 }
 
+// TestCorpusConformanceTardis repeats the full oracle gate on the tardis
+// timestamp backend: coherence-protocol choice must not change which durable
+// outcomes are reachable (timing shifts which crash points land where, but
+// the reached set must still be exactly the allowed set and the checker
+// must accept every state).
+func TestCorpusConformanceTardis(t *testing.T) {
+	tests, err := Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.Name, func(t *testing.T) {
+			t.Parallel()
+			o := Default()
+			o.Coherence = machine.CoherenceTardis
+			r := Explore(tt, o)
+			if err := r.Err(); err != nil {
+				t.Error(err)
+			}
+			if r.Protocol != "tardis" {
+				t.Errorf("result protocol %q, want tardis", r.Protocol)
+			}
+		})
+	}
+}
+
 // TestCorpusUnderFaultPresets asserts soundness and checker agreement with
 // runtime fault injection active: recovered resilience faults must never
 // manufacture a durable outcome the model forbids. Coverage is waived —

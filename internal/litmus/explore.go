@@ -20,6 +20,10 @@ type Options struct {
 	// Scheduler selects the event-queue implementation; explorations under
 	// both schedulers must produce identical Results.
 	Scheduler sim.SchedulerKind
+	// Coherence selects the coherence backend (default SLC). Conformance is
+	// protocol-independent: the reached durable outcomes must satisfy the
+	// oracle on every backend.
+	Coherence machine.CoherenceKind
 	// Faults, when non-nil, runs every crash under the runtime
 	// fault-injection plan (NVM/NoC/AGB failures with resilience recovery).
 	Faults *faultplan.Spec
@@ -126,6 +130,9 @@ type Result struct {
 	System      string `json:"system"`
 	FaultPreset string `json:"fault_preset,omitempty"`
 	CrashFault  string `json:"crash_fault,omitempty"`
+	// Protocol is the coherence backend; omitted for the default SLC so
+	// pre-existing results/litmus.json artifacts keep their exact shape.
+	Protocol string `json:"protocol,omitempty"`
 
 	// Reached is the sorted set of durable outcomes the machine exposed.
 	Reached []string `json:"reached"`
@@ -176,6 +183,7 @@ func (o Options) config(cores int) machine.Config {
 	cfg := machine.TableI(o.System)
 	cfg.Cores = cores
 	cfg.Scheduler = o.Scheduler
+	cfg.Coherence = o.Coherence
 	cfg.Faults = o.Faults
 	cfg.CrashFault = o.Fault
 	return cfg
@@ -208,6 +216,9 @@ func Explore(t *Test, o Options) *Result {
 	}
 	if o.Fault != machine.FaultNone {
 		r.CrashFault = o.Fault.String()
+	}
+	if o.Coherence != machine.CoherenceSLC {
+		r.Protocol = o.Coherence.String()
 	}
 	if err := t.Validate(); err != nil {
 		r.violate(Violation{Kind: "setup", Detail: err.Error()})

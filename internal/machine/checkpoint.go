@@ -174,6 +174,13 @@ func (m *Machine) encodeState() []byte {
 	w.Section("dir")
 	m.dir.EncodeState(w)
 
+	// Timestamp-coherence state exists only under the tardis backend; gating
+	// the section keeps slc/mesi checkpoint blobs byte-identical to before.
+	if m.tardis != nil {
+		w.Section("tardis")
+		m.coh.encodeState(w)
+	}
+
 	w.Section("machine")
 	encodeVersionMap(w, m.current)
 	lines := make([]uint64, 0, len(m.lineOrder))

@@ -26,10 +26,16 @@ func FuzzCheckpoint(f *testing.F) {
 	f.Add(int64(7), uint16(300), uint8(1), uint32(9), uint8(0xFF), uint16(0))
 	f.Add(int64(42), uint16(65535), uint8(2), uint32(11), uint8(0), uint16(40))
 	f.Add(int64(13), uint16(800), uint8(3), uint32(1<<20), uint8(1), uint16(9999))
+	// High nibble of sysPick selects the coherence backend — these seeds put
+	// the tardis timestamp section into the mutated-blob corpus.
+	f.Add(int64(5), uint16(20000), uint8(0x20), uint32(500), uint8(0x80), uint16(200))
+	f.Add(int64(23), uint16(50000), uint8(0x21), uint32(1200), uint8(3), uint16(0))
 
 	f.Fuzz(func(t *testing.T, seed int64, cycleFrac uint16, sysPick uint8,
 		mutPos uint32, mutXor uint8, truncTo uint16) {
-		cfg := ckptConfig(fuzzSystems[int(sysPick)%len(fuzzSystems)])
+		cfg := ckptConfig(fuzzSystems[int(sysPick&0x0F)%len(fuzzSystems)])
+		cohs := Coherences()
+		cfg.Coherence = cohs[int(sysPick>>4)%len(cohs)]
 		p := trace.Profile{
 			Name: "ckpt-fuzz", OpsPerCore: 120, StoreFrac: 0.5,
 			SharedFrac: 0.4, SharedLines: 32, PrivateLines: 64,

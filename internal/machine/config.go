@@ -69,34 +69,73 @@ func Systems() []SystemKind {
 	return []SystemKind{Baseline, HWRP, BSP, BSPSLC, BSPSLCAGB, STW, TSOPER}
 }
 
-// CoherenceKind selects the coherence protocol's timing discipline.
+// CoherenceKind selects the coherence protocol backend: the timing
+// discipline of write-permission acquisition and the source of the
+// persist-ordering metadata. Version retention (multiversioning) is
+// governed by the persistency system, not the backend, so every system
+// runs under every backend — that is what makes the protocol bake-off
+// (EXPERIMENTS.md) a like-for-like comparison.
 type CoherenceKind int
 
 const (
 	// CoherenceSLC is the sharing-list protocol: invalidations walk the
-	// list serially, one hop per valid copy (§IV).
+	// list serially, one hop per valid copy; persist ordering rides the
+	// list's token passing (§IV).
 	CoherenceSLC CoherenceKind = iota
 	// CoherenceMESI models a conventional bit-vector directory: the
 	// directory multicasts invalidations in parallel (one hop regardless
-	// of sharer count) and never retains invalid copies. Only the
-	// non-multiversioned systems (baseline, HW-RP, BSP) may run on it;
-	// the paper uses it to quantify SLC's ~3% coherence overhead (§V).
+	// of sharer count). The paper uses it to quantify SLC's ~3% coherence
+	// overhead (§V); under the strict systems it stands for strict
+	// persistency over a conventional directory.
 	CoherenceMESI
+	// CoherenceTardis is the Tardis timestamp protocol (PAPERS.md): no
+	// invalidation traffic at all — writes bump logical time past the
+	// lease frontier, and reads hold leases that private hits must renew
+	// once expired. Persist ordering derives from write-timestamp order
+	// (internal/coherence/tardis).
+	CoherenceTardis
 )
 
 func (k CoherenceKind) String() string {
-	if k == CoherenceMESI {
+	switch k {
+	case CoherenceMESI:
 		return "mesi"
+	case CoherenceTardis:
+		return "tardis"
+	default:
+		return "slc"
 	}
-	return "slc"
+}
+
+// Coherences lists every coherence backend in bake-off order.
+func Coherences() []CoherenceKind {
+	return []CoherenceKind{CoherenceMESI, CoherenceSLC, CoherenceTardis}
+}
+
+// ParseCoherenceKind resolves a backend by name ("" and "slc" are the
+// sharing-list default).
+func ParseCoherenceKind(s string) (CoherenceKind, error) {
+	switch s {
+	case "", "slc":
+		return CoherenceSLC, nil
+	case "mesi":
+		return CoherenceMESI, nil
+	case "tardis":
+		return CoherenceTardis, nil
+	default:
+		return CoherenceSLC, fmt.Errorf("machine: unknown coherence protocol %q (have mesi, slc, tardis)", s)
+	}
 }
 
 // Config describes the simulated machine.
 type Config struct {
 	// System selects the persistency model.
 	System SystemKind
-	// Coherence selects the protocol timing (default SLC).
+	// Coherence selects the protocol backend (default SLC).
 	Coherence CoherenceKind
+	// TardisLease is the logical read-lease length under CoherenceTardis
+	// (0 picks tardis.DefaultLease); ignored by the other backends.
+	TardisLease uint64
 	// Scheduler selects the engine's event-queue implementation (default
 	// the timing wheel; the heap is the differential-testing reference).
 	Scheduler sim.SchedulerKind
@@ -236,13 +275,13 @@ func (c Config) Validate() error {
 			return fmt.Errorf("machine: fault plan: %w", err)
 		}
 	}
-	if c.Coherence == CoherenceMESI {
-		switch c.System {
-		case Baseline, HWRP, BSP:
-			// Conventional coherence suffices for these.
-		default:
-			return fmt.Errorf("machine: %v requires sharing-list coherence (multiversioning)", c.System)
-		}
+	switch c.Coherence {
+	case CoherenceSLC, CoherenceMESI, CoherenceTardis:
+		// Every persistency system runs under every backend: version
+		// retention is the system's job (destructive()), the backend only
+		// supplies timing and persist-ordering metadata.
+	default:
+		return fmt.Errorf("machine: unknown coherence backend %v", c.Coherence)
 	}
 	return nil
 }

@@ -37,9 +37,11 @@ type coreUnit struct {
 	drainDoneFn func()
 	syncDoneFn  func()
 
-	// rd and wr are the core's pooled coherence transactions (txn.go).
+	// rd and wr are the core's pooled coherence transactions (txn.go);
+	// rn is the pooled Tardis lease renewal (backend.go).
 	rd *readTxn
 	wr *writeTxn
+	rn *renewTxn
 }
 
 type pendingStore struct {
@@ -71,6 +73,7 @@ func newCoreUnit(m *Machine, id int, ops []mem.Op) *coreUnit {
 	}
 	c.rd = newReadTxn(m, c)
 	c.wr = newWriteTxn(m, c)
+	c.rn = newRenewTxn(m, c)
 	return c
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/agb"
 	"repro/internal/cache"
 	"repro/internal/coherence/slc"
+	"repro/internal/coherence/tardis"
 	"repro/internal/core"
 	"repro/internal/faultplan"
 	"repro/internal/mem"
@@ -32,6 +33,12 @@ type Machine struct {
 	cores []*coreUnit
 	priv  []*privCache
 	sys   system
+
+	// coh is the coherence-protocol backend (backend.go); tardis is non-nil
+	// only under CoherenceTardis (the backend's timestamp state, kept here
+	// for the checkpoint section).
+	coh    cohBackend
+	tardis *tardis.State
 
 	// waiters are continuations blocked on "cache c's copy of line l is no
 	// longer pending" (removed from the list or persisted in place).
@@ -138,6 +145,7 @@ func New(cfg Config) (*Machine, error) {
 		})
 	}
 	m.evbufWaiters = make([][]func(), cfg.Cores)
+	m.coh = m.newCohBackend()
 	m.instrumentComponents()
 	m.initFaults()
 	m.sys = newSystem(m)
@@ -398,6 +406,12 @@ func (m *Machine) releaseLine(cacheID int, line mem.Line) {
 // waiting-to-become-tail accounting).
 func (m *Machine) applyUpdate(up slc.Update) {
 	for _, n := range up.Removed {
+		if n.Dirty {
+			// Only destructive removals unlink a still-dirty node (ordered
+			// persists clean it first): its version leaves coherence without
+			// persisting, and the backend retires it from persist ordering.
+			m.coh.discarded(n)
+		}
 		m.dropFrame(n)
 		m.releaseLine(n.Cache, n.Line)
 		// A removed node is trivially clear for its cache's groups.

@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/coherence/slc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func tardisConfig(system SystemKind) Config {
+	cfg := TableI(system)
+	cfg.Coherence = CoherenceTardis
+	return cfg
+}
+
+// agreementChecker wraps the tardis backend and cross-checks every
+// persist-ordering answer against the sharing list, which the machine still
+// maintains as the retention structure. Directory serialization makes
+// timestamp order identical to list order, so the two sources must agree on
+// every query; a disagreement means the timestamp layer would derive a
+// different persist order than SLC token passing.
+type agreementChecker struct {
+	cohBackend
+	t       *testing.T
+	queries int
+}
+
+func (a *agreementChecker) storeClear(n *slc.Node) bool {
+	a.queries++
+	got, want := a.cohBackend.storeClear(n), n.Clear()
+	if got != want {
+		a.t.Errorf("storeClear(%v %v): tardis %v, list %v", n.Line, n.Version, got, want)
+	}
+	return got
+}
+
+func (a *agreementChecker) readClear(n *slc.Node) bool {
+	a.queries++
+	got, want := a.cohBackend.readClear(n), n.Clear()
+	if got != want {
+		a.t.Errorf("readClear(%v): tardis %v, list %v", n.Line, got, want)
+	}
+	return got
+}
+
+func (a *agreementChecker) persistPredAG(n, prev *slc.Node) uint64 {
+	a.queries++
+	got, want := a.cohBackend.persistPredAG(n, prev), prev.AGID
+	if got != want {
+		a.t.Errorf("persistPredAG(%v %v): tardis AG %d, list AG %d", n.Line, n.Version, got, want)
+	}
+	return got
+}
+
+func (a *agreementChecker) producerAG(p *slc.Node) uint64 {
+	a.queries++
+	got, want := a.cohBackend.producerAG(p), p.AGID
+	if got != want {
+		a.t.Errorf("producerAG(%v): tardis AG %d, list AG %d", p.Line, got, want)
+	}
+	return got
+}
+
+// TestTardisAgreesWithSharingList pins the central invariant of the tardis
+// backend: every clearance and dependency answer derived from write
+// timestamps equals the answer the sharing list would give.
+func TestTardisAgreesWithSharingList(t *testing.T) {
+	for _, system := range []SystemKind{TSOPER, STW} {
+		t.Run(system.String(), func(t *testing.T) {
+			cfg := tardisConfig(system)
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk := &agreementChecker{cohBackend: m.coh, t: t}
+			m.coh = chk
+			w := trace.Generate(smallProfile(400), cfg.Cores, 17)
+			m.Run(w)
+			if chk.queries == 0 {
+				t.Fatal("no ordering queries exercised")
+			}
+			if err := m.tardis.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTardisAllSystemsComplete(t *testing.T) {
+	for _, kind := range Systems() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := tardisConfig(kind)
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := trace.Generate(smallProfile(300), cfg.Cores, 1)
+			r := m.Run(w)
+			if r.Cycles == 0 || r.Stores == 0 || r.Loads == 0 {
+				t.Fatalf("degenerate run: %+v", r)
+			}
+			if err := m.tardis.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTardisFinalDurableImageComplete: strict persistency semantics are
+// protocol-independent — under tardis the drain must still leave NVM holding
+// exactly the final version of every stored line.
+func TestTardisFinalDurableImageComplete(t *testing.T) {
+	for _, kind := range []SystemKind{STW, TSOPER} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := tardisConfig(kind)
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := trace.Generate(smallProfile(250), cfg.Cores, 3)
+			r := m.Run(w)
+			for line, order := range r.LineOrder {
+				want := order[len(order)-1]
+				if got := r.Durable[line]; got != want {
+					t.Fatalf("line %v durable %v, want final version %v", line, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTardisPersistsAllPending: after a TSOPER end-of-run drain every write
+// timestamp must have retired from the pending ledger — a leftover entry
+// means a version entered coherence but never persisted or discarded.
+func TestTardisPersistsAllPending(t *testing.T) {
+	cfg := tardisConfig(TSOPER)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(smallProfile(300), cfg.Cores, 9)
+	m.Run(w)
+	if n := m.tardis.TotalPending(); n != 0 {
+		t.Fatalf("%d pending writes survived the drain", n)
+	}
+}
+
+// TestTardisRenewalsOccur: a sharing-heavy workload must exercise the lease
+// machinery — some private hits ride a live lease, others pay the renewal
+// round trip — and writes must jump logical time past read leases.
+func TestTardisRenewalsOccur(t *testing.T) {
+	cfg := tardisConfig(TSOPER)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.Generate(smallProfile(500), cfg.Cores, 21)
+	r := m.Run(w)
+	if n := r.Set.CounterValue("tardis.renewals"); n == 0 {
+		t.Fatal("no lease renewals on a sharing-heavy workload")
+	}
+	if n := r.Set.CounterValue("tardis.lease_hits"); n == 0 {
+		t.Fatal("no lease-valid private hits")
+	}
+	if n := r.Set.CounterValue("tardis.ts_jumps"); n == 0 {
+		t.Fatal("no logical-time jumps past read leases")
+	}
+}
+
+func TestTardisDeterministic(t *testing.T) {
+	run := func() *Results {
+		cfg := tardisConfig(TSOPER)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run(trace.Generate(smallProfile(200), cfg.Cores, 7))
+	}
+	r1, r2 := run(), run()
+	if r1.Cycles != r2.Cycles || r1.PersistWrites != r2.PersistWrites ||
+		r1.NVMWrites != r2.NVMWrites || len(r1.Groups) != len(r2.Groups) {
+		t.Fatalf("nondeterministic: %v vs %v", r1, r2)
+	}
+}
+
+// TestTardisCheckpointRestoreMidExec: the tardis checkpoint section must
+// round-trip — a restored machine finishes identically to a straight run.
+func TestTardisCheckpointRestoreMidExec(t *testing.T) {
+	cfg := ckptConfig(TSOPER)
+	cfg.Coherence = CoherenceTardis
+	w := ckptWorkload(t, 11)
+	want := runStraight(t, cfg, w)
+
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(w)
+	mid := want.Cycles / 2
+	if done, err := m.Advance(mid); err != nil {
+		t.Fatal(err)
+	} else if done {
+		t.Fatalf("run finished before midpoint %d", mid)
+	}
+	blob, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(cfg, w, blob)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if done, err := r.Advance(sim.MaxTime); err != nil || !done {
+		t.Fatalf("resume: done=%v err=%v", done, err)
+	}
+	assertSameResults(t, want, r.Results())
+}
+
+// TestTardisLeaseKnobPlumbed: TardisLease must actually reach the protocol.
+// Note renewal counts are NOT monotone in lease length — a write jumps the
+// writer's logical time past the written line's read-lease frontier, so a
+// longer lease makes each write-jump larger and can expire MORE of the
+// writer's other leases; the knob changes behavior, it doesn't simply trade
+// renewals away.
+func TestTardisLeaseKnobPlumbed(t *testing.T) {
+	run := func(lease uint64) *Results {
+		cfg := tardisConfig(TSOPER)
+		cfg.TardisLease = lease
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run(trace.Generate(smallProfile(400), cfg.Cores, 13))
+	}
+	a, b := run(1), run(1<<20)
+	ra := a.Set.CounterValue("tardis.renewals")
+	rb := b.Set.CounterValue("tardis.renewals")
+	if ra == rb && a.Cycles == b.Cycles {
+		t.Fatalf("lease=1 and lease=2^20 indistinguishable (renewals %d, cycles %d)", ra, a.Cycles)
+	}
+	// A read-only epoch never advances program timestamps, so with no stores
+	// there is nothing to expire: the canonical-config default must be filled
+	// only under tardis (pinned by canonical tests); here pin that the two
+	// lease settings also hash differently.
+	ca := tardisConfig(TSOPER)
+	ca.TardisLease = 1
+	cb := tardisConfig(TSOPER)
+	cb.TardisLease = 1 << 20
+	ha, err := ca.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := cb.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("lease settings hash identically")
+	}
+}

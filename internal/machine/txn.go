@@ -70,6 +70,7 @@ func (t *readTxn) dir() {
 	}
 	observed := m.current[line]
 	t.node = lst.AddHead(c.id, true, false, observed, 0)
+	m.coh.dirRead(c.id, line)
 	if vd != nil {
 		// Read of an unpersisted version: include the line in the
 		// reader's group and record the dependency (§III-A).
@@ -169,6 +170,7 @@ func (t *writeTxn) attempt() {
 			m.priv[c.id].arr.Lookup(line)
 			m.dir.List(line).MarkDirty(node, t.ver)
 			m.recordStore(line, t.ver)
+			m.coh.coalesced(c.id, node)
 			m.sys.storeCommitted(c, node, nil)
 			m.engine.Schedule(m.cfg.PrivHit, t.done)
 			return
@@ -234,12 +236,11 @@ func (t *writeTxn) dir() {
 		}
 	}
 	m.invalWalks.Observe(uint64(nInval))
-	// SLC walks the sharing list serially (one hop per valid copy);
-	// a conventional directory multicasts invalidations in parallel.
-	t.walk = sim.Time(nInval) * m.cfg.NoC.HopLatency
-	if m.cfg.Coherence == CoherenceMESI && nInval > 0 {
-		t.walk = m.cfg.NoC.HopLatency
-	}
+	// The backend's invalidation discipline: SLC walks the sharing list
+	// serially (one hop per valid copy), a conventional directory
+	// multicasts in parallel, tardis sends nothing (logical time jumps
+	// past the lease frontier instead).
+	t.walk = m.coh.invalDelay(nInval)
 
 	// Install the new version at the head of the list.
 	if upgrade != nil {
@@ -250,6 +251,7 @@ func (t *writeTxn) dir() {
 		t.node = lst.AddHead(c.id, true, true, ver, 0)
 	}
 	m.recordStore(line, ver)
+	m.coh.dirWrite(c.id, t.node)
 	m.sys.storeCommitted(c, t.node, vd)
 	m.dir.Sample(line)
 

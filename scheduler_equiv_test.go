@@ -351,6 +351,74 @@ func TestSchedulerEquivalencePrograms(t *testing.T) {
 	}
 }
 
+// TestSchedulerEquivalenceTardisLitmus is the protocol axis of the
+// differential suite: the tardis timestamp backend must be exactly as
+// scheduler-deterministic as the sharing-list default. Every corpus test
+// explores under heap and wheel on tardis and the serialized results must
+// be byte-identical — crash-point cycles, witnesses, and checker verdicts
+// included. Four jitter seeds keep the sweep affordable next to the
+// eight-seed SLC pass above.
+func TestSchedulerEquivalenceTardisLitmus(t *testing.T) {
+	tests, err := litmus.Corpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range tests {
+		tt := tt
+		for _, seed := range equivSeeds[:4] {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", tt.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				var blobs [][]byte
+				for _, kind := range []sim.SchedulerKind{sim.SchedulerHeap, sim.SchedulerWheel} {
+					o := litmus.Default()
+					o.Scheduler = kind
+					o.Coherence = machine.CoherenceTardis
+					o.Perturbs = []litmus.Perturb{{Jitter: seed}}
+					o.Coverage = false // one perturbation cannot cover alone
+					r := litmus.Explore(tt, o)
+					if err := r.Err(); err != nil {
+						t.Fatal(err)
+					}
+					if r.Protocol != "tardis" {
+						t.Fatalf("result protocol %q, want tardis", r.Protocol)
+					}
+					blob, err := json.Marshal(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					blobs = append(blobs, blob)
+				}
+				if !bytes.Equal(blobs[0], blobs[1]) {
+					t.Fatalf("heap and wheel tardis explorations diverge:\nheap:  %s\nwheel: %s",
+						blobs[0], blobs[1])
+				}
+			})
+		}
+	}
+}
+
+// TestSchedulerEquivalenceTardisAdversaries repeats the adversarial
+// pressure sweep on the tardis backend: timestamp bumps and lease renewals
+// replace invalidation walks, so the event population differs completely
+// from SLC — and the heap/wheel byte-identity bar must hold for it too,
+// checkpoint-resume axis included (via assertEquivalent).
+func TestSchedulerEquivalenceTardisAdversaries(t *testing.T) {
+	for _, p := range crashmc.Adversaries() {
+		p := p
+		for i, seed := range equivSeeds[:4] {
+			sys := equivSystems[i%len(equivSystems)]
+			cfg := crashmc.PressureConfig(machine.SystemKind(sys))
+			t.Run(fmt.Sprintf("%s/%s/seed%d", p.Name, sys, seed), func(t *testing.T) {
+				t.Parallel()
+				assertEquivalent(t, p, sys, tsoper.RunOptions{
+					Scale: 0.2, Seed: seed, Config: &cfg, Protocol: tsoper.ProtocolTardis,
+				})
+			})
+		}
+	}
+}
+
 // TestSchedulerEquivalenceAdversaries sweeps the crashmc adversarial
 // profiles under the pressure configuration (tiny AGB, tiny AG limit,
 // two-entry eviction buffers) — the regime where event ordering bugs in a

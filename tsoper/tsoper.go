@@ -56,6 +56,29 @@ const (
 	TSOPER = machine.TSOPER
 )
 
+// Protocol selects the coherence backend the machine runs on. Every system
+// composes with every protocol: the sharing list remains the retention
+// structure for unpersisted versions, while the protocol sets invalidation
+// timing and — under Tardis — answers persist-ordering queries from
+// timestamp order instead of list order.
+type Protocol = machine.CoherenceKind
+
+const (
+	// ProtocolSLC is the paper's SCI-style sharing-list protocol (default).
+	ProtocolSLC = machine.CoherenceSLC
+	// ProtocolMESI is a conventional bit-vector directory MESI.
+	ProtocolMESI = machine.CoherenceMESI
+	// ProtocolTardis is timestamp coherence: lease-based reads, logical-time
+	// bumps on writes, no invalidation traffic.
+	ProtocolTardis = machine.CoherenceTardis
+)
+
+// Protocols lists every coherence backend in bake-off order.
+func Protocols() []Protocol { return machine.Coherences() }
+
+// ParseProtocol parses "slc" (or ""), "mesi", and "tardis".
+func ParseProtocol(s string) (Protocol, error) { return machine.ParseCoherenceKind(s) }
+
 // Config is the full machine configuration (Table I geometry and timing).
 type Config = machine.Config
 
@@ -110,6 +133,9 @@ type RunOptions struct {
 	Seed int64
 	// Scheduler selects the event-queue implementation (default wheel).
 	Scheduler Scheduler
+	// Protocol selects the coherence backend (default SLC). Applied after
+	// Config, so it also overrides an explicit Config's Coherence field.
+	Protocol Protocol
 	// Config overrides the Table I configuration when non-nil.
 	Config *Config
 
@@ -135,6 +161,9 @@ func (o RunOptions) config(system System) Config {
 	}
 	if o.Scheduler != SchedulerWheel {
 		cfg.Scheduler = o.Scheduler
+	}
+	if o.Protocol != ProtocolSLC {
+		cfg.Coherence = o.Protocol
 	}
 	return cfg
 }
